@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test vet bench figures figures-csv examples quick-bench
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+# One benchmark iteration per figure: a fast smoke of every reproduction.
+quick-bench:
+	go test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+bench:
+	go test -bench=. -benchmem ./...
+
+figures:
+	go run ./cmd/sbench -fig all
+
+figures-csv:
+	go run ./cmd/sbench -fig all -csv figures/
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/heterogeneous
+	go run ./examples/clusterplacement
+	go run ./examples/dataflowapp

@@ -1,0 +1,529 @@
+// Package streambalance_test holds the benchmark harness: one benchmark per
+// figure of the paper's evaluation (run them with
+// `go test -bench=. -benchmem`), plus micro-benchmarks of the model's hot
+// paths and ablations of the design choices called out in DESIGN.md.
+//
+// Figure benchmarks execute a reduced-scale version of the experiment per
+// iteration and report the headline shape of that figure as custom metrics
+// (for example RR's execution time normalized to Oracle*), so a bench run
+// doubles as a quick regression check on the reproduction. Full-scale
+// figures are regenerated with cmd/sbench.
+package streambalance_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/dataflow"
+	"streambalance/internal/harness"
+	"streambalance/internal/placement"
+	"streambalance/internal/sim"
+)
+
+// --- Figure benchmarks -----------------------------------------------------
+
+func BenchmarkFig02BlockingRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig2Blocking(30 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(report.Rate.MeanSince(5*time.Second), "blockrate")
+	}
+}
+
+func BenchmarkSec44Rerouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Sec44Reroute(120 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rr, reroute float64
+		for _, row := range report.Rows {
+			if row.BaseCost != 1000 {
+				continue
+			}
+			switch row.Policy {
+			case "RR":
+				rr = row.MeanThroughput
+			case "RR+reroute":
+				reroute = row.MeanThroughput
+			}
+		}
+		if rr > 0 {
+			b.ReportMetric(reroute/rr, "reroute-vs-rr")
+		}
+	}
+}
+
+func BenchmarkFig05FixedSplits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig5FixedSplits(45 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Mean blocking rate of the 80/20 split: the top-left panel.
+		b.ReportMetric(report.Splits[0].MeanRate, "rate@80/20")
+	}
+}
+
+func BenchmarkFig08Top(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig8Top(160 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(report.Final.FinalWeights[0]), "conn0-final-weight")
+	}
+}
+
+func BenchmarkFig08Bottom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig8Bottom(120 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(report.Final.FinalThroughput, "final-tput")
+	}
+}
+
+// reportSweep emits RR's and LB-adaptive's normalized execution times at the
+// largest fan-out of the sweep.
+func reportSweep(b *testing.B, report harness.SweepReport) {
+	b.Helper()
+	if len(report.Points) == 0 {
+		b.Fatal("empty sweep")
+	}
+	last := report.Points[len(report.Points)-1]
+	for _, row := range last.Rows {
+		switch row.Policy {
+		case "RR":
+			b.ReportMetric(row.NormalizedExec, "rr-norm-exec")
+		case "LB-adaptive":
+			b.ReportMetric(row.NormalizedExec, "lb-norm-exec")
+		}
+	}
+}
+
+func BenchmarkFig09Static(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig9Static(harness.SweepOptions{Sizes: []int{2, 8}, Tuples: 60_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSweep(b, report)
+	}
+}
+
+func BenchmarkFig09Dynamic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig9Dynamic(harness.SweepOptions{Sizes: []int{2, 8}, Tuples: 60_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSweep(b, report)
+	}
+}
+
+func BenchmarkFig10Static(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig10Static(harness.SweepOptions{Sizes: []int{2, 8}, Tuples: 60_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSweep(b, report)
+	}
+}
+
+func BenchmarkFig10Dynamic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig10Dynamic(harness.SweepOptions{Sizes: []int{2, 8}, Tuples: 60_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSweep(b, report)
+	}
+}
+
+func BenchmarkFig11Top(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig11Top(90 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(report.Final.FinalWeights[0])/10, "fast-share-%")
+	}
+}
+
+func BenchmarkFig11Bottom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig11Bottom(harness.SweepOptions{Sizes: []int{24}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		evenLB, _ := report.Lookup(24, "Even-LB")
+		evenRR, _ := report.Lookup(24, "Even-RR")
+		if evenRR.FinalThroughput > 0 {
+			b.ReportMetric(evenLB.FinalThroughput/evenRR.FinalThroughput, "lb-vs-rr-tput")
+		}
+	}
+}
+
+func BenchmarkFig12Clustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig12(120 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Clusters != nil {
+			last := report.Clusters[len(report.Clusters)-1]
+			ids := make(map[int]bool)
+			for _, id := range last {
+				ids[id] = true
+			}
+			b.ReportMetric(float64(len(ids)), "clusters")
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := harness.Fig13(harness.SweepOptions{Sizes: []int{32}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSweep(b, report)
+	}
+}
+
+// --- Model hot paths ---------------------------------------------------------
+
+// randomFuncs builds n learned-looking rate functions over the full domain.
+func randomFuncs(n int) []*core.RateFunc {
+	rng := rand.New(rand.NewSource(42))
+	funcs := make([]*core.RateFunc, n)
+	for j := range funcs {
+		f := core.NewRateFunc(core.DefaultUnits, core.DefaultSmoothingAlpha)
+		knee := 10 + rng.Intn(800)
+		for i := 0; i < 30; i++ {
+			w := rng.Intn(core.DefaultUnits + 1)
+			rate := 0.0
+			if w > knee {
+				rate = float64(w-knee) * 0.002
+			}
+			if err := f.Observe(w, rate); err != nil {
+				panic(err)
+			}
+		}
+		funcs[j] = f
+	}
+	return funcs
+}
+
+func benchmarkSolver(b *testing.B, solve core.Solver, n int) {
+	funcs := randomFuncs(n)
+	p := core.Problem{Funcs: make([]core.Func, n), Total: core.DefaultUnits}
+	for j, f := range funcs {
+		p.Funcs[j] = f
+	}
+	// Warm the prediction caches so the benchmark isolates the solver.
+	for _, f := range funcs {
+		f.Predict(0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveFox16(b *testing.B)    { benchmarkSolver(b, core.SolveFox, 16) }
+func BenchmarkSolveFox64(b *testing.B)    { benchmarkSolver(b, core.SolveFox, 64) }
+func BenchmarkSolveBisect16(b *testing.B) { benchmarkSolver(b, core.SolveBisect, 16) }
+func BenchmarkSolveBisect64(b *testing.B) { benchmarkSolver(b, core.SolveBisect, 64) }
+
+func BenchmarkRateFuncObserve(b *testing.B) {
+	f := core.NewRateFunc(core.DefaultUnits, core.DefaultSmoothingAlpha)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Observe(rng.Intn(1001), rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRateFuncPredictRebuild(b *testing.B) {
+	f := randomFuncs(1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Decay dirties the cache, forcing a full rebuild per iteration.
+		f.Decay(500, 0.9)
+		f.Predict(750)
+	}
+}
+
+func BenchmarkBalancerRebalance64(b *testing.B) {
+	bal, err := core.NewBalancer(core.Config{Connections: 64, DecayEnabled: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for j := 0; j < 64; j++ {
+		if err := bal.Observe(j, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bal.Observe(i%64, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bal.Rebalance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBalancerRebalanceClustered64(b *testing.B) {
+	bal, err := core.NewBalancer(core.Config{
+		Connections:    64,
+		DecayEnabled:   true,
+		ClusterEnabled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for j := 0; j < 64; j++ {
+		if err := bal.Observe(j, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bal.Observe(i%64, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bal.Rebalance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	// Events per second of the discrete-event engine itself.
+	hosts := []sim.HostSpec{sim.SlowHost("h")}
+	pes := make([]sim.PESpec, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(sim.Config{
+			Hosts: hosts, PEs: pes, BaseCost: 1000,
+			TotalTuples: 50_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Completed != 50_000 {
+			b.Fatal("incomplete run")
+		}
+	}
+	b.ReportMetric(float64(50_000*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationDecay compares the final throughput of the adaptive
+// balancer across decay factors on the Figure 8 (top) scenario, reported as
+// a custom metric (decay 0.9 is the paper's choice).
+func BenchmarkAblationDecay(b *testing.B) {
+	for _, factor := range []float64{0.8, 0.9, 0.99} {
+		b.Run(formatFactor(factor), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hosts := []sim.HostSpec{sim.SlowHost("h")}
+				pes := []sim.PESpec{
+					{Host: 0, Load: sim.StepLoad(100, 1, 20*time.Second)},
+					{Host: 0},
+					{Host: 0},
+				}
+				bal, err := core.NewBalancer(core.Config{
+					Connections:  3,
+					DecayEnabled: true,
+					DecayFactor:  factor,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pol := sim.NewBalancerPolicy(bal, "LB")
+				s, err := sim.New(sim.Config{
+					Hosts: hosts, PEs: pes, BaseCost: 1000,
+					Duration: 120 * time.Second,
+					Policy:   pol,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := pol.Err(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.FinalThroughput, "final-tput")
+			}
+		})
+	}
+}
+
+func formatFactor(f float64) string {
+	switch f {
+	case 0.8:
+		return "decay=0.80"
+	case 0.9:
+		return "decay=0.90"
+	case 0.99:
+		return "decay=0.99"
+	default:
+		return "decay=?"
+	}
+}
+
+// BenchmarkAblationSolver runs the same learned instance through both exact
+// solvers; their objectives must agree, their costs differ.
+func BenchmarkAblationSolver(b *testing.B) {
+	funcs := randomFuncs(32)
+	p := core.Problem{Funcs: make([]core.Func, len(funcs)), Total: core.DefaultUnits}
+	for j, f := range funcs {
+		p.Funcs[j] = f
+		f.Predict(0)
+	}
+	fox, err := core.SolveFox(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bisect, err := core.SolveBisect(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if fox.Objective != bisect.Objective {
+		b.Fatalf("solver disagreement: fox %v vs bisect %v", fox.Objective, bisect.Objective)
+	}
+	b.Run("fox", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveFox(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bisect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveBisect(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Extension benchmarks ------------------------------------------------------
+
+func BenchmarkDataflowRegionThroughput(b *testing.B) {
+	// Tuples per second through a 4-wide balanced in-process region.
+	const n = 30_000
+	for i := 0; i < b.N; i++ {
+		g := dataflow.NewGraph("bench")
+		g.Source("src", func(seq uint64) (any, bool) {
+			if seq >= n {
+				return nil, false
+			}
+			return int(seq), true
+		}).
+			Map("work", func(v any) any {
+				acc := v.(int) | 3
+				for k := 0; k < 500; k++ {
+					acc *= 1664525
+				}
+				if acc == 1 {
+					return 0
+				}
+				return v
+			}).
+			Sink("out", func(any) {})
+		plan, err := g.Plan(dataflow.PlanConfig{Width: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dataflow.Execute(plan, dataflow.ExecConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sinks["out"].Count != n {
+			b.Fatal("lost tuples")
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkPlacement(b *testing.B) {
+	p := placement.Problem{
+		Hosts: []placement.Host{
+			{Name: "f1", Slots: 16, Speed: 60},
+			{Name: "f2", Slots: 16, Speed: 60},
+			{Name: "s1", Slots: 8, Speed: 50},
+			{Name: "s2", Slots: 8, Speed: 50},
+		},
+		Regions: []placement.Region{
+			{Name: "a", Workers: 12, Demand: 900},
+			{Name: "b", Workers: 16, Demand: 1400},
+			{Name: "c", Workers: 8, Demand: 400},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := placement.Place(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj, err := p.Objective(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(obj, "max-util")
+	}
+}
+
+func BenchmarkBalancerSnapshotRestore(b *testing.B) {
+	bal, err := core.NewBalancer(core.Config{Connections: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 64*30; i++ {
+		if err := bal.Observe(i%64, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			if _, err := bal.Rebalance(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := bal.Snapshot()
+		fresh, err := core.NewBalancer(core.Config{Connections: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fresh.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

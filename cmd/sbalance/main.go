@@ -1,0 +1,123 @@
+// Command sbalance runs one ordered data-parallel region as a real pipeline
+// over loopback TCP — splitter, N worker PEs, in-order merger — with the
+// blocking-rate balancer adjusting allocation weights live. It is the
+// interactive face of internal/runtime: point it at a worker count and a
+// cost profile and watch the weights move.
+//
+// Examples:
+//
+//	sbalance -workers 3 -tuples 100000
+//	sbalance -workers 4 -slow-worker 0 -slow-delay 2ms -remove-at 0.5
+//	sbalance -workers 3 -no-balance        # naive round-robin for contrast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/runtime"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sbalance:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("sbalance", flag.ContinueOnError)
+	workers := fs.Int("workers", 3, "number of parallel worker PEs")
+	tuples := fs.Uint64("tuples", 100_000, "tuples to stream")
+	payload := fs.Int("payload", 256, "payload bytes per tuple")
+	baseDelay := fs.Duration("base-delay", 100*time.Microsecond, "per-tuple processing delay of an unloaded worker")
+	slowWorker := fs.Int("slow-worker", 0, "index of the worker carrying extra load (-1 for none)")
+	slowDelay := fs.Duration("slow-delay", 2*time.Millisecond, "per-tuple delay of the loaded worker")
+	removeAt := fs.Float64("remove-at", 0.5, "fraction of the stream after which the extra load is removed (>=1 keeps it)")
+	interval := fs.Duration("interval", 100*time.Millisecond, "controller sampling interval")
+	noBalance := fs.Bool("no-balance", false, "disable balancing (plain round-robin)")
+	socketBuf := fs.Int("sockbuf", 8<<10, "kernel socket buffer bytes per connection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("need at least one worker, got %d", *workers)
+	}
+	if *slowWorker >= *workers {
+		return fmt.Errorf("slow worker %d out of range with %d workers", *slowWorker, *workers)
+	}
+
+	operators := make([]runtime.Operator, *workers)
+	var slow *runtime.DelayOperator
+	for i := range operators {
+		op := runtime.NewDelayOperator(*baseDelay)
+		if i == *slowWorker {
+			op.SetDelay(*slowDelay)
+			slow = op
+		}
+		operators[i] = op
+	}
+
+	var balancer *core.Balancer
+	if !*noBalance {
+		var err error
+		balancer, err = core.NewBalancer(core.Config{
+			Connections:  *workers,
+			DecayEnabled: true,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	removeSeq := uint64(float64(*tuples) * *removeAt)
+	body := make([]byte, *payload)
+	source := func(seq uint64) ([]byte, bool) {
+		if slow != nil && seq == removeSeq {
+			slow.SetDelay(*baseDelay)
+		}
+		if seq >= *tuples {
+			return nil, false
+		}
+		return body, true
+	}
+
+	fmt.Fprintf(w, "streaming %d tuples over %d workers (balancing: %v)\n",
+		*tuples, *workers, !*noBalance)
+	fmt.Fprintf(w, "%-10s %-24s %s\n", "t", "blocking rates", "weights")
+	region, err := runtime.NewRegion(runtime.RegionConfig{
+		Operators:         operators,
+		Source:            source,
+		Balancer:          balancer,
+		SampleInterval:    *interval,
+		SocketBufferBytes: *socketBuf,
+		OnSample: func(now time.Duration, rates []float64, weights []int) {
+			// Print at most ~4 lines per second regardless of interval.
+			window := 250 * time.Millisecond
+			if now/window != (now-*interval)/window {
+				fmt.Fprintf(w, "%-10v %-24.2f %v\n", now.Truncate(time.Millisecond), rates, weights)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := region.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nreleased %d tuples in %v (%.0f tuples/s), order preserved: %v\n",
+		res.Released, res.Elapsed.Truncate(time.Millisecond),
+		float64(res.Released)/res.Elapsed.Seconds(), res.OrderPreserved)
+	fmt.Fprintf(w, "tuples per connection:        %v\n", res.PerConnSent)
+	fmt.Fprintf(w, "blocking time per connection: %v\n", res.TotalBlocking)
+	if balancer != nil {
+		fmt.Fprintf(w, "\nlearned blocking-rate functions:\n%s", core.DumpFunctions(balancer, 8))
+	}
+	return nil
+}

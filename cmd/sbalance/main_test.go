@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBalancedPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-workers", "2",
+		"-tuples", "3000",
+		"-base-delay", "20us",
+		"-slow-delay", "400us",
+		"-interval", "25ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "order preserved: true") {
+		t.Fatalf("ordering not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "learned blocking-rate functions") {
+		t.Fatalf("function dump missing:\n%s", out)
+	}
+}
+
+func TestRunRoundRobinPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-workers", "2",
+		"-tuples", "1500",
+		"-base-delay", "10us",
+		"-slow-worker", "-1",
+		"-no-balance",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "learned blocking-rate functions") {
+		t.Fatal("function dump printed without a balancer")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-workers", "0"}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if err := run(&buf, []string{"-workers", "2", "-slow-worker", "5"}); err == nil {
+		t.Fatal("out-of-range slow worker accepted")
+	}
+	if err := run(&buf, []string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

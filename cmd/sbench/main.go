@@ -1,0 +1,275 @@
+// Command sbench regenerates the paper's tables and figures on the
+// discrete-event simulator.
+//
+// Usage:
+//
+//	sbench -fig list            # show available experiments
+//	sbench -fig 9               # Figure 9, static + dynamic
+//	sbench -fig all             # everything (well under a minute)
+//	sbench -fig 8top -duration 400s
+//	sbench -fig 12 -quick       # reduced scale
+//	sbench -fig all -csv out/   # also write plottable CSV per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"streambalance/internal/harness"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sbench:", err)
+		os.Exit(1)
+	}
+}
+
+// csvSink writes per-figure CSV files into a directory; a nil sink disables
+// export.
+type csvSink struct {
+	dir string
+}
+
+// write saves one report under name.csv.
+func (s *csvSink) write(name string, report interface{ WriteCSV(io.Writer) error }) error {
+	if s == nil {
+		return nil
+	}
+	path := filepath.Join(s.dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := report.WriteCSV(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// experiment maps a figure id to its runner.
+type experiment struct {
+	id      string
+	summary string
+	run     func(w io.Writer, csv *csvSink, duration time.Duration, quick bool) error
+}
+
+func experiments() []experiment {
+	sweep := func(name string, full func(harness.SweepOptions) (harness.SweepReport, error), quickSizes []int, quickTuples uint64) func(io.Writer, *csvSink, time.Duration, bool) error {
+		return func(w io.Writer, csv *csvSink, _ time.Duration, quick bool) error {
+			opts := harness.SweepOptions{}
+			if quick {
+				opts.Sizes = quickSizes
+				opts.Tuples = quickTuples
+			}
+			report, err := full(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, report.String()); err != nil {
+				return err
+			}
+			return csv.write(name, report)
+		}
+	}
+	indepth := func(name string, full func(time.Duration) (harness.InDepthReport, error), quickDur time.Duration) func(io.Writer, *csvSink, time.Duration, bool) error {
+		return func(w io.Writer, csv *csvSink, duration time.Duration, quick bool) error {
+			if quick && duration == 0 {
+				duration = quickDur
+			}
+			report, err := full(duration)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, report.String()); err != nil {
+				return err
+			}
+			return csv.write(name, report)
+		}
+	}
+	return []experiment{
+		{"2", "cumulative blocking time and rate (Figure 2)", func(w io.Writer, csv *csvSink, duration time.Duration, quick bool) error {
+			if quick && duration == 0 {
+				duration = 30 * time.Second
+			}
+			report, err := harness.Fig2Blocking(duration)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, report.String()); err != nil {
+				return err
+			}
+			return csv.write("fig02", report)
+		}},
+		{"rerouting", "transport-level re-routing (Section 4.4)", func(w io.Writer, csv *csvSink, duration time.Duration, quick bool) error {
+			if quick && duration == 0 {
+				duration = 150 * time.Second
+			}
+			report, err := harness.Sec44Reroute(duration)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, report.String()); err != nil {
+				return err
+			}
+			return csv.write("sec44", report)
+		}},
+		{"5", "blocking rates at fixed splits (Figure 5)", func(w io.Writer, csv *csvSink, duration time.Duration, quick bool) error {
+			if quick && duration == 0 {
+				duration = 45 * time.Second
+			}
+			report, err := harness.Fig5FixedSplits(duration)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, report.String()); err != nil {
+				return err
+			}
+			return csv.write("fig05", report)
+		}},
+		{"8top", "in-depth, 3 PEs, one 100x removed (Figure 8 top)", indepth("fig08top", harness.Fig8Top, 120*time.Second)},
+		{"8bottom", "in-depth, 3 equal PEs (Figure 8 bottom)", indepth("fig08bottom", harness.Fig8Bottom, 120*time.Second)},
+		{"9", "2-16 PEs, base 1k, half 10x (Figure 9)", func(w io.Writer, csv *csvSink, _ time.Duration, quick bool) error {
+			opts := harness.SweepOptions{}
+			if quick {
+				opts = harness.SweepOptions{Sizes: []int{2, 8}, Tuples: 40_000}
+			}
+			static, err := harness.Fig9Static(opts)
+			if err != nil {
+				return err
+			}
+			dynamic, err := harness.Fig9Dynamic(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, static.String(), dynamic.String()); err != nil {
+				return err
+			}
+			if err := csv.write("fig09static", static); err != nil {
+				return err
+			}
+			return csv.write("fig09dynamic", dynamic)
+		}},
+		{"10", "2-16 PEs, base 10k, half 100x (Figure 10)", func(w io.Writer, csv *csvSink, _ time.Duration, quick bool) error {
+			opts := harness.SweepOptions{}
+			if quick {
+				opts = harness.SweepOptions{Sizes: []int{2, 8}, Tuples: 30_000}
+			}
+			static, err := harness.Fig10Static(opts)
+			if err != nil {
+				return err
+			}
+			dynamic, err := harness.Fig10Dynamic(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, static.String(), dynamic.String()); err != nil {
+				return err
+			}
+			if err := csv.write("fig10static", static); err != nil {
+				return err
+			}
+			return csv.write("fig10dynamic", dynamic)
+		}},
+		{"11top", "in-depth, fast vs slow host (Figure 11 top)", indepth("fig11top", harness.Fig11Top, 90*time.Second)},
+		{"11bottom", "placements across fast+slow hosts (Figure 11 bottom)", sweep("fig11bottom", harness.Fig11Bottom, []int{2, 8, 24}, 16_000)},
+		{"12", "64 PEs, three load classes, clustering (Figure 12)", indepth("fig12", harness.Fig12, 120*time.Second)},
+		{"13", "clustering sweep, base 60k, half 100x (Figure 13)", sweep("fig13", harness.Fig13, []int{8, 32}, 60_000)},
+		{"bursty", "extension: bursty source, LB under alternating load (Section 5.4)", func(w io.Writer, csv *csvSink, duration time.Duration, quick bool) error {
+			if quick && duration == 0 {
+				duration = 120 * time.Second
+			}
+			report, err := harness.ExtBursty(duration)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, report.String()); err != nil {
+				return err
+			}
+			return csv.write("ext_bursty", report)
+		}},
+		{"ablations", "design-choice ablations: decay, zero trust, clustering, solver", func(w io.Writer, csv *csvSink, duration time.Duration, quick bool) error {
+			if quick && duration == 0 {
+				duration = 120 * time.Second
+			}
+			decay, err := harness.AblationDecay(duration)
+			if err != nil {
+				return err
+			}
+			trust, err := harness.AblationZeroTrust(duration)
+			if err != nil {
+				return err
+			}
+			var clusterTuples uint64
+			if quick {
+				clusterTuples = 40_000
+			}
+			clustering, err := harness.AblationClustering(clusterTuples)
+			if err != nil {
+				return err
+			}
+			solver, err := harness.AblationSolver()
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, decay.String(), trust.String(), clustering.String(), harness.RenderSolverRows(solver)); err != nil {
+				return err
+			}
+			if err := csv.write("ablation_decay", decay); err != nil {
+				return err
+			}
+			if err := csv.write("ablation_zerotrust", trust); err != nil {
+				return err
+			}
+			return csv.write("ablation_clustering", clustering)
+		}},
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("sbench", flag.ContinueOnError)
+	fig := fs.String("fig", "list", "experiment id (list, all, 2, 5, 8top, 8bottom, 9, 10, 11top, 11bottom, 12, 13, rerouting, bursty, ablations)")
+	duration := fs.Duration("duration", 0, "override run duration for in-depth experiments (0 = figure default)")
+	quick := fs.Bool("quick", false, "reduced scale for a fast smoke run")
+	csvDir := fs.String("csv", "", "directory to also write per-figure CSV data into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sink *csvSink
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+		sink = &csvSink{dir: *csvDir}
+	}
+	exps := experiments()
+	switch *fig {
+	case "list":
+		fmt.Fprintln(w, "available experiments:")
+		for _, e := range exps {
+			fmt.Fprintf(w, "  %-10s %s\n", e.id, e.summary)
+		}
+		return nil
+	case "all":
+		for _, e := range exps {
+			start := time.Now()
+			if err := e.run(w, sink, *duration, *quick); err != nil {
+				return fmt.Errorf("fig %s: %w", e.id, err)
+			}
+			fmt.Fprintf(w, "[fig %s completed in %v]\n\n", e.id, time.Since(start).Truncate(time.Millisecond))
+		}
+		return nil
+	default:
+		for _, e := range exps {
+			if e.id == *fig {
+				return e.run(w, sink, *duration, *quick)
+			}
+		}
+		return fmt.Errorf("unknown experiment %q (try -fig list)", *fig)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"8top", "9", "12", "rerouting", "ablations"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "nope"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "2", "-quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Fatalf("missing figure output:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig02.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "t_seconds,cumulative_s,rate") {
+		t.Fatalf("csv header wrong: %q", string(data[:40]))
+	}
+}
+
+func TestRunSweepQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "11bottom", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"All-Fast", "All-Slow", "Even-RR", "Even-LB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

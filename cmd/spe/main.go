@@ -1,0 +1,267 @@
+// Command spe runs the components of one ordered data-parallel region as
+// separate OS processes — the paper's deployment model, where "each PE maps
+// to an OS process" (Section 2). Subcommands:
+//
+//	spe merger   -workers N                 # in-order merge, prints ADDR
+//	spe worker   -id I -merger ADDR -delay D  # one worker PE, prints ADDR
+//	spe splitter -workers A1,A2,... -tuples N  # splitter + balancer
+//	spe run      -workers N -tuples N       # spawn everything, wire it up
+//
+// merger and worker print "ADDR host:port" on stdout once listening, so a
+// launcher (spe run, a script, or an operator) can wire the pipeline. All
+// tuple traffic flows over real TCP with the blocking-time instrumentation
+// of internal/transport.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/runtime"
+	"streambalance/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "spe: need a subcommand: merger, worker, splitter, run")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "merger":
+		err = runMerger(os.Stdout, os.Args[2:])
+	case "worker":
+		err = runWorker(os.Stdout, os.Args[2:])
+	case "splitter":
+		err = runSplitter(os.Stdout, os.Args[2:])
+	case "run":
+		err = runAll(os.Stdout, os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spe:", err)
+		os.Exit(1)
+	}
+}
+
+// runMerger hosts the in-order merger process.
+func runMerger(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("spe merger", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "number of worker connections to accept")
+	queue := fs.Int("queue", 0, "reorder queue capacity per worker (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers <= 0 {
+		return errors.New("merger: -workers must be positive")
+	}
+	var count uint64
+	ordered := true
+	var lastSeq uint64
+	m, err := runtime.NewMerger(*workers, *queue, func(t transport.Tuple, conn int) {
+		if count > 0 && t.Seq != lastSeq+1 {
+			ordered = false
+		}
+		lastSeq = t.Seq
+		count++
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ADDR %s\n", m.Addr())
+	m.Start()
+	if err := m.Wait(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "DONE released=%d ordered=%v\n", count, ordered)
+	return nil
+}
+
+// runWorker hosts one worker PE process.
+func runWorker(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("spe worker", flag.ContinueOnError)
+	id := fs.Int("id", -1, "worker id (must match the splitter's ordering)")
+	merger := fs.String("merger", "", "merger address to forward to")
+	delay := fs.Duration("delay", 0, "artificial per-tuple delay (emulated load)")
+	spin := fs.Int64("spin", 0, "integer multiplies per tuple (CPU load)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id < 0 || *merger == "" {
+		return errors.New("worker: need -id and -merger")
+	}
+	var op runtime.Operator
+	switch {
+	case *delay > 0:
+		op = runtime.NewDelayOperator(*delay)
+	case *spin > 0:
+		op = runtime.NewSpinOperator(*spin)
+	default:
+		op = runtime.Identity()
+	}
+	worker, err := runtime.NewWorker(*id, op, *merger)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ADDR %s\n", worker.Addr())
+	worker.Start()
+	if err := worker.Wait(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "DONE")
+	return nil
+}
+
+// runSplitter hosts the splitter (and controller) process.
+func runSplitter(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("spe splitter", flag.ContinueOnError)
+	workers := fs.String("workers", "", "comma-separated worker addresses, in id order")
+	tuples := fs.Uint64("tuples", 100_000, "tuples to stream")
+	payload := fs.Int("payload", 256, "payload bytes per tuple")
+	interval := fs.Duration("interval", 100*time.Millisecond, "controller sampling interval")
+	noBalance := fs.Bool("no-balance", false, "disable balancing")
+	sockbuf := fs.Int("sockbuf", 8<<10, "socket buffer bytes per connection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*workers, ",")
+	if *workers == "" || len(addrs) == 0 {
+		return errors.New("splitter: need -workers")
+	}
+	var balancer *core.Balancer
+	if !*noBalance {
+		var err error
+		balancer, err = core.NewBalancer(core.Config{Connections: len(addrs), DecayEnabled: true})
+		if err != nil {
+			return err
+		}
+	}
+	sp, err := runtime.NewSplitter(runtime.SplitterConfig{
+		WorkerAddrs:       addrs,
+		Source:            runtime.ConstantSource(make([]byte, *payload), *tuples),
+		Balancer:          balancer,
+		SampleInterval:    *interval,
+		SocketBufferBytes: *sockbuf,
+	})
+	if err != nil {
+		return err
+	}
+	sp.Start()
+	if err := sp.Wait(); err != nil {
+		return err
+	}
+	var sent []int64
+	var blocking []time.Duration
+	for _, s := range sp.Senders() {
+		sent = append(sent, s.Sent())
+		blocking = append(blocking, s.TotalBlocking())
+	}
+	fmt.Fprintf(w, "DONE sent=%v blocking=%v\n", sent, blocking)
+	if balancer != nil {
+		fmt.Fprintf(w, "weights=%v\n", balancer.Weights())
+	}
+	return nil
+}
+
+// runAll spawns the merger and workers as child processes of this binary and
+// runs the splitter in this process.
+func runAll(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("spe run", flag.ContinueOnError)
+	workers := fs.Int("workers", 3, "number of worker processes")
+	tuples := fs.Uint64("tuples", 50_000, "tuples to stream")
+	slowWorker := fs.Int("slow-worker", 0, "worker carrying extra load (-1 for none)")
+	slowDelay := fs.Duration("slow-delay", time.Millisecond, "per-tuple delay of the loaded worker")
+	baseDelay := fs.Duration("base-delay", 50*time.Microsecond, "per-tuple delay of unloaded workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return errors.New("run: need at least one worker")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("run: locate own binary: %w", err)
+	}
+
+	// Merger first: workers dial it.
+	mergerCmd, mergerAddr, err := spawn(self, "merger", "-workers", fmt.Sprint(*workers))
+	if err != nil {
+		return fmt.Errorf("run: merger: %w", err)
+	}
+	fmt.Fprintf(w, "merger listening on %s\n", mergerAddr)
+
+	workerCmds := make([]*exec.Cmd, *workers)
+	addrs := make([]string, *workers)
+	for i := 0; i < *workers; i++ {
+		delay := *baseDelay
+		if i == *slowWorker {
+			delay = *slowDelay
+		}
+		cmd, addr, err := spawn(self, "worker",
+			"-id", fmt.Sprint(i),
+			"-merger", mergerAddr,
+			"-delay", delay.String())
+		if err != nil {
+			return fmt.Errorf("run: worker %d: %w", i, err)
+		}
+		workerCmds[i] = cmd
+		addrs[i] = addr
+		fmt.Fprintf(w, "worker %d listening on %s (delay %v)\n", i, addr, delay)
+	}
+
+	if err := runSplitter(w, []string{
+		"-workers", strings.Join(addrs, ","),
+		"-tuples", fmt.Sprint(*tuples),
+	}); err != nil {
+		return fmt.Errorf("run: splitter: %w", err)
+	}
+	for i, cmd := range workerCmds {
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("run: wait worker %d: %w", i, err)
+		}
+	}
+	if err := mergerCmd.Wait(); err != nil {
+		return fmt.Errorf("run: wait merger: %w", err)
+	}
+	fmt.Fprintln(w, "all processes exited cleanly")
+	return nil
+}
+
+// spawn starts a child subcommand and reads its ADDR announcement.
+func spawn(self, sub string, args ...string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(self, append([]string{sub}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if addr, ok := strings.CutPrefix(line, "ADDR "); ok {
+			// Keep draining the child's stdout in the background so it
+			// never blocks writing its DONE line.
+			go func() {
+				for scanner.Scan() {
+				}
+			}()
+			return cmd, addr, nil
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, "", fmt.Errorf("child exited before announcing address: %w", err)
+	}
+	return nil, "", errors.New("child exited before announcing address")
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// speBinary is built once for the process-level integration tests.
+var speBinary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "spe-test")
+	if err != nil {
+		os.Exit(1)
+	}
+	speBinary = filepath.Join(dir, "spe")
+	build := exec.Command("go", "build", "-o", speBinary, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestSubcommandValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		run  func(*bytes.Buffer) error
+	}{
+		{"merger without workers", func(b *bytes.Buffer) error { return runMerger(b, nil) }},
+		{"worker without id", func(b *bytes.Buffer) error { return runWorker(b, []string{"-merger", "x"}) }},
+		{"worker without merger", func(b *bytes.Buffer) error { return runWorker(b, []string{"-id", "0"}) }},
+		{"splitter without workers", func(b *bytes.Buffer) error { return runSplitter(b, nil) }},
+		{"run with zero workers", func(b *bytes.Buffer) error { return runAll(b, []string{"-workers", "0"}) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tt.run(&buf); err == nil {
+				t.Fatal("invalid arguments accepted")
+			}
+		})
+	}
+}
+
+func TestMultiProcessPipeline(t *testing.T) {
+	// The full deployment model: merger and workers as separate OS
+	// processes, splitter orchestrating, all over loopback TCP.
+	cmd := exec.Command(speBinary, "run",
+		"-workers", "3",
+		"-tuples", "12000",
+		"-slow-worker", "0",
+		"-slow-delay", "1ms",
+		"-base-delay", "50us",
+	)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("spe run failed: %v\n%s", err, out)
+	}
+	body := string(out)
+	if !strings.Contains(body, "all processes exited cleanly") {
+		t.Fatalf("pipeline did not complete:\n%s", body)
+	}
+	if !strings.Contains(body, "weights=") {
+		t.Fatalf("no balancer weights reported:\n%s", body)
+	}
+	if strings.Count(body, "worker ") < 3 {
+		t.Fatalf("missing worker announcements:\n%s", body)
+	}
+}
+
+// child wraps a spawned spe subprocess whose stdout is consumed line by line.
+type child struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu   sync.Mutex
+	rest []string
+}
+
+// startChild launches a subcommand and waits for its ADDR announcement;
+// later output is collected for inspection after Wait.
+func startChild(t *testing.T, args ...string) *child {
+	t.Helper()
+	c := &child{cmd: exec.Command(speBinary, args...)}
+	c.cmd.Stderr = os.Stderr
+	stdout, err := c.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if addr, ok := strings.CutPrefix(line, "ADDR "); ok {
+			c.addr = addr
+			break
+		}
+	}
+	if c.addr == "" {
+		c.cmd.Wait()
+		t.Fatalf("child %v exited before announcing an address", args)
+	}
+	go func() {
+		for scanner.Scan() {
+			c.mu.Lock()
+			c.rest = append(c.rest, scanner.Text())
+			c.mu.Unlock()
+		}
+	}()
+	return c
+}
+
+// wait joins the child and returns its post-ADDR output.
+func (c *child) wait(t *testing.T) string {
+	t.Helper()
+	if err := c.cmd.Wait(); err != nil {
+		t.Fatalf("child exited with %v", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return strings.Join(c.rest, "\n")
+}
+
+func TestMultiProcessRoundTripOrdered(t *testing.T) {
+	// Wire a merger and two worker processes by hand, as an operator
+	// would, then drive them with the splitter run in this process; the
+	// merger must report a complete, ordered stream.
+	merger := startChild(t, "merger", "-workers", "2")
+	w0 := startChild(t, "worker", "-id", "0", "-merger", merger.addr, "-delay", "20us")
+	w1 := startChild(t, "worker", "-id", "1", "-merger", merger.addr, "-delay", "20us")
+
+	var splitterOut bytes.Buffer
+	if err := runSplitter(&splitterOut, []string{
+		"-workers", w0.addr + "," + w1.addr,
+		"-tuples", "5000",
+		"-interval", "25ms",
+	}); err != nil {
+		t.Fatalf("splitter: %v", err)
+	}
+	w0.wait(t)
+	w1.wait(t)
+	report := merger.wait(t)
+	if !strings.Contains(report, "released=5000 ordered=true") {
+		t.Fatalf("merger report: %q", report)
+	}
+	if !strings.Contains(splitterOut.String(), "DONE sent=") {
+		t.Fatalf("splitter report:\n%s", splitterOut.String())
+	}
+}

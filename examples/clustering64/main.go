@@ -1,0 +1,119 @@
+// Clustering64: the Section 6.6 / Figure 12 scenario — 64 parallel channels
+// in three capacity classes (20 channels at 100x external load, 20 at 5x,
+// 24 unloaded). At this fan-out the per-channel blocking data is too sparse
+// for 64 independent functions, so the balancer clusters channels with
+// similar predictive functions and pools their data.
+//
+// The example prints the per-class weight trajectory and the clustering
+// "heat map": one letter per channel, one row per sampled instant, letters
+// identifying clusters. Three stable classes of clusters should emerge.
+//
+//	go run ./examples/clustering64
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/sim"
+)
+
+const channels = 64
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// classOf assigns the Figure 12 load classes: channels 0-19 at 100x,
+// 20-39 at 5x, 40-63 unloaded.
+func classOf(j int) int {
+	switch {
+	case j < 20:
+		return 0
+	case j < 40:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func run() error {
+	hosts := make([]sim.HostSpec, 8)
+	for i := range hosts {
+		hosts[i] = sim.SlowHost(fmt.Sprintf("node%d", i))
+	}
+	pes := make([]sim.PESpec, channels)
+	for j := range pes {
+		pes[j].Host = j / 8
+		switch classOf(j) {
+		case 0:
+			pes[j].Load = sim.ConstantLoad(100)
+		case 1:
+			pes[j].Load = sim.ConstantLoad(5)
+		}
+	}
+
+	balancer, err := core.NewBalancer(core.Config{
+		Connections:    channels,
+		DecayEnabled:   true,
+		ClusterEnabled: true,
+	})
+	if err != nil {
+		return err
+	}
+	policy := sim.NewBalancerPolicy(balancer, "LB-adaptive")
+
+	const glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	fmt.Println("t       mean weight per class [100x  5x  1x]   clusters")
+	s, err := sim.New(sim.Config{
+		Hosts:        hosts,
+		PEs:          pes,
+		BaseCost:     60_000,
+		MultiplyTime: 50 * time.Nanosecond,
+		Duration:     180 * time.Second,
+		Policy:       policy,
+		Observer: func(sn sim.Snapshot) {
+			if int(sn.Now.Seconds())%10 != 0 {
+				return
+			}
+			var sums [3]float64
+			var counts [3]int
+			for j, w := range sn.Weights {
+				sums[classOf(j)] += float64(w)
+				counts[classOf(j)]++
+			}
+			row := make([]byte, channels)
+			for i := range row {
+				row[i] = '.'
+			}
+			if clusters := balancer.LastClusters(); clusters != nil {
+				for id, members := range clusters {
+					for _, j := range members {
+						row[j] = glyphs[id%len(glyphs)]
+					}
+				}
+			}
+			fmt.Printf("%-7v [%5.1f %5.1f %5.1f]                %s\n",
+				sn.Now, sums[0]/float64(counts[0]), sums[1]/float64(counts[1]), sums[2]/float64(counts[2]), row)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	m, err := s.Run()
+	if err != nil {
+		return err
+	}
+	if err := policy.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("\nfinal throughput: %.0f tuples/s\n", m.FinalThroughput)
+	if clusters := balancer.LastClusters(); clusters != nil {
+		fmt.Printf("final cluster count: %d (expect a handful, in three classes)\n", len(clusters))
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Clusterplacement: the paper's future work (Section 8) — cluster-wide load
+// balancing by assigning the parallel worker PEs of several regions to many
+// heterogeneous hosts. Placement minimizes the maximum host utilization (the
+// local balancer's minimax objective, one level up), and when a region's
+// demand changes it rebalances with a bounded number of worker moves, the
+// global analogue of the local model's incremental weight constraints.
+//
+//	go run ./examples/clusterplacement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streambalance/internal/placement"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p := placement.Problem{
+		Hosts: []placement.Host{
+			{Name: "fast-1", Slots: 16, Speed: 60},
+			{Name: "fast-2", Slots: 16, Speed: 60},
+			{Name: "slow-1", Slots: 8, Speed: 50},
+			{Name: "slow-2", Slots: 8, Speed: 50},
+		},
+		Regions: []placement.Region{
+			{Name: "ingest", Workers: 12, Demand: 1400},
+			{Name: "score", Workers: 16, Demand: 200},
+			{Name: "enrich", Workers: 8, Demand: 400},
+		},
+	}
+
+	a, err := placement.Place(p)
+	if err != nil {
+		return err
+	}
+	printAssignment("initial placement", p, a)
+
+	// A data burst hits "score" — its demand grows twenty-fold, and the
+	// placement chosen for the light-scoring era is now lopsided. Rebalance
+	// with at most 6 worker moves: each move means draining and restarting
+	// a PE, so churn is bounded exactly like the local model's incremental
+	// weight constraints.
+	p.Regions[1].Demand = 4200
+	before, err := p.Objective(a)
+	if err != nil {
+		return err
+	}
+	rebalanced, moves, err := placement.Rebalance(p, a, 6)
+	if err != nil {
+		return err
+	}
+	after, err := p.Objective(rebalanced)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndemand burst on %q: objective %.2f -> %.2f with %d worker moves (limit 6)\n",
+		p.Regions[1].Name, before, after, moves)
+	printAssignment("rebalanced placement", p, rebalanced)
+	return nil
+}
+
+func printAssignment(title string, p placement.Problem, a placement.Assignment) {
+	fmt.Printf("-- %s --\n", title)
+	utils, err := p.Utilizations(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := make([][]int, len(p.Hosts))
+	for h := range counts {
+		counts[h] = make([]int, len(p.Regions))
+	}
+	for ri, ws := range a.Workers {
+		for _, h := range ws {
+			counts[h][ri]++
+		}
+	}
+	for h, host := range p.Hosts {
+		fmt.Printf("%-8s util %5.1f%%  workers:", host.Name, utils[h]*100)
+		for ri, region := range p.Regions {
+			if counts[h][ri] > 0 {
+				fmt.Printf(" %s=%d", region.Name, counts[h][ri])
+			}
+		}
+		fmt.Println()
+	}
+	obj, err := p.Objective(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max utilization: %.1f%%\n", obj*100)
+}

@@ -1,0 +1,96 @@
+// Quickstart: balance one ordered data-parallel region with three worker
+// PEs, one of which is 10x slower due to simulated external load.
+//
+// The example drives the paper's full pipeline on the discrete-event
+// simulator: the splitter measures per-connection TCP blocking rates, the
+// balancer builds blocking-rate functions and solves the minimax resource
+// allocation problem, and the allocation weights converge near the
+// capacity-proportional split while throughput rises well above naive
+// round-robin.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One 8-core host; PE 0 carries external load that makes its tuples
+	// 10x more expensive.
+	hosts := []sim.HostSpec{sim.SlowHost("node0")}
+	pes := []sim.PESpec{
+		{Host: 0, Load: sim.ConstantLoad(10)},
+		{Host: 0},
+		{Host: 0},
+	}
+
+	// The paper's model: LB-adaptive (decay enabled).
+	balancer, err := core.NewBalancer(core.Config{
+		Connections:  len(pes),
+		DecayEnabled: true,
+	})
+	if err != nil {
+		return err
+	}
+	policy := sim.NewBalancerPolicy(balancer, "LB-adaptive")
+
+	fmt.Println("t        weights            blocking rates        tuples/s")
+	s, err := sim.New(sim.Config{
+		Hosts:    hosts,
+		PEs:      pes,
+		BaseCost: 1000, // 1,000 integer multiplies per tuple
+		Duration: 60 * time.Second,
+		Policy:   policy,
+		Observer: func(sn sim.Snapshot) {
+			if int(sn.Now.Seconds())%5 != 0 {
+				return
+			}
+			fmt.Printf("%-8v %-18v %-21.2f %8.0f\n",
+				sn.Now, sn.Weights, sn.BlockingRates, sn.Throughput)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	m, err := s.Run()
+	if err != nil {
+		return err
+	}
+	if err := policy.Err(); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nfinal weights:    %v (capacity-proportional would be ~[48 476 476])\n", m.FinalWeights)
+	fmt.Printf("final throughput: %.0f tuples/s\n", m.FinalThroughput)
+
+	// For contrast: the same region under naive round-robin is gated by
+	// the slowest PE.
+	rr, err := sim.New(sim.Config{
+		Hosts:    hosts,
+		PEs:      pes,
+		BaseCost: 1000,
+		Duration: 60 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	rrMetrics, err := rr.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("round-robin:      %.0f tuples/s (%.1fx slower)\n",
+		rrMetrics.FinalThroughput, m.FinalThroughput/rrMetrics.FinalThroughput)
+	return nil
+}

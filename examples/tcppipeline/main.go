@@ -1,0 +1,91 @@
+// TCP pipeline: the real-system counterpart of the simulator examples. One
+// ordered data-parallel region runs as actual components over loopback TCP —
+// splitter, three worker PEs, and the in-order merger — with the splitter
+// measuring genuine kernel-level blocking time via non-blocking writes (the
+// paper's MSG_DONTWAIT + select mechanism) and the balancer adjusting
+// weights live.
+//
+// Worker 0 starts out slow (a per-tuple delay emulating an overloaded host —
+// on a machine with few cores a CPU-burning worker would merely steal cycles
+// from its siblings); halfway through the stream the load is removed. The
+// balancer detects both conditions from blocking rates alone.
+//
+//	go run ./examples/tcppipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		tuples     = 100_000
+		baseDelay  = 100 * time.Microsecond // ~10k tuples/s per worker
+		heavyDelay = 2 * time.Millisecond   // 20x slower
+	)
+	heavy := runtime.NewDelayOperator(heavyDelay)
+	operators := []runtime.Operator{
+		heavy,
+		runtime.NewDelayOperator(baseDelay),
+		runtime.NewDelayOperator(baseDelay),
+	}
+
+	balancer, err := core.NewBalancer(core.Config{
+		Connections:  len(operators),
+		DecayEnabled: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Remove worker 0's extra load halfway through the stream.
+	source := func(seq uint64) ([]byte, bool) {
+		if seq == tuples/2 {
+			heavy.SetDelay(baseDelay)
+		}
+		if seq >= tuples {
+			return nil, false
+		}
+		return payload, true
+	}
+
+	fmt.Println("t          blocking rates              weights")
+	region, err := runtime.NewRegion(runtime.RegionConfig{
+		Operators:         operators,
+		Source:            source,
+		Balancer:          balancer,
+		SampleInterval:    50 * time.Millisecond,
+		SocketBufferBytes: 8 << 10,
+		OnSample: func(now time.Duration, rates []float64, weights []int) {
+			if now/(250*time.Millisecond) != (now-50*time.Millisecond)/(250*time.Millisecond) {
+				fmt.Printf("%-10v %-27.3f %v\n", now.Truncate(time.Millisecond), rates, weights)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := region.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nreleased %d tuples in %v, order preserved: %v\n",
+		res.Released, res.Elapsed.Truncate(time.Millisecond), res.OrderPreserved)
+	fmt.Printf("tuples per connection: %v\n", res.PerConnSent)
+	fmt.Printf("blocking time per connection: %v\n", res.TotalBlocking)
+	return nil
+}
+
+var payload = make([]byte, 256)

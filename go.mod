@@ -1,0 +1,3 @@
+module streambalance
+
+go 1.22

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultDecayFactor is the geometric reduction applied to predictions beyond
+// the current weight each balancing iteration; the paper chose a fixed 10%
+// reduction (Section 5.4).
+const DefaultDecayFactor = 0.9
+
+// DefaultClusterThreshold is the complete-linkage merge threshold for the
+// clustering step. Distances are absolute log-ratios, so a threshold of 0.7
+// merges connections whose knees (service rates) are within roughly a factor
+// of two of each other — comfortably separating the paper's 1x / 5x / 100x
+// load classes.
+const DefaultClusterThreshold = 0.7
+
+// DefaultClusterMinConns is the fan-out at which clustering turns on. The
+// paper's local scheme works well up to 16 connections and clustering
+// "only becomes necessary as the number of channels scales to 32 and higher"
+// (Section 6.6).
+const DefaultClusterMinConns = 32
+
+// Solver solves a minimax separable RAP; SolveFox and SolveBisect both
+// satisfy it.
+type Solver func(Problem) (Solution, error)
+
+// Config parameterizes a Balancer. The zero value is not usable: Connections
+// must be positive. Every other field has a working default.
+type Config struct {
+	// Connections is the number of parallel channels N.
+	Connections int
+	// Units is R, the number of discrete resource units (default 1000).
+	Units int
+	// SmoothingAlpha is the EWMA factor for folding samples into weight
+	// cells (default DefaultSmoothingAlpha).
+	SmoothingAlpha float64
+	// DecayEnabled selects LB-adaptive (true) versus LB-static (false)
+	// behaviour: whether predictions beyond the current weight decay each
+	// iteration to encourage re-exploration.
+	DecayEnabled bool
+	// DecayFactor is the per-iteration multiplier for decayed cells
+	// (default DefaultDecayFactor).
+	DecayFactor float64
+	// MinWeight and MaxWeight are optional static per-connection bounds in
+	// units. Nil means 0 and Units respectively.
+	MinWeight []int
+	MaxWeight []int
+	// MaxStep, when positive, bounds how far any connection's weight may
+	// move in a single rebalance (the paper's incremental min/max change
+	// constraints). Zero means unbounded.
+	MaxStep int
+	// ClusterEnabled turns on the Section 5.3 clustering pipeline when the
+	// fan-out is at least ClusterMinConns.
+	ClusterEnabled bool
+	// ClusterThreshold is the complete-linkage merge threshold (default
+	// DefaultClusterThreshold).
+	ClusterThreshold float64
+	// ClusterMinConns gates clustering by fan-out (default
+	// DefaultClusterMinConns).
+	ClusterMinConns int
+	// KneeEps is the blocking level treated as zero when locating function
+	// knees for clustering (default 0).
+	KneeEps float64
+	// Delta is δ, the zero guard for logarithms and forced monotonicity
+	// (default DefaultDelta).
+	Delta float64
+	// Solve is the RAP solver (default SolveFox).
+	Solve Solver
+}
+
+// withDefaults returns a copy of the config with defaults filled in.
+func (c Config) withDefaults() Config {
+	if c.Units <= 0 {
+		c.Units = DefaultUnits
+	}
+	if c.SmoothingAlpha <= 0 || c.SmoothingAlpha > 1 {
+		c.SmoothingAlpha = DefaultSmoothingAlpha
+	}
+	if c.DecayFactor <= 0 || c.DecayFactor >= 1 {
+		c.DecayFactor = DefaultDecayFactor
+	}
+	if c.ClusterThreshold <= 0 {
+		c.ClusterThreshold = DefaultClusterThreshold
+	}
+	if c.ClusterMinConns <= 0 {
+		c.ClusterMinConns = DefaultClusterMinConns
+	}
+	if c.Delta <= 0 {
+		c.Delta = DefaultDelta
+	}
+	if c.Solve == nil {
+		c.Solve = SolveFox
+	}
+	return c
+}
+
+// Balancer is the paper's local load balancer for one parallel region. It
+// owns one blocking-rate function per connection, consumes blocking-rate
+// observations, and on each Rebalance emits a fresh allocation-weight vector
+// summing exactly to Units. Balancer is not safe for concurrent use; the
+// controller that samples the transport owns it.
+type Balancer struct {
+	cfg      Config
+	funcs    []*RateFunc
+	weights  []int
+	clusters [][]int // partition used by the last rebalance (nil if unclustered)
+	lastObj  float64
+	rounds   int
+}
+
+// NewBalancer validates the config and returns a balancer with an even
+// initial weight distribution.
+func NewBalancer(cfg Config) (*Balancer, error) {
+	if cfg.Connections <= 0 {
+		return nil, errors.New("core: config needs at least one connection")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MinWeight != nil && len(cfg.MinWeight) != cfg.Connections {
+		return nil, fmt.Errorf("core: %d min weights for %d connections", len(cfg.MinWeight), cfg.Connections)
+	}
+	if cfg.MaxWeight != nil && len(cfg.MaxWeight) != cfg.Connections {
+		return nil, fmt.Errorf("core: %d max weights for %d connections", len(cfg.MaxWeight), cfg.Connections)
+	}
+	b := &Balancer{
+		cfg:     cfg,
+		funcs:   make([]*RateFunc, cfg.Connections),
+		weights: EvenWeights(cfg.Connections, cfg.Units),
+	}
+	for j := range b.funcs {
+		b.funcs[j] = NewRateFunc(cfg.Units, cfg.SmoothingAlpha)
+	}
+	return b, nil
+}
+
+// EvenWeights returns the most even integer split of units across n
+// connections (earlier connections receive the remainder units).
+func EvenWeights(n, units int) []int {
+	weights := make([]int, n)
+	if n == 0 {
+		return weights
+	}
+	base := units / n
+	rem := units % n
+	for j := range weights {
+		weights[j] = base
+		if j < rem {
+			weights[j]++
+		}
+	}
+	return weights
+}
+
+// Weights returns a copy of the current allocation weights.
+func (b *Balancer) Weights() []int {
+	out := make([]int, len(b.weights))
+	copy(out, b.weights)
+	return out
+}
+
+// Connections returns the fan-out N.
+func (b *Balancer) Connections() int {
+	return b.cfg.Connections
+}
+
+// Units returns R.
+func (b *Balancer) Units() int {
+	return b.cfg.Units
+}
+
+// Func exposes connection j's rate function for inspection (tests, plots).
+// The returned function is live; callers must not mutate it.
+func (b *Balancer) Func(j int) *RateFunc {
+	return b.funcs[j]
+}
+
+// Observe records a blocking-rate sample for a connection, attributed to the
+// connection's current allocation weight (the weight in force while the
+// sample accumulated).
+func (b *Balancer) Observe(conn int, rate float64) error {
+	return b.ObserveWeighted(conn, rate, 1)
+}
+
+// ObserveWeighted records a sample with reduced trust in (0, 1]; see
+// RateFunc.ObserveWeighted. Controllers use partial trust for zero
+// observations taken while the splitter was blocked on a draft leader.
+func (b *Balancer) ObserveWeighted(conn int, rate, trust float64) error {
+	if conn < 0 || conn >= len(b.funcs) {
+		return fmt.Errorf("core: connection %d out of range [0,%d)", conn, len(b.funcs))
+	}
+	return b.funcs[conn].ObserveWeighted(b.weights[conn], rate, trust)
+}
+
+// ObserveAt records a blocking-rate sample at an explicit weight, for callers
+// that track historical weights themselves.
+func (b *Balancer) ObserveAt(conn, weight int, rate float64) error {
+	if conn < 0 || conn >= len(b.funcs) {
+		return fmt.Errorf("core: connection %d out of range [0,%d)", conn, len(b.funcs))
+	}
+	return b.funcs[conn].Observe(weight, rate)
+}
+
+// LastObjective returns the objective value (max predicted blocking rate) of
+// the most recent rebalance.
+func (b *Balancer) LastObjective() float64 {
+	return b.lastObj
+}
+
+// LastClusters returns the partition used by the most recent rebalance, or
+// nil if clustering was not applied. The outer slice is ordered by smallest
+// member index; experiment heat maps key on it.
+func (b *Balancer) LastClusters() [][]int {
+	if b.clusters == nil {
+		return nil
+	}
+	out := make([][]int, len(b.clusters))
+	for i, c := range b.clusters {
+		out[i] = append([]int(nil), c...)
+	}
+	return out
+}
+
+// Rounds returns how many rebalances have run.
+func (b *Balancer) Rounds() int {
+	return b.rounds
+}
+
+// Rebalance runs one iteration of the Figure 4 / Figure 6 pipeline: decay
+// stale predictions (LB-adaptive), optionally cluster the functions, solve
+// the minimax RAP, and install the new weights. It returns a copy of the new
+// weight vector.
+func (b *Balancer) Rebalance() ([]int, error) {
+	b.rounds++
+	if b.cfg.DecayEnabled {
+		for j, f := range b.funcs {
+			f.Decay(b.weights[j], b.cfg.DecayFactor)
+		}
+	}
+
+	mins, maxs := b.iterationBounds()
+	var sol Solution
+	var err error
+	if b.cfg.ClusterEnabled && b.cfg.Connections >= b.cfg.ClusterMinConns {
+		sol, err = b.solveClustered(mins, maxs)
+	} else {
+		b.clusters = nil
+		sol, err = b.solveDirect(mins, maxs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	copy(b.weights, sol.Weights)
+	b.lastObj = sol.Objective
+	return b.Weights(), nil
+}
+
+// iterationBounds combines the static bounds with the per-iteration step
+// constraint. If the combination is infeasible (cannot sum to Units) the step
+// constraint is dropped, mirroring the paper's note that bounds are applied
+// "typically incrementally from the current weights".
+func (b *Balancer) iterationBounds() (mins, maxs []int) {
+	n := b.cfg.Connections
+	mins = make([]int, n)
+	maxs = make([]int, n)
+	for j := 0; j < n; j++ {
+		lo, hi := 0, b.cfg.Units
+		if b.cfg.MinWeight != nil {
+			lo = b.cfg.MinWeight[j]
+		}
+		if b.cfg.MaxWeight != nil {
+			hi = b.cfg.MaxWeight[j]
+		}
+		if b.cfg.MaxStep > 0 {
+			if s := b.weights[j] - b.cfg.MaxStep; s > lo {
+				lo = s
+			}
+			if s := b.weights[j] + b.cfg.MaxStep; s < hi {
+				hi = s
+			}
+		}
+		if lo > hi {
+			lo = hi
+		}
+		mins[j], maxs[j] = lo, hi
+	}
+	sumMin, sumMax := 0, 0
+	for j := 0; j < n; j++ {
+		sumMin += mins[j]
+		sumMax += maxs[j]
+	}
+	if sumMin > b.cfg.Units || sumMax < b.cfg.Units {
+		// Step constraints made the iteration infeasible; fall back to the
+		// static bounds alone.
+		for j := 0; j < n; j++ {
+			mins[j] = 0
+			maxs[j] = b.cfg.Units
+			if b.cfg.MinWeight != nil {
+				mins[j] = b.cfg.MinWeight[j]
+			}
+			if b.cfg.MaxWeight != nil {
+				maxs[j] = b.cfg.MaxWeight[j]
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// solveDirect runs the optimizer over the raw per-connection functions.
+func (b *Balancer) solveDirect(mins, maxs []int) (Solution, error) {
+	funcs := make([]Func, len(b.funcs))
+	for j, f := range b.funcs {
+		funcs[j] = f
+	}
+	return b.cfg.Solve(Problem{Funcs: funcs, Total: b.cfg.Units, Min: mins, Max: maxs})
+}
+
+// clusterFunc adapts a pooled cluster function of size members to the
+// optimizer: a cluster holding total weight W spreads it evenly, so its
+// blocking is the member function evaluated at W/size.
+type clusterFunc struct {
+	merged *RateFunc
+	size   int
+}
+
+func (c clusterFunc) Eval(weight int) float64 {
+	per := int(math.Round(float64(weight) / float64(c.size)))
+	return c.merged.Predict(per)
+}
+
+// solveClustered runs the Section 5.3 pipeline: summarize, cluster, pool
+// member data, solve the reduced problem, and re-divide cluster weights
+// evenly among members.
+func (b *Balancer) solveClustered(mins, maxs []int) (Solution, error) {
+	n := b.cfg.Connections
+	alpha := Alpha(b.cfg.Units, b.cfg.Delta)
+	summaries := make([]FuncSummary, n)
+	for j, f := range b.funcs {
+		summaries[j] = Summarize(f, b.cfg.KneeEps)
+	}
+	dist := func(i, j int) float64 {
+		return Distance(summaries[i], summaries[j], alpha, b.cfg.Delta)
+	}
+	clusters := Agglomerate(n, dist, b.cfg.ClusterThreshold)
+	b.clusters = clusters
+
+	k := len(clusters)
+	funcs := make([]Func, k)
+	cmins := make([]int, k)
+	cmaxs := make([]int, k)
+	for ci, members := range clusters {
+		memberFuncs := make([]*RateFunc, len(members))
+		for mi, j := range members {
+			memberFuncs[mi] = b.funcs[j]
+			cmins[ci] += mins[j]
+			cmaxs[ci] += maxs[j]
+		}
+		if cmaxs[ci] > b.cfg.Units {
+			cmaxs[ci] = b.cfg.Units
+		}
+		funcs[ci] = clusterFunc{
+			merged: MergeFuncs(memberFuncs, b.cfg.Units, b.cfg.SmoothingAlpha),
+			size:   len(members),
+		}
+	}
+	sol, err := b.cfg.Solve(Problem{Funcs: funcs, Total: b.cfg.Units, Min: cmins, Max: cmaxs})
+	if err != nil {
+		return Solution{}, fmt.Errorf("clustered solve: %w", err)
+	}
+
+	// Re-divide each cluster's weight evenly among members, clamped to the
+	// member bounds; any units the clamp displaces go to members with room.
+	weights := make([]int, n)
+	for ci, members := range clusters {
+		share := EvenWeights(len(members), sol.Weights[ci])
+		leftover := 0
+		for mi, j := range members {
+			w := share[mi]
+			if w < mins[j] {
+				leftover -= mins[j] - w
+				w = mins[j]
+			}
+			if w > maxs[j] {
+				leftover += w - maxs[j]
+				w = maxs[j]
+			}
+			weights[j] = w
+		}
+		for _, j := range members {
+			if leftover == 0 {
+				break
+			}
+			if leftover > 0 {
+				if room := maxs[j] - weights[j]; room > 0 {
+					add := leftover
+					if add > room {
+						add = room
+					}
+					weights[j] += add
+					leftover -= add
+				}
+			} else {
+				if room := weights[j] - mins[j]; room > 0 {
+					sub := -leftover
+					if sub > room {
+						sub = room
+					}
+					weights[j] -= sub
+					leftover += sub
+				}
+			}
+		}
+	}
+	return Solution{Weights: weights, Objective: objective(funcsOf(b.funcs), weights), Iterations: sol.Iterations}, nil
+}
+
+// funcsOf converts a RateFunc slice to the optimizer's interface slice.
+func funcsOf(fs []*RateFunc) []Func {
+	out := make([]Func, len(fs))
+	for i, f := range fs {
+		out[i] = f
+	}
+	return out
+}

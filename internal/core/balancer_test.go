@@ -1,0 +1,327 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestNewBalancerValidation(t *testing.T) {
+	if _, err := NewBalancer(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := NewBalancer(Config{Connections: 3, MinWeight: []int{1}}); err == nil {
+		t.Fatal("wrong MinWeight length accepted")
+	}
+	if _, err := NewBalancer(Config{Connections: 3, MaxWeight: []int{1}}); err == nil {
+		t.Fatal("wrong MaxWeight length accepted")
+	}
+}
+
+func TestEvenWeights(t *testing.T) {
+	tests := []struct {
+		n, units int
+		want     []int
+	}{
+		{1, 1000, []int{1000}},
+		{3, 1000, []int{334, 333, 333}},
+		{4, 10, []int{3, 3, 2, 2}},
+		{0, 10, []int{}},
+	}
+	for _, tt := range tests {
+		got := EvenWeights(tt.n, tt.units)
+		if len(got) != len(tt.want) {
+			t.Fatalf("EvenWeights(%d,%d) = %v, want %v", tt.n, tt.units, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("EvenWeights(%d,%d) = %v, want %v", tt.n, tt.units, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestBalancerInitialWeightsEven(t *testing.T) {
+	b, err := NewBalancer(Config{Connections: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.Weights()
+	sum := 0
+	for _, x := range w {
+		sum += x
+	}
+	if sum != DefaultUnits {
+		t.Fatalf("initial weights %v sum to %d, want %d", w, sum, DefaultUnits)
+	}
+	if w[0]-w[2] > 1 {
+		t.Fatalf("initial weights %v not even", w)
+	}
+}
+
+// driveBalancer feeds synthetic observations derived from true per-connection
+// capacities: a connection given weight w blocks at rate k*(w - cap) when w
+// exceeds its capacity (in units), else 0. This is the idealized knee-shaped
+// function of Figure 7.
+func driveBalancer(t *testing.T, b *Balancer, caps []int, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		w := b.Weights()
+		for j := range caps {
+			rate := 0.0
+			if over := w[j] - caps[j]; over > 0 {
+				rate = float64(over) * 3
+			}
+			if err := b.Observe(j, rate); err != nil {
+				t.Fatalf("round %d observe %d: %v", r, j, err)
+			}
+		}
+		if _, err := b.Rebalance(); err != nil {
+			t.Fatalf("round %d rebalance: %v", r, err)
+		}
+	}
+}
+
+func TestBalancerDetectsImbalance(t *testing.T) {
+	// Connection 0 can only absorb 5% of the load; the others are roomy.
+	b, err := NewBalancer(Config{Connections: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveBalancer(t, b, []int{50, 600, 600}, 30)
+	w := b.Weights()
+	if w[0] > 100 {
+		t.Fatalf("weights = %v, want connection 0 throttled to near its capacity 50", w)
+	}
+	if w[1] < 300 || w[2] < 300 {
+		t.Fatalf("weights = %v, want load shifted to connections 1 and 2", w)
+	}
+}
+
+func TestBalancerEqualCapacityStaysEven(t *testing.T) {
+	b, err := NewBalancer(Config{Connections: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveBalancer(t, b, []int{300, 300, 300, 300}, 40)
+	for j, w := range b.Weights() {
+		if w < 150 || w > 350 {
+			t.Fatalf("weights = %v: connection %d drifted far from even", b.Weights(), j)
+		}
+	}
+}
+
+func TestBalancerAdaptsAfterLoadRemoval(t *testing.T) {
+	// LB-adaptive: after connection 0's capacity recovers, decay must let
+	// its weight climb back; LB-static must not.
+	run := func(decay bool) int {
+		b, err := NewBalancer(Config{Connections: 2, DecayEnabled: decay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveBalancer(t, b, []int{30, 900}, 40)   // loaded phase
+		driveBalancer(t, b, []int{900, 900}, 200) // load removed
+		return b.Weights()[0]
+	}
+	adaptive := run(true)
+	static := run(false)
+	if adaptive <= static {
+		t.Fatalf("adaptive weight %d <= static weight %d after load removal", adaptive, static)
+	}
+	if adaptive < 200 {
+		t.Fatalf("adaptive weight %d, want substantial recovery toward even", adaptive)
+	}
+}
+
+func TestBalancerMaxStepLimitsMovement(t *testing.T) {
+	b, err := NewBalancer(Config{Connections: 2, MaxStep: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.Weights()
+	// Extreme observation: connection 0 blocks hard at its current weight.
+	if err := b.Observe(0, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Observe(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := b.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range after {
+		diff := after[j] - before[j]
+		if diff < -50 || diff > 50 {
+			t.Fatalf("weights moved %v -> %v: connection %d moved %d, limit 50", before, after, j, diff)
+		}
+	}
+}
+
+func TestBalancerStaticBoundsRespected(t *testing.T) {
+	b, err := NewBalancer(Config{
+		Connections: 2,
+		MinWeight:   []int{100, 0},
+		MaxWeight:   []int{1000, 800},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		if err := b.Observe(0, 500); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Observe(1, 0); err != nil {
+			t.Fatal(err)
+		}
+		w, err := b.Rebalance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w[0] < 100 || w[1] > 800 {
+			t.Fatalf("round %d: weights %v violate static bounds", r, w)
+		}
+	}
+}
+
+func TestBalancerObserveValidation(t *testing.T) {
+	b, err := NewBalancer(Config{Connections: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Observe(-1, 0); err == nil {
+		t.Fatal("negative connection accepted")
+	}
+	if err := b.Observe(2, 0); err == nil {
+		t.Fatal("out-of-range connection accepted")
+	}
+	if err := b.ObserveAt(5, 10, 0); err == nil {
+		t.Fatal("out-of-range connection accepted by ObserveAt")
+	}
+}
+
+func TestBalancerClusteredSolve(t *testing.T) {
+	// 32 connections in two capacity classes; clustering must discover two
+	// groups and starve the slow class.
+	n := 32
+	b, err := NewBalancer(Config{
+		Connections:     n,
+		ClusterEnabled:  true,
+		ClusterMinConns: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]int, n)
+	for j := 0; j < n; j++ {
+		if j < n/2 {
+			caps[j] = 5 // heavily loaded class
+		} else {
+			caps[j] = 120 // unloaded class: 16*120 > 1000, plenty of room
+		}
+	}
+	driveBalancer(t, b, caps, 40)
+
+	clusters := b.LastClusters()
+	if clusters == nil {
+		t.Fatal("clustering enabled but LastClusters is nil")
+	}
+	// No cluster may mix the two classes once the functions are learned.
+	for _, c := range clusters {
+		slow := c[0] < n/2
+		for _, m := range c[1:] {
+			if (m < n/2) != slow {
+				t.Fatalf("cluster %v mixes capacity classes", c)
+			}
+		}
+	}
+	var slowTotal, fastTotal int
+	for j, w := range b.Weights() {
+		if j < n/2 {
+			slowTotal += w
+		} else {
+			fastTotal += w
+		}
+	}
+	if slowTotal >= fastTotal {
+		t.Fatalf("slow class holds %d units vs fast %d, want fast to dominate", slowTotal, fastTotal)
+	}
+}
+
+func TestBalancerClusteringDisabledBelowMin(t *testing.T) {
+	b, err := NewBalancer(Config{
+		Connections:     4,
+		ClusterEnabled:  true,
+		ClusterMinConns: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveBalancer(t, b, []int{300, 300, 300, 300}, 3)
+	if b.LastClusters() != nil {
+		t.Fatal("clustering ran below ClusterMinConns")
+	}
+}
+
+func TestBalancerWeightsAlwaysSumToUnits(t *testing.T) {
+	configs := []Config{
+		{Connections: 2},
+		{Connections: 3, DecayEnabled: true},
+		{Connections: 7, MaxStep: 20},
+		{Connections: 33, ClusterEnabled: true, ClusterMinConns: 8},
+	}
+	for _, cfg := range configs {
+		b, err := NewBalancer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := make([]int, cfg.Connections)
+		for j := range caps {
+			caps[j] = 30 * (j + 1)
+		}
+		for r := 0; r < 15; r++ {
+			w := b.Weights()
+			for j := range caps {
+				rate := 0.0
+				if over := w[j] - caps[j]; over > 0 {
+					rate = float64(over)
+				}
+				if err := b.Observe(j, rate); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := b.Rebalance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0
+			for _, x := range got {
+				sum += x
+			}
+			if sum != b.Units() {
+				t.Fatalf("cfg %+v round %d: weights sum %d != %d", cfg, r, sum, b.Units())
+			}
+		}
+	}
+}
+
+func TestBalancerSolverOverride(t *testing.T) {
+	calls := 0
+	b, err := NewBalancer(Config{
+		Connections: 2,
+		Solve: func(p Problem) (Solution, error) {
+			calls++
+			return SolveFox(p)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("custom solver called %d times, want 1", calls)
+	}
+	if b.Rounds() != 1 {
+		t.Fatalf("Rounds = %d, want 1", b.Rounds())
+	}
+}

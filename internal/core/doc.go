@@ -1,0 +1,15 @@
+// Package core implements the paper's load-balancing model for ordered
+// data-parallel regions: per-connection blocking-rate functions built from
+// sparse, noisy samples of the TCP blocking rate (Section 5.1), a minimax
+// separable resource-allocation optimizer that chooses allocation weights
+// minimizing the largest predicted blocking rate (Section 5.2), agglomerative
+// clustering of similar connections for data efficiency at high fan-out
+// (Section 5.3), and the geometric decay mechanism that encourages
+// re-exploration in dynamic environments (Section 5.4).
+//
+// The model is deliberately decoupled from any transport or runtime: callers
+// feed (connection, blocking-rate) observations — however obtained — and read
+// back discrete allocation weights in units of 0.1% that sum to exactly
+// Units. Both the real TCP runtime (internal/runtime) and the discrete-event
+// cluster simulator (internal/sim) drive the same Balancer.
+package core

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+
+	"streambalance/internal/core"
+)
+
+// ExampleBalancer shows the full feedback loop: observe blocking rates,
+// rebalance, read weights. Connection 0 blocks badly at its current share;
+// the others are comfortable, so the optimizer shifts its load away.
+func ExampleBalancer() {
+	balancer, err := core.NewBalancer(core.Config{
+		Connections:  3,
+		DecayEnabled: true, // LB-adaptive
+	})
+	if err != nil {
+		panic(err)
+	}
+	for round := 0; round < 10; round++ {
+		weights := balancer.Weights()
+		// Synthetic measurements: connection 0 saturates at 10% of the
+		// stream and blocks in proportion to the excess.
+		if over := weights[0] - 100; over > 0 {
+			if err := balancer.Observe(0, float64(over)/1000); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := balancer.Rebalance(); err != nil {
+			panic(err)
+		}
+	}
+	final := balancer.Weights()
+	fmt.Println("connection 0 throttled:", final[0] <= 150)
+	fmt.Println("total units:", final[0]+final[1]+final[2])
+	// Output:
+	// connection 0 throttled: true
+	// total units: 1000
+}
+
+// ExampleSolveFox solves a small minimax allocation directly: connection 0
+// starts blocking past 3 units, connection 1 never blocks, so almost all
+// units flow to connection 1.
+func ExampleSolveFox() {
+	f0 := core.NewRateFunc(10, 1)
+	_ = f0.Observe(3, 0)
+	_ = f0.Observe(6, 9)
+	f1 := core.NewRateFunc(10, 1)
+	_ = f1.Observe(10, 0)
+
+	sol, err := core.SolveFox(core.Problem{
+		Funcs: []core.Func{f0, f1},
+		Total: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("weights:", sol.Weights)
+	fmt.Println("objective:", sol.Objective)
+	// Output:
+	// weights: [3 7]
+	// objective: 0
+}
+
+// ExampleMonotoneRegression forces noisy empirical data into the
+// non-decreasing shape the model requires.
+func ExampleMonotoneRegression() {
+	fit := core.MonotoneRegression([]float64{1, 3, 2, 5}, nil)
+	fmt.Println(fit)
+	// Output:
+	// [1 2.5 2.5 5]
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMonotoneRegression feeds arbitrary observation vectors to PAVA: the
+// fit must always be non-decreasing, never panic, and preserve length.
+func FuzzMonotoneRegression(f *testing.F) {
+	f.Add([]byte{1, 5, 3, 2})
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 255, 0, 128})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ys := make([]float64, len(raw))
+		ws := make([]float64, len(raw))
+		for i, b := range raw {
+			ys[i] = float64(b) - 100
+			ws[i] = float64(b%7) + 0.5
+		}
+		fit := MonotoneRegression(ys, ws)
+		if len(fit) != len(ys) {
+			t.Fatalf("fit length %d, want %d", len(fit), len(ys))
+		}
+		if !IsNonDecreasing(fit) {
+			t.Fatalf("fit %v not monotone for %v", fit, ys)
+		}
+	})
+}
+
+// FuzzRateFunc drives a rate function with an arbitrary observation script:
+// predictions must stay non-negative and monotone throughout.
+func FuzzRateFunc(f *testing.F) {
+	f.Add([]byte{10, 200, 3, 0, 90, 255})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		fn := NewRateFunc(100, 0.5)
+		for i := 0; i+1 < len(script); i += 2 {
+			w := int(script[i]) % 101
+			r := float64(script[i+1])
+			switch script[i] % 3 {
+			case 0:
+				if err := fn.Observe(w, r); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if err := fn.ObserveWeighted(w, r, float64(script[i+1]%10)/10); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				fn.Decay(w, 0.9)
+			}
+		}
+		prev := math.Inf(-1)
+		for w := 0; w <= 100; w++ {
+			v := fn.Predict(w)
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("Predict(%d) = %v", w, v)
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("prediction not monotone at %d: %v < %v", w, v, prev)
+			}
+			if v > prev {
+				prev = v
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package core
+
+// monotone.go implements monotone (isotonic) regression via the classic
+// pool-adjacent-violators algorithm (PAVA). The paper forces the raw
+// blocking-rate data points into non-decreasing order by "monotone
+// regression" (Section 5.1) before interpolating; PAVA computes the unique
+// non-decreasing sequence minimizing the weighted sum of squared deviations
+// from the observations.
+
+// pavaBlock is one pooled block during PAVA: a run of adjacent observations
+// constrained to share a single fitted value.
+type pavaBlock struct {
+	value  float64 // weighted mean of pooled observations
+	weight float64 // total observation weight in the block
+	count  int     // number of observations pooled
+}
+
+// MonotoneRegression returns the non-decreasing fit to ys that minimizes
+// sum_i ws[i]*(fit[i]-ys[i])^2. ws may be nil, in which case all observations
+// have weight 1; otherwise it must have the same length as ys and contain
+// positive weights (non-positive weights are treated as 1). The input slices
+// are not modified. An empty input yields an empty (non-nil is not
+// guaranteed) result.
+func MonotoneRegression(ys, ws []float64) []float64 {
+	if len(ys) == 0 {
+		return nil
+	}
+	blocks := make([]pavaBlock, 0, len(ys))
+	for i, y := range ys {
+		w := 1.0
+		if ws != nil && i < len(ws) && ws[i] > 0 {
+			w = ws[i]
+		}
+		blocks = append(blocks, pavaBlock{value: y, weight: w, count: 1})
+		// Pool backwards while the monotonicity constraint is violated.
+		for len(blocks) >= 2 && blocks[len(blocks)-2].value > blocks[len(blocks)-1].value {
+			last := blocks[len(blocks)-1]
+			prev := blocks[len(blocks)-2]
+			merged := pavaBlock{
+				weight: prev.weight + last.weight,
+				count:  prev.count + last.count,
+			}
+			merged.value = (prev.value*prev.weight + last.value*last.weight) / merged.weight
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, merged)
+		}
+	}
+	fit := make([]float64, 0, len(ys))
+	for _, b := range blocks {
+		for i := 0; i < b.count; i++ {
+			fit = append(fit, b.value)
+		}
+	}
+	return fit
+}
+
+// IsNonDecreasing reports whether xs is sorted in non-decreasing order.
+func IsNonDecreasing(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonotoneRegressionTable(t *testing.T) {
+	tests := []struct {
+		name string
+		ys   []float64
+		ws   []float64
+		want []float64
+	}{
+		{
+			name: "empty",
+			ys:   nil,
+			want: nil,
+		},
+		{
+			name: "single",
+			ys:   []float64{3},
+			want: []float64{3},
+		},
+		{
+			name: "already monotone",
+			ys:   []float64{1, 2, 3, 4},
+			want: []float64{1, 2, 3, 4},
+		},
+		{
+			name: "single violation pools pair",
+			ys:   []float64{1, 3, 2, 4},
+			want: []float64{1, 2.5, 2.5, 4},
+		},
+		{
+			name: "strictly decreasing pools all",
+			ys:   []float64{4, 3, 2, 1},
+			want: []float64{2.5, 2.5, 2.5, 2.5},
+		},
+		{
+			name: "weights shift pooled mean",
+			ys:   []float64{4, 0},
+			ws:   []float64{3, 1},
+			want: []float64{3, 3},
+		},
+		{
+			name: "cascading violation",
+			ys:   []float64{1, 5, 4, 3},
+			want: []float64{1, 4, 4, 4},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := MonotoneRegression(tt.ys, tt.ws)
+			if len(got) != len(tt.want) {
+				t.Fatalf("length = %d, want %d", len(got), len(tt.want))
+			}
+			for i := range got {
+				if math.Abs(got[i]-tt.want[i]) > 1e-12 {
+					t.Fatalf("fit = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+// bruteMonotoneSSE finds the minimum achievable weighted SSE over all
+// non-decreasing fits by dynamic programming over a discretized value grid.
+// Grid granularity is fine enough for the tolerance used in the property.
+func bruteMonotoneSSE(ys, ws []float64) float64 {
+	// Candidate fitted values: all "pool means" are weighted averages of
+	// contiguous ranges; enumerate those as the exact candidate set.
+	type state struct{ v, cost float64 }
+	var candidates []float64
+	for i := range ys {
+		sum, wsum := 0.0, 0.0
+		for j := i; j < len(ys); j++ {
+			sum += ys[j] * ws[j]
+			wsum += ws[j]
+			candidates = append(candidates, sum/wsum)
+		}
+	}
+	// DP: best[i][c] = min cost of fitting prefix i with last value
+	// candidates[c], requiring non-decreasing candidate sequence.
+	best := make([]state, 0, len(candidates))
+	for _, c := range candidates {
+		best = append(best, state{v: c, cost: ws[0] * (ys[0] - c) * (ys[0] - c)})
+	}
+	for i := 1; i < len(ys); i++ {
+		next := make([]state, len(candidates))
+		for ci, c := range candidates {
+			minPrev := math.Inf(1)
+			for _, s := range best {
+				if s.v <= c && s.cost < minPrev {
+					minPrev = s.cost
+				}
+			}
+			next[ci] = state{v: c, cost: minPrev + ws[i]*(ys[i]-c)*(ys[i]-c)}
+		}
+		best = next
+	}
+	out := math.Inf(1)
+	for _, s := range best {
+		if s.cost < out {
+			out = s.cost
+		}
+	}
+	return out
+}
+
+func TestMonotoneRegressionOptimality(t *testing.T) {
+	// PAVA must achieve the globally minimal weighted SSE among all
+	// non-decreasing fits. Cross-check against exhaustive DP on small
+	// random instances.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		ys := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range ys {
+			ys[i] = math.Round(rng.Float64()*10*4) / 4
+			ws[i] = float64(1 + rng.Intn(3))
+		}
+		fit := MonotoneRegression(ys, ws)
+		if !IsNonDecreasing(fit) {
+			t.Fatalf("trial %d: fit %v not monotone for ys=%v", trial, fit, ys)
+		}
+		got := 0.0
+		for i := range ys {
+			got += ws[i] * (ys[i] - fit[i]) * (ys[i] - fit[i])
+		}
+		want := bruteMonotoneSSE(ys, ws)
+		if got > want+1e-9 {
+			t.Fatalf("trial %d: PAVA SSE %.9f > optimal %.9f (ys=%v ws=%v fit=%v)",
+				trial, got, want, ys, ws, fit)
+		}
+	}
+}
+
+func TestMonotoneRegressionProperties(t *testing.T) {
+	sanitize := func(raw []float64) []float64 {
+		ys := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes sane so squared errors stay finite.
+			ys = append(ys, math.Mod(v, 1e6))
+		}
+		return ys
+	}
+
+	t.Run("output is non-decreasing", func(t *testing.T) {
+		prop := func(raw []float64) bool {
+			return IsNonDecreasing(MonotoneRegression(sanitize(raw), nil))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("idempotent", func(t *testing.T) {
+		prop := func(raw []float64) bool {
+			ys := sanitize(raw)
+			once := MonotoneRegression(ys, nil)
+			twice := MonotoneRegression(once, nil)
+			for i := range once {
+				if math.Abs(once[i]-twice[i]) > 1e-9*math.Max(1, math.Abs(once[i])) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("preserves weighted mean", func(t *testing.T) {
+		prop := func(raw []float64) bool {
+			ys := sanitize(raw)
+			if len(ys) == 0 {
+				return true
+			}
+			fit := MonotoneRegression(ys, nil)
+			var sumY, sumF float64
+			for i := range ys {
+				sumY += ys[i]
+				sumF += fit[i]
+			}
+			return math.Abs(sumY-sumF) <= 1e-6*math.Max(1, math.Abs(sumY))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("monotone input is a fixed point", func(t *testing.T) {
+		prop := func(raw []float64) bool {
+			ys := sanitize(raw)
+			// Sort to obtain a monotone input.
+			for i := 1; i < len(ys); i++ {
+				for j := i; j > 0 && ys[j] < ys[j-1]; j-- {
+					ys[j], ys[j-1] = ys[j-1], ys[j]
+				}
+			}
+			fit := MonotoneRegression(ys, nil)
+			for i := range ys {
+				if fit[i] != ys[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIsNonDecreasing(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want bool
+	}{
+		{"empty", nil, true},
+		{"single", []float64{1}, true},
+		{"flat", []float64{2, 2, 2}, true},
+		{"increasing", []float64{1, 2, 3}, true},
+		{"dip", []float64{1, 3, 2}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsNonDecreasing(tt.xs); got != tt.want {
+				t.Fatalf("IsNonDecreasing(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}

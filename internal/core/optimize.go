@@ -1,0 +1,189 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// optimize.go formulates and solves the minimax separable resource allocation
+// problem of Section 5.2: minimize max_j F_j(w_j) subject to sum_j w_j = R
+// and m_j <= w_j <= M_j, over discrete weights. SolveFox is the greedy
+// marginal-allocation algorithm attributed to Fox; SolveBisect is a
+// value-space binary search in the spirit of Galil–Megiddo; SolveBrute is an
+// exponential reference used only by tests.
+
+// Func is one separable term F_j of the objective, evaluated at a discrete
+// weight. Implementations must be monotone non-decreasing in the weight;
+// RateFunc enforces this by construction.
+type Func interface {
+	Eval(weight int) float64
+}
+
+// Problem is a minimax separable RAP instance.
+type Problem struct {
+	// Funcs holds one objective term per connection.
+	Funcs []Func
+	// Total is the number of resource units to allocate (R).
+	Total int
+	// Min and Max are optional per-connection bounds. A nil Min means all
+	// zeros; a nil Max means all Total. When present they must have the
+	// same length as Funcs.
+	Min []int
+	Max []int
+}
+
+// Solution is an optimal allocation.
+type Solution struct {
+	// Weights sums exactly to the problem's Total.
+	Weights []int
+	// Objective is max_j F_j(Weights[j]).
+	Objective float64
+	// Iterations counts solver-specific work units (greedy steps for Fox,
+	// feasibility probes for bisection) for benchmarking.
+	Iterations int
+}
+
+// ErrInfeasible is returned when the bound constraints admit no allocation
+// summing to Total.
+var ErrInfeasible = errors.New("core: bounds admit no allocation summing to total")
+
+// bounds materializes and validates the per-connection bounds.
+func (p *Problem) bounds() (mins, maxs []int, err error) {
+	n := len(p.Funcs)
+	if n == 0 {
+		return nil, nil, errors.New("core: problem has no functions")
+	}
+	if p.Total < 0 {
+		return nil, nil, fmt.Errorf("core: negative total %d", p.Total)
+	}
+	mins = make([]int, n)
+	maxs = make([]int, n)
+	for j := 0; j < n; j++ {
+		if p.Min != nil {
+			if len(p.Min) != n {
+				return nil, nil, fmt.Errorf("core: %d min bounds for %d functions", len(p.Min), n)
+			}
+			mins[j] = p.Min[j]
+		}
+		if p.Max != nil {
+			if len(p.Max) != n {
+				return nil, nil, fmt.Errorf("core: %d max bounds for %d functions", len(p.Max), n)
+			}
+			maxs[j] = p.Max[j]
+		} else {
+			maxs[j] = p.Total
+		}
+		if mins[j] < 0 {
+			mins[j] = 0
+		}
+		if maxs[j] > p.Total {
+			maxs[j] = p.Total
+		}
+		if mins[j] > maxs[j] {
+			return nil, nil, fmt.Errorf("core: connection %d has min %d > max %d: %w", j, mins[j], maxs[j], ErrInfeasible)
+		}
+	}
+	sumMin, sumMax := 0, 0
+	for j := 0; j < n; j++ {
+		sumMin += mins[j]
+		sumMax += maxs[j]
+	}
+	if sumMin > p.Total || sumMax < p.Total {
+		return nil, nil, fmt.Errorf("core: total %d outside [%d,%d]: %w", p.Total, sumMin, sumMax, ErrInfeasible)
+	}
+	return mins, maxs, nil
+}
+
+// foxItem is a heap entry: the marginal cost of giving connection j its next
+// resource unit.
+type foxItem struct {
+	conn   int
+	cost   float64 // F_j(w_j + 1)
+	weight int     // w_j + 1, the weight this unit would bring j to
+}
+
+// foxHeap is a min-heap on cost. Ties on cost are broken toward the
+// connection holding the fewest units ("water filling"), so that connections
+// with identical — in particular identically flat — functions converge to an
+// even split rather than the lowest index absorbing everything. Any
+// tie-breaking yields a minimax-optimal objective; this one also matches the
+// even-split steady state the paper reports for equal-capacity connections
+// (Section 6.2). The final tie on weight falls back to the index so the
+// solver stays deterministic.
+type foxHeap []foxItem
+
+func (h foxHeap) Len() int { return len(h) }
+func (h foxHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].conn < h[j].conn
+}
+func (h foxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *foxHeap) Push(x any)   { *h = append(*h, x.(foxItem)) }
+func (h *foxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// SolveFox solves the problem exactly with Fox's greedy marginal-allocation
+// scheme (Section 5.2): start every connection at its minimum, then
+// repeatedly award one unit to the connection whose next unit has the
+// smallest objective value, until all units are placed. With the heap the
+// complexity is O(N + R log N). Because every F_j is monotone non-decreasing,
+// a standard interchange argument shows the result is minimax-optimal.
+func SolveFox(p Problem) (Solution, error) {
+	mins, maxs, err := p.bounds()
+	if err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Funcs)
+	weights := make([]int, n)
+	remaining := p.Total
+	for j := 0; j < n; j++ {
+		weights[j] = mins[j]
+		remaining -= mins[j]
+	}
+	h := make(foxHeap, 0, n)
+	for j := 0; j < n; j++ {
+		if weights[j] < maxs[j] {
+			h = append(h, foxItem{conn: j, cost: p.Funcs[j].Eval(weights[j] + 1), weight: weights[j] + 1})
+		}
+	}
+	heap.Init(&h)
+	iters := 0
+	for remaining > 0 {
+		if h.Len() == 0 {
+			// bounds() guarantees sum(max) >= Total, so this is a
+			// programming error rather than a user input error.
+			return Solution{}, errors.New("core: fox heap exhausted before total allocated")
+		}
+		item := heap.Pop(&h).(foxItem)
+		j := item.conn
+		weights[j]++
+		remaining--
+		iters++
+		if weights[j] < maxs[j] {
+			heap.Push(&h, foxItem{conn: j, cost: p.Funcs[j].Eval(weights[j] + 1), weight: weights[j] + 1})
+		}
+	}
+	return Solution{Weights: weights, Objective: objective(p.Funcs, weights), Iterations: iters}, nil
+}
+
+// objective evaluates max_j F_j(w_j).
+func objective(funcs []Func, weights []int) float64 {
+	var worst float64
+	for j, f := range funcs {
+		if v := f.Eval(weights[j]); j == 0 || v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SolveBisect solves the same minimax RAP as SolveFox by binary searching the
+// objective value, in the spirit of the Galil–Megiddo selection scheme cited
+// in Section 5.2. For a candidate objective λ, the largest feasible weight of
+// connection j is the largest w in [m_j, M_j] with F_j(w) <= λ (at least m_j,
+// since the minimum must be allocated regardless); λ is feasible iff those
+// weights sum to at least Total. The optimum is the smallest feasible λ among
+// the candidate values {F_j(w)}. Rather than Galil–Megiddo's nested parametric
+// search, candidates are materialized and sorted — O(NR log(NR)) — which is
+// exact and entirely adequate at R = 1000, and serves as an independent
+// cross-check on SolveFox.
+func SolveBisect(p Problem) (Solution, error) {
+	mins, maxs, err := p.bounds()
+	if err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Funcs)
+
+	// The objective can never be below max_j F_j(m_j): the minimum weights
+	// must be allocated no matter what.
+	floor := math.Inf(-1)
+	for j := 0; j < n; j++ {
+		if v := p.Funcs[j].Eval(mins[j]); v > floor {
+			floor = v
+		}
+	}
+
+	// Candidate objective values.
+	var candidates []float64
+	for j := 0; j < n; j++ {
+		for w := mins[j]; w <= maxs[j]; w++ {
+			if v := p.Funcs[j].Eval(w); v >= floor {
+				candidates = append(candidates, v)
+			}
+		}
+	}
+	candidates = append(candidates, floor)
+	sort.Float64s(candidates)
+	candidates = dedupFloats(candidates)
+
+	iters := 0
+	feasible := func(lambda float64) bool {
+		iters++
+		total := 0
+		for j := 0; j < n; j++ {
+			total += maxWeightUnder(p.Funcs[j], mins[j], maxs[j], lambda)
+			if total >= p.Total {
+				return true
+			}
+		}
+		return total >= p.Total
+	}
+
+	lo, hi := 0, len(candidates)-1
+	if !feasible(candidates[hi]) {
+		return Solution{}, errors.New("core: no candidate objective is feasible")
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(candidates[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	lambda := candidates[lo]
+
+	// Construct an allocation achieving λ: give each connection its largest
+	// weight with F <= λ, then shed surplus units (shedding never raises the
+	// objective because every F is monotone non-decreasing).
+	weights := make([]int, n)
+	total := 0
+	for j := 0; j < n; j++ {
+		weights[j] = maxWeightUnder(p.Funcs[j], mins[j], maxs[j], lambda)
+		total += weights[j]
+	}
+	for j := 0; j < n && total > p.Total; j++ {
+		shed := total - p.Total
+		if room := weights[j] - mins[j]; shed > room {
+			shed = room
+		}
+		weights[j] -= shed
+		total -= shed
+	}
+	if total != p.Total {
+		return Solution{}, errors.New("core: bisection failed to meet total after shedding")
+	}
+	return Solution{Weights: weights, Objective: objective(p.Funcs, weights), Iterations: iters}, nil
+}
+
+// maxWeightUnder returns the largest w in [minW, maxW] with f(w) <= lambda,
+// or minW when even f(minW) exceeds lambda (the minimum must be allocated
+// anyway). f is monotone non-decreasing, so binary search applies.
+func maxWeightUnder(f Func, minW, maxW int, lambda float64) int {
+	if f.Eval(maxW) <= lambda {
+		return maxW
+	}
+	if f.Eval(minW) > lambda {
+		return minW
+	}
+	lo, hi := minW, maxW // f(lo) <= lambda < f(hi)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if f.Eval(mid) <= lambda {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// dedupFloats removes adjacent duplicates from a sorted slice, in place.
+func dedupFloats(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SolveBrute finds the optimum by exhaustive enumeration. It exists purely as
+// a reference oracle for property-based tests; its cost is exponential in the
+// number of functions.
+func SolveBrute(p Problem) (Solution, error) {
+	mins, maxs, err := p.bounds()
+	if err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Funcs)
+	best := Solution{Objective: math.Inf(1)}
+	weights := make([]int, n)
+	iters := 0
+
+	var recurse func(j, remaining int)
+	recurse = func(j, remaining int) {
+		if j == n-1 {
+			if remaining < mins[j] || remaining > maxs[j] {
+				return
+			}
+			weights[j] = remaining
+			iters++
+			if obj := objective(p.Funcs, weights); obj < best.Objective {
+				best.Objective = obj
+				best.Weights = append([]int(nil), weights...)
+			}
+			return
+		}
+		// Remaining capacity of the tail bounds the search.
+		tailMin, tailMax := 0, 0
+		for k := j + 1; k < n; k++ {
+			tailMin += mins[k]
+			tailMax += maxs[k]
+		}
+		for w := mins[j]; w <= maxs[j]; w++ {
+			rest := remaining - w
+			if rest < tailMin || rest > tailMax {
+				continue
+			}
+			weights[j] = w
+			recurse(j+1, rest)
+		}
+	}
+	recurse(0, p.Total)
+	if best.Weights == nil {
+		return Solution{}, ErrInfeasible
+	}
+	best.Iterations = iters
+	return best, nil
+}

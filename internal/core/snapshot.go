@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// snapshot.go provides persistence for learned balancer state. A splitter
+// restart (PE relocation, crash recovery) would otherwise discard every
+// blocking-rate function and force the region through the whole exploration
+// transient again; snapshots capture the raw observed cells — the only
+// state the model cannot rebuild — in a JSON-serializable form.
+
+// CellSnapshot is one observed weight cell of a rate function.
+type CellSnapshot struct {
+	Weight int     `json:"weight"`
+	Value  float64 `json:"value"`
+	Count  float64 `json:"count"`
+}
+
+// FuncSnapshot is the serializable state of one RateFunc.
+type FuncSnapshot struct {
+	Units   int            `json:"units"`
+	Alpha   float64        `json:"alpha"`
+	MaxSeen float64        `json:"maxSeen"`
+	Cells   []CellSnapshot `json:"cells"`
+}
+
+// Snapshot captures the function's raw state. Cells are sorted by weight so
+// snapshots are deterministic.
+func (f *RateFunc) Snapshot() FuncSnapshot {
+	s := FuncSnapshot{
+		Units:   f.units,
+		Alpha:   f.alpha,
+		MaxSeen: f.maxSeen,
+		Cells:   make([]CellSnapshot, 0, len(f.raw)),
+	}
+	for w, cell := range f.raw {
+		s.Cells = append(s.Cells, CellSnapshot{Weight: w, Value: cell.value, Count: cell.count})
+	}
+	sort.Slice(s.Cells, func(i, j int) bool { return s.Cells[i].Weight < s.Cells[j].Weight })
+	return s
+}
+
+// RestoreFunc reconstructs a RateFunc from a snapshot.
+func RestoreFunc(s FuncSnapshot) (*RateFunc, error) {
+	f := NewRateFunc(s.Units, s.Alpha)
+	if s.MaxSeen < 0 {
+		return nil, fmt.Errorf("core: snapshot maxSeen %v negative", s.MaxSeen)
+	}
+	f.maxSeen = s.MaxSeen
+	for _, c := range s.Cells {
+		if c.Weight < 0 || c.Weight > f.units {
+			return nil, fmt.Errorf("core: snapshot cell weight %d outside [0,%d]", c.Weight, f.units)
+		}
+		if c.Count <= 0 || c.Value < 0 {
+			return nil, fmt.Errorf("core: snapshot cell %d has count %v value %v", c.Weight, c.Count, c.Value)
+		}
+		f.raw[c.Weight] = &rawCell{value: c.Value, count: c.Count}
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// BalancerSnapshot is the serializable state of a Balancer: the current
+// weights, iteration count and every connection's learned function.
+// Configuration (decay mode, clustering, bounds) is not part of the
+// snapshot — it belongs to the restarting process.
+type BalancerSnapshot struct {
+	Weights []int          `json:"weights"`
+	Rounds  int            `json:"rounds"`
+	Funcs   []FuncSnapshot `json:"funcs"`
+}
+
+// Snapshot captures the balancer's learned state.
+func (b *Balancer) Snapshot() BalancerSnapshot {
+	s := BalancerSnapshot{
+		Weights: b.Weights(),
+		Rounds:  b.rounds,
+		Funcs:   make([]FuncSnapshot, len(b.funcs)),
+	}
+	for j, f := range b.funcs {
+		s.Funcs[j] = f.Snapshot()
+	}
+	return s
+}
+
+// Restore replaces the balancer's learned state with the snapshot's. The
+// snapshot must describe the same number of connections and the same weight
+// domain; weights must be in range and sum to Units.
+func (b *Balancer) Restore(s BalancerSnapshot) error {
+	if len(s.Funcs) != b.cfg.Connections {
+		return fmt.Errorf("core: snapshot has %d functions, balancer has %d connections", len(s.Funcs), b.cfg.Connections)
+	}
+	if len(s.Weights) != b.cfg.Connections {
+		return fmt.Errorf("core: snapshot has %d weights, balancer has %d connections", len(s.Weights), b.cfg.Connections)
+	}
+	sum := 0
+	for j, w := range s.Weights {
+		if w < 0 || w > b.cfg.Units {
+			return fmt.Errorf("core: snapshot weight %d for connection %d outside [0,%d]", w, j, b.cfg.Units)
+		}
+		sum += w
+	}
+	if sum != b.cfg.Units {
+		return fmt.Errorf("core: snapshot weights sum to %d, want %d", sum, b.cfg.Units)
+	}
+	funcs := make([]*RateFunc, len(s.Funcs))
+	for j, fs := range s.Funcs {
+		if fs.Units != b.cfg.Units {
+			return fmt.Errorf("core: snapshot function %d has %d units, balancer uses %d", j, fs.Units, b.cfg.Units)
+		}
+		f, err := RestoreFunc(fs)
+		if err != nil {
+			return fmt.Errorf("core: restore function %d: %w", j, err)
+		}
+		funcs[j] = f
+	}
+	copy(b.weights, s.Weights)
+	b.funcs = funcs
+	b.rounds = s.Rounds
+	b.clusters = nil
+	return nil
+}

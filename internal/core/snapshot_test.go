@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncSnapshotRoundTrip(t *testing.T) {
+	f := NewRateFunc(500, 0.5)
+	mustObserve(t, f, 100, 0)
+	mustObserve(t, f, 300, 12)
+	mustObserve(t, f, 450, 40)
+	f.Decay(300, 0.9)
+
+	restored, err := RestoreFunc(f.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w <= 500; w += 25 {
+		if got, want := restored.Predict(w), f.Predict(w); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Predict(%d) = %v after restore, want %v", w, got, want)
+		}
+	}
+	if restored.SampleCount() != f.SampleCount() {
+		t.Fatalf("SampleCount = %v, want %v", restored.SampleCount(), f.SampleCount())
+	}
+}
+
+func TestFuncSnapshotJSON(t *testing.T) {
+	f := NewRateFunc(100, 1)
+	mustObserve(t, f, 60, 7)
+
+	data, err := json.Marshal(f.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap FuncSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreFunc(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Predict(60); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("Predict(60) = %v after JSON round trip, want 7", got)
+	}
+}
+
+func TestRestoreFuncValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		snap FuncSnapshot
+	}{
+		{"negative maxSeen", FuncSnapshot{Units: 100, Alpha: 0.5, MaxSeen: -1}},
+		{"cell weight out of range", FuncSnapshot{Units: 100, Alpha: 0.5, Cells: []CellSnapshot{{Weight: 200, Value: 1, Count: 1}}}},
+		{"non-positive count", FuncSnapshot{Units: 100, Alpha: 0.5, Cells: []CellSnapshot{{Weight: 10, Value: 1, Count: 0}}}},
+		{"negative value", FuncSnapshot{Units: 100, Alpha: 0.5, Cells: []CellSnapshot{{Weight: 10, Value: -1, Count: 1}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := RestoreFunc(tt.snap); err == nil {
+				t.Fatal("invalid snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestBalancerSnapshotRoundTrip(t *testing.T) {
+	b, err := NewBalancer(Config{Connections: 3, DecayEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveBalancer(t, b, []int{50, 600, 600}, 20)
+
+	snap := b.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded BalancerSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := NewBalancer(Config{Connections: 3, DecayEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fresh.Weights(), b.Weights(); !equalInts(got, want) {
+		t.Fatalf("weights after restore %v, want %v", got, want)
+	}
+	if fresh.Rounds() != b.Rounds() {
+		t.Fatalf("rounds = %d, want %d", fresh.Rounds(), b.Rounds())
+	}
+	// The restored balancer must continue from the learned state: one
+	// rebalance on both must produce identical weights.
+	w1, err := b.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := fresh.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(w1, w2) {
+		t.Fatalf("post-restore rebalance diverged: %v vs %v", w1, w2)
+	}
+}
+
+func TestBalancerRestoreValidation(t *testing.T) {
+	b, err := NewBalancer(Config{Connections: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := b.Snapshot()
+
+	tests := []struct {
+		name   string
+		mutate func(BalancerSnapshot) BalancerSnapshot
+	}{
+		{"wrong function count", func(s BalancerSnapshot) BalancerSnapshot {
+			s.Funcs = s.Funcs[:1]
+			return s
+		}},
+		{"wrong weight count", func(s BalancerSnapshot) BalancerSnapshot {
+			s.Weights = s.Weights[:1]
+			return s
+		}},
+		{"weights do not sum", func(s BalancerSnapshot) BalancerSnapshot {
+			s.Weights = []int{1, 1}
+			return s
+		}},
+		{"weight out of range", func(s BalancerSnapshot) BalancerSnapshot {
+			s.Weights = []int{-1, 1001}
+			return s
+		}},
+		{"wrong units", func(s BalancerSnapshot) BalancerSnapshot {
+			s.Funcs[0].Units = 77
+			return s
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			snap := tt.mutate(cloneSnapshot(good))
+			if err := b.Restore(snap); err == nil {
+				t.Fatal("invalid snapshot restored")
+			}
+		})
+	}
+}
+
+func TestSnapshotRestoreProperty(t *testing.T) {
+	// Any sequence of observations survives a snapshot/restore cycle with
+	// identical predictions.
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewRateFunc(200, 0.5)
+		for i := 0; i < int(n%30)+1; i++ {
+			if err := f.ObserveWeighted(rng.Intn(201), rng.Float64()*100, 0.1+rng.Float64()*0.9); err != nil {
+				return false
+			}
+		}
+		restored, err := RestoreFunc(f.Snapshot())
+		if err != nil {
+			return false
+		}
+		for w := 0; w <= 200; w += 10 {
+			if math.Abs(restored.Predict(w)-f.Predict(w)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneSnapshot(s BalancerSnapshot) BalancerSnapshot {
+	out := BalancerSnapshot{
+		Weights: append([]int(nil), s.Weights...),
+		Rounds:  s.Rounds,
+		Funcs:   make([]FuncSnapshot, len(s.Funcs)),
+	}
+	for i, f := range s.Funcs {
+		out.Funcs[i] = FuncSnapshot{
+			Units:   f.Units,
+			Alpha:   f.Alpha,
+			MaxSeen: f.MaxSeen,
+			Cells:   append([]CellSnapshot(nil), f.Cells...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package dataflow
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// intSource emits 0..n-1.
+func intSource(n uint64) SourceFunc {
+	return func(seq uint64) (any, bool) {
+		if seq >= n {
+			return nil, false
+		}
+		return int(seq), true
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Graph
+	}{
+		{"empty graph", func() *Graph { return NewGraph("g") }},
+		{"source feeds nothing", func() *Graph {
+			g := NewGraph("g")
+			g.Source("src", intSource(1))
+			return g
+		}},
+		{"operator feeds nothing", func() *Graph {
+			g := NewGraph("g")
+			g.Source("src", intSource(1)).Map("op", func(v any) any { return v })
+			return g
+		}},
+		{"nil source function", func() *Graph {
+			g := NewGraph("g")
+			g.Source("src", nil).Sink("out", func(any) {})
+			return g
+		}},
+		{"nil op function", func() *Graph {
+			g := NewGraph("g")
+			g.Source("src", intSource(1)).Map("op", nil).Sink("out", func(any) {})
+			return g
+		}},
+		{"nil sink function", func() *Graph {
+			g := NewGraph("g")
+			g.Source("src", intSource(1)).Sink("out", nil)
+			return g
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.build().Plan(PlanConfig{}); err == nil {
+				t.Fatal("invalid graph planned successfully")
+			}
+		})
+	}
+}
+
+func TestPlanFusesStatelessChain(t *testing.T) {
+	g := NewGraph("fuse")
+	g.Source("src", intSource(10)).
+		Map("a", func(v any) any { return v }).
+		Map("b", func(v any) any { return v }).
+		Map("c", func(v any) any { return v }).
+		Sink("out", func(any) {})
+
+	// Width 1: the chain fuses into a single PE.
+	p, err := g.Plan(PlanConfig{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := p.Roots[0].Downstream[0]
+	if pe.Kind != StagePE || len(pe.Ops) != 3 {
+		t.Fatalf("stage = kind %d with %d ops, want fused PE of 3", pe.Kind, len(pe.Ops))
+	}
+	if pe.Name != "a+b+c" {
+		t.Fatalf("fused name = %q, want a+b+c", pe.Name)
+	}
+	if len(p.Regions()) != 0 {
+		t.Fatal("width 1 must not create regions")
+	}
+
+	// Width 4: the same chain becomes one ordered region.
+	p, err = g.Plan(PlanConfig{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := p.Regions()
+	if len(regions) != 1 || regions[0].Width != 4 || len(regions[0].Ops) != 3 {
+		t.Fatalf("regions = %+v, want one 4-wide region of 3 ops", regions)
+	}
+	if !strings.Contains(p.String(), "region a+b+c x4") {
+		t.Fatalf("plan rendering missing region:\n%s", p.String())
+	}
+}
+
+func TestPlanStatefulBoundsRegions(t *testing.T) {
+	g := NewGraph("stateful")
+	g.Source("src", intSource(10)).
+		Map("pre", func(v any) any { return v }).
+		Map("agg", func(v any) any { return v }, Stateful()).
+		Map("post", func(v any) any { return v }).
+		Sink("out", func(any) {})
+
+	p, err := g.Plan(PlanConfig{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := p.Regions()
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2 (pre and post, split by the stateful op)", len(regions))
+	}
+	// The stateful op is its own single PE.
+	stage := p.Roots[0].Downstream[0].Downstream[0]
+	if stage.Kind != StagePE || stage.Name != "agg" {
+		t.Fatalf("middle stage = kind %d name %q, want PE agg", stage.Kind, stage.Name)
+	}
+}
+
+func TestPlanFanOutIsTaskParallel(t *testing.T) {
+	g := NewGraph("fanout")
+	src := g.Source("src", intSource(10))
+	branch := src.Map("shared", func(v any) any { return v })
+	branch.Map("left", func(v any) any { return v }).Sink("lsink", func(any) {})
+	branch.Map("right", func(v any) any { return v }).Sink("rsink", func(any) {})
+
+	p, err := g.Plan(PlanConfig{Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := p.Roots[0].Downstream[0]
+	if len(shared.Downstream) != 2 {
+		t.Fatalf("shared stage has %d downstream branches, want 2", len(shared.Downstream))
+	}
+	// The fan-out bounds the region: "shared" must not be fused with
+	// "left" or "right".
+	if len(shared.Ops) != 1 || shared.Ops[0].name != "shared" {
+		t.Fatalf("shared stage ops = %v, want just the shared op", shared.Name)
+	}
+}
+
+func TestExecutePipelineOrderAndResults(t *testing.T) {
+	const n = 5000
+	var mu sync.Mutex
+	var got []int
+	g := NewGraph("pipeline")
+	g.Source("src", intSource(n)).
+		Map("double", func(v any) any { return v.(int) * 2 }).
+		Map("inc", func(v any) any { return v.(int) + 1 }).
+		Sink("out", func(v any) {
+			mu.Lock()
+			got = append(got, v.(int))
+			mu.Unlock()
+		})
+	p, err := g.Plan(PlanConfig{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(p, ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Sinks["out"]
+	if st.Count != n || !st.Ordered {
+		t.Fatalf("sink stats = %+v, want %d ordered tuples", st, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i*2+1 {
+			t.Fatalf("value %d = %d, want %d (order or computation broken)", i, v, i*2+1)
+		}
+	}
+	if len(res.Regions) != 1 {
+		t.Fatalf("got %d region stats, want 1", len(res.Regions))
+	}
+	region := res.Regions[0]
+	sum := 0
+	var procSum uint64
+	for _, w := range region.FinalWeights {
+		sum += w
+	}
+	for _, c := range region.Processed {
+		procSum += c
+	}
+	if sum != 1000 {
+		t.Fatalf("region weights %v sum to %d, want 1000", region.FinalWeights, sum)
+	}
+	if procSum != n {
+		t.Fatalf("replicas processed %d tuples, want %d", procSum, n)
+	}
+}
+
+func TestExecuteTaskParallelBranches(t *testing.T) {
+	const n = 2000
+	var leftCount, rightCount uint64
+	var mu sync.Mutex
+	g := NewGraph("branches")
+	src := g.Source("src", intSource(n))
+	src.Map("left", func(v any) any { return v }).Sink("lsink", func(any) {
+		mu.Lock()
+		leftCount++
+		mu.Unlock()
+	})
+	src.Map("right", func(v any) any { return v }).Sink("rsink", func(any) {
+		mu.Lock()
+		rightCount++
+		mu.Unlock()
+	})
+	p, err := g.Plan(PlanConfig{Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(p, ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leftCount != n || rightCount != n {
+		t.Fatalf("branch counts = %d/%d, want %d each (task parallelism duplicates tuples)", leftCount, rightCount, n)
+	}
+	for _, name := range []string{"lsink", "rsink"} {
+		if st := res.Sinks[name]; !st.Ordered {
+			t.Fatalf("sink %s saw out-of-order tuples", name)
+		}
+	}
+}
+
+func TestExecuteStatefulOperatorSeesOrder(t *testing.T) {
+	// A stateful running-sum after a wide region: sequential semantics mean
+	// the sum must be exactly the sum over the ordered prefix.
+	const n = 3000
+	sum := 0
+	var finalSums []int
+	g := NewGraph("stateful-order")
+	g.Source("src", intSource(n)).
+		Map("spin", func(v any) any { return v }).
+		Map("runsum", func(v any) any {
+			sum += v.(int)
+			return sum
+		}, Stateful()).
+		Sink("out", func(v any) { finalSums = append(finalSums, v.(int)) })
+	p, err := g.Plan(PlanConfig{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(p, ExecConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		want += i
+		if finalSums[i] != want {
+			t.Fatalf("running sum at %d = %d, want %d: region broke sequential semantics", i, finalSums[i], want)
+		}
+	}
+}
+
+func TestExecuteBalancedRegionStaysSane(t *testing.T) {
+	// Identical replicas with real work: the balancer must keep weights
+	// valid and roughly even, and every tuple must flow.
+	const n = 20_000
+	g := NewGraph("balanced")
+	g.Source("src", intSource(n)).
+		Map("work", func(v any) any {
+			x := v.(int) | 3
+			acc := 1
+			for i := 0; i < 2000; i++ {
+				acc *= x
+			}
+			if acc == 0 { // defeat dead-code elimination; never true for odd x
+				return 0
+			}
+			return v
+		}).
+		Sink("out", func(any) {})
+	p, err := g.Plan(PlanConfig{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(p, ExecConfig{SampleInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := res.Sinks["out"]; st.Count != n || !st.Ordered {
+		t.Fatalf("sink = %+v, want %d ordered", st, n)
+	}
+	region := res.Regions[0]
+	for r, w := range region.FinalWeights {
+		if w < 0 || w > 1000 {
+			t.Fatalf("replica %d weight %d out of range", r, w)
+		}
+	}
+}
+
+func TestExecuteEmptyPlan(t *testing.T) {
+	if _, err := Execute(nil, ExecConfig{}); err == nil {
+		t.Fatal("nil plan executed")
+	}
+}
+
+func TestExecuteWithoutBalancing(t *testing.T) {
+	const n = 1000
+	g := NewGraph("unbalanced")
+	g.Source("src", intSource(n)).
+		Map("id", func(v any) any { return v }).
+		Sink("out", func(any) {})
+	p, err := g.Plan(PlanConfig{Width: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(p, ExecConfig{DisableBalancing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := res.Sinks["out"]; st.Count != n || !st.Ordered {
+		t.Fatalf("sink = %+v, want %d ordered", st, n)
+	}
+	// Without balancing the weights stay at the even initial split.
+	region := res.Regions[0]
+	for _, w := range region.FinalWeights {
+		if w < 300 || w > 400 {
+			t.Fatalf("weights %v moved without balancing", region.FinalWeights)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package dataflow provides the programming model of Section 2: applications
+// are graphs of operators connected by streams of tuples, exposing pipeline,
+// task and data parallelism. It is the SPL-like layer above the balancing
+// machinery — developers describe *what* to compute; the planner decides
+// which operators fuse into PEs and where ordered data-parallel regions can
+// be introduced; the executor runs the plan with one goroutine per PE
+// connected by bounded channels.
+//
+// Parallel regions are discovered automatically, exactly as the paper's
+// research prototype does: a maximal chain of stateless operators is
+// replicated Width ways behind a splitter and in front of an in-order merger
+// that restores sequential semantics. The splitter measures per-replica
+// blocking time — the time spent waiting on each replica's full input
+// channel, the in-process analogue of a full TCP socket buffer — and drives
+// a core.Balancer, so the same model that balances TCP connections balances
+// goroutine replicas.
+//
+// The package is a third substrate for the balancer, next to internal/sim
+// (virtual-time cluster) and internal/runtime (real TCP): useful in its own
+// right for intra-process parallelism, and a demonstration that the model
+// depends only on blocking rates, not on any transport.
+package dataflow

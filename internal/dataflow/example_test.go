@@ -1,0 +1,48 @@
+package dataflow_test
+
+import (
+	"fmt"
+
+	"streambalance/internal/dataflow"
+)
+
+// Example builds a pipeline with one stateless stage — which the planner
+// parallelizes into an ordered region — and a stateful stage that relies on
+// seeing tuples in order.
+func Example() {
+	g := dataflow.NewGraph("demo")
+	sum := 0
+	g.Source("numbers", func(seq uint64) (any, bool) {
+		if seq >= 1000 {
+			return nil, false
+		}
+		return int(seq), true
+	}).
+		Map("triple", func(v any) any { return v.(int) * 3 }).
+		Map("sum", func(v any) any {
+			sum += v.(int)
+			return sum
+		}, dataflow.Stateful()).
+		Sink("out", func(any) {})
+
+	plan, err := g.Plan(dataflow.PlanConfig{Width: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(plan.String())
+
+	res, err := dataflow.Execute(plan, dataflow.ExecConfig{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ordered:", res.Sinks["out"].Ordered)
+	fmt.Println("sum:", sum)
+	// Output:
+	// plan "demo"
+	//   source numbers
+	//     region triple x4 (ordered)
+	//       pe     sum
+	//         sink   out
+	// ordered: true
+	// sum: 1498500
+}

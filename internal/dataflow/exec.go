@@ -1,0 +1,202 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tuple is the unit flowing between stages at execution time.
+type Tuple struct {
+	Seq   uint64
+	Value any
+}
+
+// ExecConfig controls plan execution.
+type ExecConfig struct {
+	// ChannelDepth bounds every inter-stage channel (default 64). The
+	// bounded channels are the in-process analogue of TCP socket buffers:
+	// a full channel blocks the sender, and the region splitters time
+	// those waits to drive the balancer.
+	ChannelDepth int
+	// SampleInterval is the region controllers' collection interval
+	// (default 50ms — wall time, since execution is real).
+	SampleInterval time.Duration
+	// Balanced enables dynamic load balancing inside regions (default
+	// true when unset — set DisableBalancing to opt out).
+	DisableBalancing bool
+}
+
+func (c ExecConfig) withDefaults() ExecConfig {
+	if c.ChannelDepth <= 0 {
+		c.ChannelDepth = 64
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 50 * time.Millisecond
+	}
+	return c
+}
+
+// SinkStats reports one sink's view of the stream.
+type SinkStats struct {
+	// Count is the number of tuples consumed.
+	Count uint64
+	// Ordered reports whether tuples arrived in strictly increasing
+	// sequence order — the sequential-semantics guarantee.
+	Ordered bool
+}
+
+// RegionStats reports one data-parallel region's balancing outcome.
+type RegionStats struct {
+	Name          string
+	Width         int
+	FinalWeights  []int
+	TotalBlocking []time.Duration
+	Processed     []uint64 // tuples per replica
+}
+
+// Result summarizes one execution.
+type Result struct {
+	Sinks   map[string]SinkStats
+	Regions []RegionStats
+	Elapsed time.Duration
+}
+
+// Execute runs the plan to completion: every source is drained and every
+// tuple has reached its sinks when Execute returns.
+func Execute(p *Plan, cfg ExecConfig) (Result, error) {
+	if p == nil || len(p.Roots) == 0 {
+		return Result{}, errors.New("dataflow: empty plan")
+	}
+	cfg = cfg.withDefaults()
+	ex := &executor{
+		cfg:   cfg,
+		sinks: make(map[string]*sinkState),
+	}
+	start := time.Now()
+	for _, root := range p.Roots {
+		if root.Kind != StageSource {
+			return Result{}, fmt.Errorf("dataflow: root stage %q is not a source", root.Name)
+		}
+		out := ex.fanOut(root.Downstream)
+		ex.wg.Add(1)
+		go func(src *node, out []chan<- Tuple) {
+			defer ex.wg.Done()
+			defer closeAll(out)
+			for seq := uint64(0); ; seq++ {
+				v, ok := src.src(seq)
+				if !ok {
+					return
+				}
+				t := Tuple{Seq: seq, Value: v}
+				for _, ch := range out {
+					ch <- t
+				}
+			}
+		}(root.node, out)
+	}
+	ex.wg.Wait()
+
+	res := Result{
+		Sinks:   make(map[string]SinkStats, len(ex.sinks)),
+		Elapsed: time.Since(start),
+	}
+	for name, st := range ex.sinks {
+		res.Sinks[name] = SinkStats{Count: st.count, Ordered: st.ordered}
+	}
+	res.Regions = ex.regions
+	sort.Slice(res.Regions, func(i, j int) bool { return res.Regions[i].Name < res.Regions[j].Name })
+	if ex.err != nil {
+		return res, ex.err
+	}
+	return res, nil
+}
+
+// executor holds shared execution state.
+type executor struct {
+	cfg   ExecConfig
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	sinks map[string]*sinkState
+	// regions collects stats as region controllers finish.
+	regions []RegionStats
+	err     error
+}
+
+type sinkState struct {
+	count   uint64
+	ordered bool
+	lastSeq uint64
+}
+
+func (ex *executor) fail(err error) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ex.err == nil {
+		ex.err = err
+	}
+}
+
+// fanOut builds the input channel of every downstream stage and starts those
+// stages; it returns the channels the upstream writes to.
+func (ex *executor) fanOut(stages []*Stage) []chan<- Tuple {
+	out := make([]chan<- Tuple, len(stages))
+	for i, st := range stages {
+		ch := make(chan Tuple, ex.cfg.ChannelDepth)
+		out[i] = ch
+		ex.startStage(st, ch)
+	}
+	return out
+}
+
+// startStage launches the goroutines of one stage reading from in.
+func (ex *executor) startStage(st *Stage, in <-chan Tuple) {
+	switch st.Kind {
+	case StagePE:
+		downstream := ex.fanOut(st.Downstream)
+		ex.wg.Add(1)
+		go func() {
+			defer ex.wg.Done()
+			defer closeAll(downstream)
+			for t := range in {
+				for _, op := range st.Ops {
+					t.Value = op.fn(t.Value)
+				}
+				for _, ch := range downstream {
+					ch <- t
+				}
+			}
+		}()
+	case StageRegion:
+		downstream := ex.fanOut(st.Downstream)
+		ex.runRegion(st, in, downstream)
+	case StageSink:
+		state := &sinkState{ordered: true}
+		ex.mu.Lock()
+		ex.sinks[st.Name] = state
+		ex.mu.Unlock()
+		fn := st.node.sink
+		ex.wg.Add(1)
+		go func() {
+			defer ex.wg.Done()
+			for t := range in {
+				if state.count > 0 && t.Seq <= state.lastSeq {
+					state.ordered = false
+				}
+				state.lastSeq = t.Seq
+				state.count++
+				fn(t.Value)
+			}
+		}()
+	default:
+		ex.fail(fmt.Errorf("dataflow: cannot start stage kind %d", st.Kind))
+	}
+}
+
+func closeAll(chs []chan<- Tuple) {
+	for _, ch := range chs {
+		close(ch)
+	}
+}

@@ -1,0 +1,219 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/schedule"
+	"streambalance/internal/stats"
+)
+
+// runRegion executes an ordered data-parallel region: a splitter distributing
+// tuples over Width replicas of the fused stateless operators by weighted
+// round-robin, and a merger restoring sequence order downstream. The
+// splitter measures how long it blocks on each replica's full input channel
+// (the in-process analogue of a full TCP buffer) and a controller drives a
+// core.Balancer from those blocking rates.
+func (ex *executor) runRegion(st *Stage, in <-chan Tuple, downstream []chan<- Tuple) {
+	width := st.Width
+	depth := ex.cfg.ChannelDepth
+
+	replicaIn := make([]chan Tuple, width)
+	replicaOut := make([]chan Tuple, width)
+	for r := 0; r < width; r++ {
+		replicaIn[r] = make(chan Tuple, depth)
+		replicaOut[r] = make(chan Tuple, depth)
+	}
+	// orderCh carries, in splitter order, the replica that owns each tuple;
+	// its capacity exceeds the maximum possible in-flight tuple count so
+	// writing it never deadlocks against the merger.
+	orderCh := make(chan int, width*(2*depth+4))
+
+	// Cumulative blocking counters, nanoseconds, shared with the controller.
+	cumBlocking := make([]atomic.Int64, width)
+	totalBlocking := make([]atomic.Int64, width)
+	processed := make([]atomic.Uint64, width)
+
+	weightCh := make(chan []int, 1)
+	splitterDone := make(chan struct{})
+
+	// Replicas: stateless operators are pure functions, so running one copy
+	// per replica goroutine is safe by construction.
+	for r := 0; r < width; r++ {
+		ex.wg.Add(1)
+		go func(r int) {
+			defer ex.wg.Done()
+			defer close(replicaOut[r])
+			for t := range replicaIn[r] {
+				for _, op := range st.Ops {
+					t.Value = op.fn(t.Value)
+				}
+				processed[r].Add(1)
+				replicaOut[r] <- t
+			}
+		}(r)
+	}
+
+	// Splitter: the region's single thread of control.
+	ex.wg.Add(1)
+	go func() {
+		defer ex.wg.Done()
+		defer close(splitterDone)
+		defer func() {
+			close(orderCh)
+			for r := 0; r < width; r++ {
+				close(replicaIn[r])
+			}
+		}()
+		wrr, err := schedule.NewWRR(width)
+		if err != nil {
+			ex.fail(err)
+			return
+		}
+		if err := wrr.SetWeights(core.EvenWeights(width, core.DefaultUnits)); err != nil {
+			ex.fail(err)
+			return
+		}
+		for t := range in {
+			select {
+			case w := <-weightCh:
+				if err := wrr.SetWeights(w); err != nil {
+					ex.fail(fmt.Errorf("dataflow: region %s weights: %w", st.Name, err))
+					return
+				}
+			default:
+			}
+			r := wrr.Next()
+			orderCh <- r
+			select {
+			case replicaIn[r] <- t:
+			default:
+				// Would block: elect to block anyway and time the wait,
+				// as the transport layer does with MSG_DONTWAIT + select.
+				start := time.Now()
+				replicaIn[r] <- t
+				d := int64(time.Since(start))
+				cumBlocking[r].Add(d)
+				totalBlocking[r].Add(d)
+			}
+		}
+	}()
+
+	// Controller: samples blocking rates and rebalances, exactly like the
+	// simulator's policy, including the trust-weighted zeros.
+	balancer, err := core.NewBalancer(core.Config{
+		Connections:  width,
+		DecayEnabled: true,
+		DecayFactor:  decayPerInterval(ex.cfg.SampleInterval),
+	})
+	if err != nil {
+		ex.fail(err)
+		return
+	}
+	controllerDone := make(chan struct{})
+	if !ex.cfg.DisableBalancing {
+		ex.wg.Add(1)
+		go func() {
+			defer ex.wg.Done()
+			defer close(controllerDone)
+			ticker := time.NewTicker(ex.cfg.SampleInterval)
+			defer ticker.Stop()
+			samplers := make([]stats.RateSampler, width)
+			started := time.Now()
+			for {
+				select {
+				case <-splitterDone:
+					return
+				case <-ticker.C:
+				}
+				now := time.Since(started)
+				rates := make([]float64, width)
+				blockedFraction := 0.0
+				for r := 0; r < width; r++ {
+					value := time.Duration(cumBlocking[r].Load()).Seconds()
+					if rate, ok := samplers[r].Sample(now, value); ok {
+						rates[r] = rate
+						blockedFraction += rate
+					}
+				}
+				if blockedFraction > 1 {
+					blockedFraction = 1
+				}
+				for r, rate := range rates {
+					trust := 1.0
+					if rate <= 0 {
+						trust = 1 - blockedFraction
+						if trust < 0.01 {
+							continue
+						}
+					}
+					if err := balancer.ObserveWeighted(r, rate, trust); err != nil {
+						ex.fail(fmt.Errorf("dataflow: region %s observe: %w", st.Name, err))
+						return
+					}
+				}
+				weights, err := balancer.Rebalance()
+				if err != nil {
+					ex.fail(fmt.Errorf("dataflow: region %s rebalance: %w", st.Name, err))
+					return
+				}
+				select {
+				case <-weightCh:
+				default:
+				}
+				weightCh <- weights
+			}
+		}()
+	} else {
+		close(controllerDone)
+	}
+
+	// Merger: releases tuples in exactly the order the splitter accepted
+	// them. Because each replica preserves FIFO order, following the
+	// splitter's own replica sequence restores the global order without
+	// any scanning.
+	ex.wg.Add(1)
+	go func() {
+		defer ex.wg.Done()
+		defer closeAll(downstream)
+		for r := range orderCh {
+			t, ok := <-replicaOut[r]
+			if !ok {
+				ex.fail(fmt.Errorf("dataflow: region %s replica %d ended early", st.Name, r))
+				return
+			}
+			for _, ch := range downstream {
+				ch <- t
+			}
+		}
+		<-controllerDone
+		// Publish the region's stats.
+		regionStats := RegionStats{
+			Name:          st.Name,
+			Width:         width,
+			FinalWeights:  balancer.Weights(),
+			TotalBlocking: make([]time.Duration, width),
+			Processed:     make([]uint64, width),
+		}
+		for r := 0; r < width; r++ {
+			regionStats.TotalBlocking[r] = time.Duration(totalBlocking[r].Load())
+			regionStats.Processed[r] = processed[r].Load()
+		}
+		ex.mu.Lock()
+		ex.regions = append(ex.regions, regionStats)
+		ex.mu.Unlock()
+	}()
+}
+
+// decayPerInterval scales the paper's 10%-per-second decay to the controller
+// interval.
+func decayPerInterval(interval time.Duration) float64 {
+	secs := interval.Seconds()
+	if secs <= 0 || secs >= 1 {
+		return core.DefaultDecayFactor
+	}
+	return math.Pow(core.DefaultDecayFactor, secs)
+}

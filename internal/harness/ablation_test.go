@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAblationDecayRecoversOnlyWithDecay(t *testing.T) {
+	report, err := AblationDecay(160 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, ok := report.Lookup("no-decay (LB-static)")
+	if !ok {
+		t.Fatal("missing LB-static row")
+	}
+	paper, ok := report.Lookup("decay=0.90 (paper)")
+	if !ok {
+		t.Fatal("missing paper-decay row")
+	}
+	// Without decay the model never rediscovers the removed load; with the
+	// paper's decay the final throughput approaches the 3-PE optimum.
+	if paper.FinalThroughput < 1.2*static.FinalThroughput {
+		t.Fatalf("decay=0.9 final %.1f vs no-decay %.1f: exploration shows no benefit",
+			paper.FinalThroughput, static.FinalThroughput)
+	}
+	if !strings.Contains(report.String(), "decay=0.90") {
+		t.Fatal("rendering missing variants")
+	}
+}
+
+func TestAblationZeroTrustVariantsComplete(t *testing.T) {
+	report, err := AblationZeroTrust(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 3 {
+		t.Fatalf("got %d variants, want 3", len(report.Rows))
+	}
+	for _, row := range report.Rows {
+		if row.FinalThroughput <= 0 {
+			t.Fatalf("variant %q produced no throughput", row.Variant)
+		}
+	}
+}
+
+func TestAblationClustering(t *testing.T) {
+	report, err := AblationClustering(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, ok := report.Lookup("clustering on")
+	if !ok {
+		t.Fatal("missing clustering-on row")
+	}
+	off, ok := report.Lookup("clustering off")
+	if !ok {
+		t.Fatal("missing clustering-off row")
+	}
+	// Clustering must not be a regression at 32 PEs (the paper's argument
+	// is data efficiency; at minimum it must hold its own).
+	if on.ExecTime > off.ExecTime*3/2 {
+		t.Fatalf("clustering on %v much slower than off %v", on.ExecTime, off.ExecTime)
+	}
+}
+
+func TestAblationSolverAgreement(t *testing.T) {
+	rows, err := AblationSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Agree {
+			t.Fatalf("solvers disagree at %d connections", r.Connections)
+		}
+		if r.FoxIters <= 0 || r.BisectIters <= 0 {
+			t.Fatalf("missing work counts: %+v", r)
+		}
+	}
+	if !strings.Contains(RenderSolverRows(rows), "bisect probes") {
+		t.Fatal("solver rendering incomplete")
+	}
+}
+
+func TestExtBursty(t *testing.T) {
+	report, err := ExtBursty(160 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := make(map[string]Row)
+	for _, row := range report.Rows {
+		byPolicy[row.Policy] = row
+	}
+	lb := byPolicy["LB-adaptive"]
+	rr := byPolicy["RR"]
+	// RR is gated by the slow connection even during bursts; the balancer
+	// banks the bursts.
+	if lb.MeanThroughput < 2*rr.MeanThroughput {
+		t.Fatalf("LB-adaptive %.1f vs RR %.1f under bursts: no banking visible",
+			lb.MeanThroughput, rr.MeanThroughput)
+	}
+	if !strings.Contains(report.String(), "bursty source") {
+		t.Fatal("rendering missing header")
+	}
+}

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streambalance/internal/sim"
+)
+
+// bursty.go is an extension experiment beyond the paper's evaluation,
+// probing a claim the paper makes but does not measure: "Streaming systems
+// can also be bursty" (Section 5.4), which is part of why exploration must
+// be encouraged. The source alternates between a burst that oversubscribes
+// the region and a lull well under its capacity. During the lull nothing
+// blocks, so no new data arrives and the decay erodes the model; a good
+// balancer must neither unlearn the loaded connection's limits (the next
+// burst would hurt) nor need to relearn from scratch every cycle.
+
+// BurstyReport compares policies on the bursty-source scenario.
+type BurstyReport struct {
+	Rows []Row
+	// BurstPeriod and the rates document the source shape.
+	BurstPeriod time.Duration
+	BurstRate   float64
+	LullRate    float64
+}
+
+// String renders the comparison.
+func (r BurstyReport) String() string {
+	header := fmt.Sprintf("== Extension: bursty source (burst %0.f/s, lull %0.f/s, period %v) ==",
+		r.BurstRate, r.LullRate, r.BurstPeriod)
+	return renderRows(header, r.Rows)
+}
+
+// ExtBursty runs a 3-PE region (one PE at 10x) under a square-wave source
+// for the given duration, comparing the usual policies. Throughput is
+// limited by the source during lulls, so mean throughput measures how much
+// of each burst the policy banks.
+func ExtBursty(duration time.Duration) (BurstyReport, error) {
+	if duration <= 0 {
+		duration = 320 * time.Second
+	}
+	const (
+		burstRate = 4000 // tuples/s: far over the ~2100/s region capacity
+		lullRate  = 300  // tuples/s: under even the RR throughput
+		period    = 40 * time.Second
+	)
+	// Square-wave source: burst for period/2, lull for period/2.
+	var phases []sim.LoadPhase
+	for at := time.Duration(0); at < duration; at += period {
+		phases = append(phases,
+			sim.LoadPhase{From: at, Multiplier: burstRate},
+			sim.LoadPhase{From: at + period/2, Multiplier: lullRate},
+		)
+	}
+	source := sim.NewLoadSchedule(phases)
+
+	report := BurstyReport{BurstPeriod: period, BurstRate: burstRate, LullRate: lullRate}
+	hosts := HostsForPEs(3)
+	pes := PlaceAcrossHosts(3, hosts, func(j int) sim.LoadSchedule {
+		if j == 0 {
+			return sim.ConstantLoad(10)
+		}
+		return sim.LoadSchedule{}
+	})
+	sc := Scenario{Hosts: hosts, PEs: pes, BaseCost: 1000}
+	for _, kind := range []PolicyKind{PolicyOracle, PolicyLBStatic, PolicyLBAdaptive, PolicyRR} {
+		pol, finish, err := sc.buildPolicy(kind)
+		if err != nil {
+			return BurstyReport{}, err
+		}
+		s, err := sim.New(sim.Config{
+			Hosts:      sc.Hosts,
+			PEs:        sc.PEs,
+			BaseCost:   sc.BaseCost,
+			Duration:   duration,
+			Policy:     pol,
+			SourceRate: &source,
+		})
+		if err != nil {
+			return BurstyReport{}, err
+		}
+		m, err := s.Run()
+		if err != nil {
+			return BurstyReport{}, err
+		}
+		if err := finish(); err != nil {
+			return BurstyReport{}, err
+		}
+		report.Rows = append(report.Rows, Row{
+			Policy:          kind.String(),
+			ExecTime:        m.EndTime,
+			FinalThroughput: m.FinalThroughput,
+			MeanThroughput:  m.MeanThroughput,
+			LatencyP50:      m.LatencyP50,
+			LatencyP99:      m.LatencyP99,
+			FinalWeights:    m.FinalWeights,
+		})
+	}
+	return report, nil
+}
+
+// WriteCSV emits one row per policy.
+func (r BurstyReport) WriteCSV(w io.Writer) error {
+	sweep := SweepReport{Points: []SweepPoint{{PEs: 3, Rows: r.Rows}}}
+	return sweep.WriteCSV(w)
+}

@@ -1,0 +1,17 @@
+// Package harness builds and runs the paper's experiments (Section 6) on the
+// discrete-event simulator. Each figure of the evaluation has a
+// corresponding Fig* function that constructs the exact workload — hosts, PE
+// placement, tuple cost, external-load schedule — runs the policies the
+// paper compares (Oracle*, LB-static, LB-adaptive, RR, and the placement
+// variants of Figure 11), and returns a report that renders the same rows or
+// series the paper plots. cmd/sbench is the CLI front end; bench_test.go at
+// the module root exposes each figure as a testing.B benchmark.
+//
+// Quantities match the paper's conventions: total execution times are
+// normalized to the Oracle* run of the same configuration, and final
+// throughput is measured over the tail of the run, well after any load
+// change. Absolute numbers differ from the paper's (the substrate is a
+// simulator with a scaled virtual clock); the shapes — who wins, by what
+// factor, where the crossovers fall — are the reproduction target, and
+// EXPERIMENTS.md records them side by side.
+package harness

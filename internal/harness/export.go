@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// export.go writes every report type as CSV so the figures can be plotted
+// with external tooling; cmd/sbench's -csv flag drives it.
+
+// writeCSV is a small helper that flushes and surfaces the writer error.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("harness: write csv header: %w", err)
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return fmt.Errorf("harness: write csv rows: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}
+
+// WriteCSV emits one row per (fan-out, policy).
+func (r SweepReport) WriteCSV(w io.Writer) error {
+	header := []string{"pes", "policy", "exec_seconds", "normalized_exec", "final_tput", "mean_tput", "latency_p50_s", "latency_p99_s"}
+	var rows [][]string
+	for _, p := range r.Points {
+		for _, row := range p.Rows {
+			rows = append(rows, []string{
+				strconv.Itoa(p.PEs),
+				row.Policy,
+				ftoa(row.ExecTime.Seconds()),
+				ftoa(row.NormalizedExec),
+				ftoa(row.FinalThroughput),
+				ftoa(row.MeanThroughput),
+				ftoa(row.LatencyP50.Seconds()),
+				ftoa(row.LatencyP99.Seconds()),
+			})
+		}
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the in-depth series in long format: one row per
+// (kind, time, connection) with kind in {weight, rate, cluster}.
+func (r InDepthReport) WriteCSV(w io.Writer) error {
+	header := []string{"kind", "t_seconds", "conn", "value"}
+	var rows [][]string
+	for _, s := range r.Weights.All() {
+		for _, p := range s.Points() {
+			rows = append(rows, []string{"weight", ftoa(p.At.Seconds()), s.Name, ftoa(p.Value)})
+		}
+	}
+	for _, s := range r.Rates.All() {
+		for _, p := range s.Points() {
+			rows = append(rows, []string{"rate", ftoa(p.At.Seconds()), s.Name, ftoa(p.Value)})
+		}
+	}
+	for t, row := range r.Clusters {
+		for j, id := range row {
+			rows = append(rows, []string{"cluster", strconv.Itoa(t), fmt.Sprintf("conn%d", j), strconv.Itoa(id)})
+		}
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the cumulative counter and rate series.
+func (r Fig2Report) WriteCSV(w io.Writer) error {
+	header := []string{"t_seconds", "cumulative_s", "rate"}
+	var rows [][]string
+	ratePts := r.Rate.Points()
+	for i, p := range r.Cumulative.Points() {
+		rate := ""
+		if i < len(ratePts) {
+			rate = ftoa(ratePts[i].Value)
+		}
+		rows = append(rows, []string{ftoa(p.At.Seconds()), ftoa(p.Value), rate})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits one row per fixed split.
+func (r Fig5Report) WriteCSV(w io.Writer) error {
+	header := []string{"share_units", "mean_rate", "cov", "leader_share"}
+	var rows [][]string
+	for _, s := range r.Splits {
+		rows = append(rows, []string{
+			strconv.Itoa(s.Share), ftoa(s.MeanRate), ftoa(s.CoV), ftoa(s.LeaderShare),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits one row per (base cost, policy).
+func (r RerouteReport) WriteCSV(w io.Writer) error {
+	header := []string{"base_cost", "policy", "mean_tput", "rerouted_percent"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(row.BaseCost), row.Policy, ftoa(row.MeanThroughput), ftoa(row.ReroutedPercent),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits one row per ablation variant.
+func (r AblationReport) WriteCSV(w io.Writer) error {
+	header := []string{"variant", "exec_seconds", "final_tput", "mean_tput"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Variant, ftoa(row.ExecTime.Seconds()), ftoa(row.FinalThroughput), ftoa(row.MeanThroughput),
+		})
+	}
+	return writeCSV(w, header, rows)
+}

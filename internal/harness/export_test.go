@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"streambalance/internal/stats"
+)
+
+// parseCSV decodes and sanity-checks a CSV body.
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v", err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("csv has %d records, want header plus data", len(records))
+	}
+	width := len(records[0])
+	for i, rec := range records {
+		if len(rec) != width {
+			t.Fatalf("record %d has %d fields, want %d", i, len(rec), width)
+		}
+	}
+	return records
+}
+
+func TestSweepReportWriteCSV(t *testing.T) {
+	report := SweepReport{Points: []SweepPoint{
+		{PEs: 2, Rows: []Row{
+			{Policy: "Oracle*", ExecTime: time.Second, NormalizedExec: 1, FinalThroughput: 10, MeanThroughput: 9},
+			{Policy: "RR", ExecTime: 5 * time.Second, NormalizedExec: 5, FinalThroughput: 2, MeanThroughput: 2},
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 {
+		t.Fatalf("got %d records, want 3", len(records))
+	}
+	if records[2][1] != "RR" || records[2][2] != "5" {
+		t.Fatalf("RR row = %v", records[2])
+	}
+}
+
+func TestInDepthReportWriteCSV(t *testing.T) {
+	report := InDepthReport{
+		Weights:  stats.NewSeriesSet("w"),
+		Rates:    stats.NewSeriesSet("r"),
+		Clusters: [][]int{{0, 0, 1}},
+	}
+	report.Weights.Get("conn0").Record(time.Second, 500)
+	report.Rates.Get("conn0").Record(time.Second, 0.5)
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{"weight,1,conn0,500", "rate,1,conn0,0.5", "cluster,0,conn2,1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("csv missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestFig2ReportWriteCSV(t *testing.T) {
+	report := Fig2Report{
+		Cumulative: stats.NewSeries("c"),
+		Rate:       stats.NewSeries("r"),
+	}
+	report.Cumulative.Record(time.Second, 1)
+	report.Cumulative.Record(2*time.Second, 2)
+	report.Rate.Record(time.Second, 1)
+	report.Rate.Record(2*time.Second, 1)
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 {
+		t.Fatalf("got %d records, want 3", len(records))
+	}
+}
+
+func TestRerouteAndAblationWriteCSV(t *testing.T) {
+	reroute := RerouteReport{Rows: []RerouteRow{
+		{BaseCost: 1000, Policy: "RR", MeanThroughput: 20, ReroutedPercent: 0},
+	}}
+	var buf bytes.Buffer
+	if err := reroute.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf)
+
+	ablation := AblationReport{Rows: []AblationRow{
+		{Variant: "decay=0.90", ExecTime: time.Minute, FinalThroughput: 100, MeanThroughput: 90},
+	}}
+	buf.Reset()
+	if err := ablation.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if records[1][0] != "decay=0.90" {
+		t.Fatalf("variant cell = %q", records[1][0])
+	}
+}
+
+func TestFig5ReportWriteCSV(t *testing.T) {
+	report := Fig5Report{Splits: []Fig5Split{
+		{Share: 800, MeanRate: 0.98, CoV: 0.01, LeaderShare: 1},
+		{Share: 500, MeanRate: 0.97, CoV: 0.02, LeaderShare: 1},
+	}}
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 || records[1][0] != "800" {
+		t.Fatalf("unexpected records: %v", records)
+	}
+}

@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"streambalance/internal/sim"
+	"streambalance/internal/stats"
+)
+
+// Fig2Report reproduces Figure 2: the cumulative blocking time of one
+// connection over time (with the transport layer's periodic resets) and its
+// first derivative, the blocking rate.
+type Fig2Report struct {
+	Cumulative *stats.Series // seconds of accumulated blocking
+	Rate       *stats.Series // seconds blocked per second
+}
+
+// String renders both series.
+func (r Fig2Report) String() string {
+	var b strings.Builder
+	b.WriteString("== Figure 2: cumulative blocking time and blocking rate ==\n")
+	set := stats.NewSeriesSet("fig2")
+	for _, p := range r.Cumulative.Points() {
+		set.Get("cumulative(s)").Record(p.At, p.Value)
+	}
+	for _, p := range r.Rate.Points() {
+		set.Get("rate(s/s)").Record(p.At, p.Value)
+	}
+	b.WriteString(set.Table(2 * time.Second))
+	return b.String()
+}
+
+// Fig2Blocking runs a two-connection region where connection 0 is heavily
+// loaded and records its cumulative blocking counter, resetting it
+// periodically exactly as the data transport layer does.
+func Fig2Blocking(duration time.Duration) (Fig2Report, error) {
+	if duration <= 0 {
+		duration = 60 * time.Second
+	}
+	report := Fig2Report{
+		Cumulative: stats.NewSeries("cumulative"),
+		Rate:       stats.NewSeries("rate"),
+	}
+	resetEvery := 16 * time.Second
+	cumulative := 0.0
+	lastReset := time.Duration(0)
+	hosts := HostsForPEs(2)
+	pes := PlaceAcrossHosts(2, hosts, func(j int) sim.LoadSchedule {
+		if j == 0 {
+			return sim.ConstantLoad(10)
+		}
+		return sim.LoadSchedule{}
+	})
+	s, err := sim.New(sim.Config{
+		Hosts:    hosts,
+		PEs:      pes,
+		BaseCost: 1000,
+		Duration: duration,
+		Observer: func(sn sim.Snapshot) {
+			// Reconstruct the transport's cumulative counter from the
+			// sampled rates, applying the periodic reset.
+			if sn.Now-lastReset >= resetEvery {
+				cumulative = 0
+				lastReset = sn.Now
+			}
+			cumulative += sn.BlockingRates[0] * 1.0 // one-second intervals
+			report.Cumulative.Record(sn.Now, cumulative)
+			report.Rate.Record(sn.Now, sn.BlockingRates[0])
+		},
+	})
+	if err != nil {
+		return Fig2Report{}, err
+	}
+	if _, err := s.Run(); err != nil {
+		return Fig2Report{}, err
+	}
+	return report, nil
+}
+
+// Fig5Split is one fixed allocation split of the Figure 5 experiment.
+type Fig5Split struct {
+	// Share is connection 0's fixed allocation (units of 0.1%).
+	Share int
+	// MeanRate is connection 0's mean blocking rate over the run.
+	MeanRate float64
+	// CoV is the coefficient of variation of that rate — the paper's
+	// "stability (flatness)" of the blocking-rate signal.
+	CoV float64
+	// LeaderShare is the fraction of total blocking carried by the most-
+	// blocked connection (1.0 = perfect drafting).
+	LeaderShare float64
+	// Rates is connection 0's full blocking-rate series.
+	Rates *stats.Series
+}
+
+// Fig5Report reproduces Figure 5: per-connection blocking rates under fixed
+// 80/20, 70/30, 60/40 and 50/50 splits across two equal connections.
+type Fig5Report struct {
+	Splits []Fig5Split
+}
+
+// String renders the summary table.
+func (r Fig5Report) String() string {
+	var b strings.Builder
+	b.WriteString("== Figure 5: blocking rates for fixed allocation weights ==\n")
+	fmt.Fprintf(&b, "%8s %14s %10s %14s\n", "split", "mean rate", "CoV", "leader share")
+	for _, s := range r.Splits {
+		fmt.Fprintf(&b, "%3d/%-4d %14.4f %10.3f %14.2f\n",
+			s.Share/10, 100-s.Share/10, s.MeanRate, s.CoV, s.LeaderShare)
+	}
+	return b.String()
+}
+
+// Fig5FixedSplits runs the four fixed splits of Figure 5 on two
+// equal-capacity connections with 10,000-multiply tuples.
+func Fig5FixedSplits(duration time.Duration) (Fig5Report, error) {
+	if duration <= 0 {
+		duration = 120 * time.Second
+	}
+	var report Fig5Report
+	for _, share := range []int{800, 700, 600, 500} {
+		hosts := HostsForPEs(2)
+		sc := Scenario{
+			Hosts:    hosts,
+			PEs:      PlaceAcrossHosts(2, hosts, nil),
+			BaseCost: 10_000,
+			Duration: duration,
+		}
+		pol := sim.NewOracleSchedule([]sim.WeightPhase{
+			{From: 0, Weights: []int{share, 1000 - share}},
+		}, fmt.Sprintf("split-%d", share))
+		rates := stats.NewSeries(fmt.Sprintf("conn0@%d", share))
+		var welford stats.Welford
+		s, err := sim.New(sim.Config{
+			Hosts:    sc.Hosts,
+			PEs:      sc.PEs,
+			BaseCost: sc.BaseCost,
+			Duration: sc.Duration,
+			Policy:   pol,
+			// Disable counter resets so the rate series is clean for the
+			// stability measurement.
+			ResetInterval: -1,
+			Observer: func(sn sim.Snapshot) {
+				rates.Record(sn.Now, sn.BlockingRates[0])
+				if sn.Now > 5*time.Second { // skip warm-up
+					welford.Add(sn.BlockingRates[0])
+				}
+			},
+		})
+		if err != nil {
+			return Fig5Report{}, err
+		}
+		m, err := s.Run()
+		if err != nil {
+			return Fig5Report{}, err
+		}
+		var totalBlocking, maxBlocking time.Duration
+		for _, d := range m.TotalBlocking {
+			totalBlocking += d
+			if d > maxBlocking {
+				maxBlocking = d
+			}
+		}
+		leader := 0.0
+		if totalBlocking > 0 {
+			leader = float64(maxBlocking) / float64(totalBlocking)
+		}
+		report.Splits = append(report.Splits, Fig5Split{
+			Share:       share,
+			MeanRate:    welford.Mean(),
+			CoV:         welford.CoefficientOfVariation(),
+			LeaderShare: leader,
+			Rates:       rates,
+		})
+	}
+	return report, nil
+}
+
+// RerouteRow is one configuration of the Section 4.4 experiment.
+type RerouteRow struct {
+	BaseCost        int
+	Policy          string
+	MeanThroughput  float64
+	ReroutedPercent float64
+}
+
+// RerouteReport reproduces the Section 4.4 inline experiment: transport-
+// level re-routing versus round-robin versus the model-driven balancer, at
+// base costs 1,000 and 10,000, with one of two PEs at 100x.
+type RerouteReport struct {
+	Rows []RerouteRow
+}
+
+// String renders the comparison.
+func (r RerouteReport) String() string {
+	var b strings.Builder
+	b.WriteString("== Section 4.4: transport-level re-routing ==\n")
+	fmt.Fprintf(&b, "%10s %-14s %14s %12s\n", "base cost", "policy", "mean tput/s", "rerouted %")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %-14s %14.2f %12.2f\n",
+			row.BaseCost, row.Policy, row.MeanThroughput, row.ReroutedPercent)
+	}
+	return b.String()
+}
+
+// Sec44Reroute runs the re-routing experiment. The duration must comfortably
+// exceed the slow connection's buffered backlog (64 tuples x 100 x the base
+// tuple time) or every alternative is equally gated by the already-buffered
+// work — which is precisely the paper's point about blocking being too late
+// an indicator.
+func Sec44Reroute(duration time.Duration) (RerouteReport, error) {
+	if duration <= 0 {
+		duration = 300 * time.Second
+	}
+	var report RerouteReport
+	for _, baseCost := range []int{1000, 10_000} {
+		hosts := HostsForPEs(2)
+		pes := PlaceAcrossHosts(2, hosts, func(j int) sim.LoadSchedule {
+			if j == 0 {
+				return sim.ConstantLoad(100)
+			}
+			return sim.LoadSchedule{}
+		})
+		type variant struct {
+			label   string
+			reroute bool
+			kind    PolicyKind
+		}
+		for _, v := range []variant{
+			{label: "RR", kind: PolicyRR},
+			{label: "RR+reroute", kind: PolicyRR, reroute: true},
+			{label: "LB-adaptive", kind: PolicyLBAdaptive},
+		} {
+			sc := Scenario{
+				Name:     fmt.Sprintf("sec44/%d/%s", baseCost, v.label),
+				Hosts:    hosts,
+				PEs:      pes,
+				BaseCost: baseCost,
+				Duration: duration,
+			}
+			pol, finish, err := sc.buildPolicy(v.kind)
+			if err != nil {
+				return RerouteReport{}, err
+			}
+			s, err := sim.New(sim.Config{
+				Hosts:          sc.Hosts,
+				PEs:            sc.PEs,
+				BaseCost:       sc.BaseCost,
+				Duration:       sc.Duration,
+				Policy:         pol,
+				RerouteOnBlock: v.reroute,
+			})
+			if err != nil {
+				return RerouteReport{}, err
+			}
+			m, err := s.Run()
+			if err != nil {
+				return RerouteReport{}, err
+			}
+			if err := finish(); err != nil {
+				return RerouteReport{}, err
+			}
+			pct := 0.0
+			if m.Sent > 0 {
+				pct = 100 * float64(m.Rerouted) / float64(m.Sent)
+			}
+			report.Rows = append(report.Rows, RerouteRow{
+				BaseCost:        baseCost,
+				Policy:          v.label,
+				MeanThroughput:  m.MeanThroughput,
+				ReroutedPercent: pct,
+			})
+		}
+	}
+	return report, nil
+}

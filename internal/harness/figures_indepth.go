@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/sim"
+	"streambalance/internal/stats"
+)
+
+// InDepthReport is a per-connection time-series report: allocation weight and
+// blocking rate per connection over the run, like the paper's in-depth
+// figures (8 and 11-top).
+type InDepthReport struct {
+	Title   string
+	Weights *stats.SeriesSet
+	Rates   *stats.SeriesSet
+	Final   sim.Metrics
+	// Clusters holds one row per controller tick (Figure 12's heat map):
+	// Clusters[t][j] is the cluster id of channel j at tick t. Nil unless
+	// clustering ran.
+	Clusters [][]int
+}
+
+// String renders the weight and blocking-rate series sampled every 10
+// virtual seconds, plus final metrics.
+func (r InDepthReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	b.WriteString("-- allocation weights (units of 0.1%) --\n")
+	b.WriteString(r.Weights.Table(10 * time.Second))
+	b.WriteString("-- blocking rates (s/s) --\n")
+	b.WriteString(r.Rates.Table(10 * time.Second))
+	fmt.Fprintf(&b, "final weights: %v\n", r.Final.FinalWeights)
+	fmt.Fprintf(&b, "final throughput: %.1f tuples/s\n", r.Final.FinalThroughput)
+	if r.Clusters != nil {
+		b.WriteString("-- clustering heat map (rows = time, cols = channels) --\n")
+		b.WriteString(RenderHeatmap(r.Clusters))
+	}
+	return b.String()
+}
+
+// runInDepth executes one scenario under a policy while recording the
+// per-connection series.
+func runInDepth(title string, sc Scenario, kind PolicyKind) (InDepthReport, error) {
+	report := InDepthReport{
+		Title:   title,
+		Weights: stats.NewSeriesSet("weights"),
+		Rates:   stats.NewSeriesSet("rates"),
+	}
+	pol, finish, err := sc.buildPolicy(kind)
+	if err != nil {
+		return InDepthReport{}, err
+	}
+	var balancer *core.Balancer
+	if bp, ok := pol.(*sim.BalancerPolicy); ok {
+		balancer = bp.Balancer()
+	}
+	observer := func(sn sim.Snapshot) {
+		for j := range sn.Weights {
+			name := fmt.Sprintf("conn%d", j)
+			report.Weights.Get(name).Record(sn.Now, float64(sn.Weights[j]))
+			report.Rates.Get(name).Record(sn.Now, sn.BlockingRates[j])
+		}
+		if balancer != nil && sc.Clustering {
+			if clusters := balancer.LastClusters(); clusters != nil {
+				row := make([]int, len(sn.Weights))
+				for id, members := range clusters {
+					for _, j := range members {
+						row[j] = id
+					}
+				}
+				report.Clusters = append(report.Clusters, row)
+			}
+		}
+	}
+	s, err := sim.New(sim.Config{
+		Hosts:          sc.Hosts,
+		PEs:            sc.PEs,
+		BaseCost:       sc.BaseCost,
+		MultiplyTime:   sc.MultiplyTime,
+		Duration:       sc.Duration,
+		TotalTuples:    sc.TotalTuples,
+		SampleInterval: sc.SampleInterval,
+		Policy:         pol,
+		Observer:       observer,
+	})
+	if err != nil {
+		return InDepthReport{}, err
+	}
+	m, err := s.Run()
+	if err != nil {
+		return InDepthReport{}, err
+	}
+	if err := finish(); err != nil {
+		return InDepthReport{}, err
+	}
+	report.Final = m
+	return report, nil
+}
+
+// Fig8Top reproduces the top of Figure 8: three PEs, base cost 1,000
+// multiplies, one PE at 100x until the load is removed an eighth through the
+// run; LB-adaptive balancing.
+func Fig8Top(duration time.Duration) (InDepthReport, error) {
+	if duration <= 0 {
+		duration = 400 * time.Second
+	}
+	hosts := HostsForPEs(3)
+	pes := PlaceAcrossHosts(3, hosts, func(j int) sim.LoadSchedule {
+		if j == 0 {
+			return sim.StepLoad(100, 1, duration/8)
+		}
+		return sim.LoadSchedule{}
+	})
+	sc := Scenario{
+		Name:     "fig8top",
+		Hosts:    hosts,
+		PEs:      pes,
+		BaseCost: 1000,
+		Duration: duration,
+	}
+	return runInDepth("Figure 8 (top): 3 PEs, base 1k, conn0 100x removed at 1/8", sc, PolicyLBAdaptive)
+}
+
+// Fig8Bottom reproduces the bottom of Figure 8: three equal-capacity PEs,
+// base cost 10,000 multiplies, where blocking is unavoidable and the model
+// must detect equal capacity despite drafting.
+func Fig8Bottom(duration time.Duration) (InDepthReport, error) {
+	if duration <= 0 {
+		duration = 400 * time.Second
+	}
+	hosts := HostsForPEs(3)
+	sc := Scenario{
+		Name:     "fig8bottom",
+		Hosts:    hosts,
+		PEs:      PlaceAcrossHosts(3, hosts, nil),
+		BaseCost: 10_000,
+		Duration: duration,
+	}
+	return runInDepth("Figure 8 (bottom): 3 equal PEs, base 10k", sc, PolicyLBAdaptive)
+}
+
+// Fig11Top reproduces the top of Figure 11: one PE on a fast host, one on a
+// slow host, base cost 20,000 multiplies, no simulated load.
+func Fig11Top(duration time.Duration) (InDepthReport, error) {
+	if duration <= 0 {
+		duration = 240 * time.Second
+	}
+	hosts := []sim.HostSpec{sim.FastHost("fast"), sim.SlowHost("slow")}
+	sc := Scenario{
+		Name:     "fig11top",
+		Hosts:    hosts,
+		PEs:      []sim.PESpec{{Host: 0}, {Host: 1}},
+		BaseCost: 20_000,
+		Duration: duration,
+	}
+	return runInDepth("Figure 11 (top): fast vs slow host, base 20k", sc, PolicyLBAdaptive)
+}
+
+// Fig12 reproduces Figure 12: 64 PEs, base cost 60,000 multiplies, three
+// load classes (20 PEs at 100x, 20 at 5x, 24 unloaded), clustering on. The
+// report includes the clustering heat map.
+func Fig12(duration time.Duration) (InDepthReport, error) {
+	if duration <= 0 {
+		duration = 400 * time.Second
+	}
+	const n = 64
+	hosts := HostsForPEs(n)
+	pes := PlaceAcrossHosts(n, hosts, func(j int) sim.LoadSchedule {
+		switch {
+		case j < 20:
+			return sim.ConstantLoad(100)
+		case j < 40:
+			return sim.ConstantLoad(5)
+		default:
+			return sim.LoadSchedule{}
+		}
+	})
+	sc := Scenario{
+		Name:     "fig12",
+		Hosts:    hosts,
+		PEs:      pes,
+		BaseCost: 60_000,
+		// The fine virtual clock keeps 100x blocking episodes well under
+		// the sampling interval (see heavyMultiplyTime).
+		MultiplyTime: heavyMultiplyTime,
+		Duration:     duration,
+		Clustering:   true,
+	}
+	return runInDepth("Figure 12: 64 PEs, base 60k, classes 20x100 / 20x5 / 24x1", sc, PolicyLBAdaptive)
+}
+
+// RenderHeatmap draws one character per channel per tick, with the cluster
+// id mapped to a letter, mirroring the paper's color heat map.
+func RenderHeatmap(clusters [][]int) string {
+	const glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var b strings.Builder
+	for t, row := range clusters {
+		// One row per 10 ticks keeps the map readable.
+		if t%10 != 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%4d ", t)
+		for _, id := range row {
+			b.WriteByte(glyphs[id%len(glyphs)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

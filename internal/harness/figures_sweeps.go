@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"streambalance/internal/sim"
+)
+
+// heavyMultiplyTime is the virtual-clock scale for the heavy-cost figures
+// (10k-60k multiplies at up to 100x load): at 50ns per multiply a 100x-loaded
+// 60k-multiply tuple takes 300ms, keeping blocking episodes well below the
+// sampling interval so the controller hears from several connections per
+// interval — as it does at real hardware speeds.
+const heavyMultiplyTime = 50 * time.Nanosecond
+
+// SweepOptions scales a sweep for quick benchmark runs versus full figure
+// regeneration.
+type SweepOptions struct {
+	// Sizes overrides the fan-out sizes (nil = the figure's default).
+	Sizes []int
+	// Tuples overrides the per-run workload (0 = the figure's default).
+	Tuples uint64
+}
+
+// sweepScenario builds one homogeneous-cluster sweep configuration. Dynamic
+// scenarios remove the load "an eighth through the experiment": after an
+// eighth of the tuple workload has been released, so that each policy
+// experiences the switch an eighth through its own run, as in the paper.
+func sweepScenario(name string, n, baseCost int, loadMult float64, dynamic bool, tuples uint64, clustering bool, multiplyTime time.Duration) Scenario {
+	hosts := HostsForPEs(n)
+	sc := Scenario{
+		Name:           fmt.Sprintf("%s/%dPE", name, n),
+		Hosts:          hosts,
+		PEs:            PlaceAcrossHosts(n, hosts, HalfLoaded(n, loadMult, 0)),
+		BaseCost:       baseCost,
+		MultiplyTime:   multiplyTime,
+		TotalTuples:    tuples,
+		SampleInterval: 250 * time.Millisecond,
+		Clustering:     clustering,
+	}
+	if dynamic {
+		sc.LoadSwitchAfterTuples = tuples / 8
+		sc.PostSwitchLoads = make([]sim.LoadSchedule, n)
+	}
+	return sc
+}
+
+// runSweep executes the four-policy comparison over every fan-out size.
+func runSweep(title string, sizes []int, baseCost int, loadMult float64, dynamic bool, tuples uint64, clustering bool, multiplyTime time.Duration) (SweepReport, error) {
+	report := SweepReport{Title: title}
+	for _, n := range sizes {
+		sc := sweepScenario(title, n, baseCost, loadMult, dynamic, tuples, clustering, multiplyTime)
+		rows, err := Compare(sc, AllPolicies)
+		if err != nil {
+			return SweepReport{}, err
+		}
+		report.Points = append(report.Points, SweepPoint{PEs: n, Rows: rows})
+	}
+	return report, nil
+}
+
+// Fig9Static reproduces the left graph of Figure 9: 2-16 PEs, base tuple
+// cost 1,000 multiplies, half the PEs at 10x for the whole run; execution
+// time normalized to Oracle*.
+func Fig9Static(opts SweepOptions) (SweepReport, error) {
+	sizes, tuples := opts.sizesOr(2, 4, 8, 16), opts.tuplesOr(120_000)
+	return runSweep("Figure 9 (static): base 1k, half PEs 10x", sizes, 1000, 10, false, tuples, false, 0)
+}
+
+// Fig9Dynamic reproduces the middle and right graphs of Figure 9: the 10x
+// load is removed an eighth through the run.
+func Fig9Dynamic(opts SweepOptions) (SweepReport, error) {
+	sizes, tuples := opts.sizesOr(2, 4, 8, 16), opts.tuplesOr(120_000)
+	return runSweep("Figure 9 (dynamic): base 1k, half PEs 10x removed at 1/8", sizes, 1000, 10, true, tuples, false, 0)
+}
+
+// Fig10Static reproduces the left graph of Figure 10: base 10,000-multiply
+// tuples, half the PEs at 100x throughout.
+func Fig10Static(opts SweepOptions) (SweepReport, error) {
+	sizes, tuples := opts.sizesOr(2, 4, 8, 16), opts.tuplesOr(120_000)
+	return runSweep("Figure 10 (static): base 10k, half PEs 100x", sizes, 10_000, 100, false, tuples, false, heavyMultiplyTime)
+}
+
+// Fig10Dynamic reproduces the middle and right graphs of Figure 10: the 100x
+// load is removed an eighth through.
+func Fig10Dynamic(opts SweepOptions) (SweepReport, error) {
+	sizes, tuples := opts.sizesOr(2, 4, 8, 16), opts.tuplesOr(120_000)
+	return runSweep("Figure 10 (dynamic): base 10k, half PEs 100x removed at 1/8", sizes, 10_000, 100, true, tuples, false, heavyMultiplyTime)
+}
+
+// Fig13 reproduces Figure 13: clustering on, base 60,000-multiply tuples,
+// half the PEs at 100x removed an eighth through, up to 64 PEs.
+func Fig13(opts SweepOptions) (SweepReport, error) {
+	sizes, tuples := opts.sizesOr(8, 16, 32, 64), opts.tuplesOr(240_000)
+	return runSweep("Figure 13: clustering, base 60k, half PEs 100x removed at 1/8", sizes, 60_000, 100, true, tuples, true, heavyMultiplyTime)
+}
+
+func (o SweepOptions) sizesOr(def ...int) []int {
+	if len(o.Sizes) > 0 {
+		return o.Sizes
+	}
+	return def
+}
+
+func (o SweepOptions) tuplesOr(def uint64) uint64 {
+	if o.Tuples > 0 {
+		return o.Tuples
+	}
+	return def
+}
+
+// Fig11Placement identifies one of the placement alternatives of Figure 11
+// (bottom).
+type Fig11Placement int
+
+const (
+	// PlaceAllFast puts every PE on the fast host (round-robin splitting).
+	PlaceAllFast Fig11Placement = iota + 1
+	// PlaceAllSlow puts every PE on the slow host (round-robin).
+	PlaceAllSlow
+	// PlaceEvenRR spreads PEs across both hosts, round-robin splitting.
+	PlaceEvenRR
+	// PlaceEvenLB spreads PEs across both hosts with the adaptive balancer.
+	PlaceEvenLB
+)
+
+// String returns the paper's label.
+func (p Fig11Placement) String() string {
+	switch p {
+	case PlaceAllFast:
+		return "All-Fast"
+	case PlaceAllSlow:
+		return "All-Slow"
+	case PlaceEvenRR:
+		return "Even-RR"
+	case PlaceEvenLB:
+		return "Even-LB"
+	default:
+		return fmt.Sprintf("Fig11Placement(%d)", int(p))
+	}
+}
+
+// Fig11Bottom reproduces the bottom graphs of Figure 11: 2-24 PEs across one
+// fast and one slow host, base cost 20,000 multiplies, no simulated load.
+// Execution times are normalized to Even-RR, as in the paper.
+func Fig11Bottom(opts SweepOptions) (SweepReport, error) {
+	sizes, tuples := opts.sizesOr(2, 4, 8, 16, 24), opts.tuplesOr(48_000)
+	placements := []Fig11Placement{PlaceAllFast, PlaceAllSlow, PlaceEvenRR, PlaceEvenLB}
+	report := SweepReport{Title: "Figure 11 (bottom): fast+slow hosts, base 20k"}
+	for _, n := range sizes {
+		var rows []Row
+		var evenRRExec time.Duration
+		for _, placement := range placements {
+			var hosts []sim.HostSpec
+			switch placement {
+			case PlaceAllFast:
+				hosts = []sim.HostSpec{sim.FastHost("fast")}
+			case PlaceAllSlow:
+				hosts = []sim.HostSpec{sim.SlowHost("slow")}
+			default:
+				hosts = []sim.HostSpec{sim.FastHost("fast"), sim.SlowHost("slow")}
+			}
+			sc := Scenario{
+				Name:           fmt.Sprintf("fig11/%s/%dPE", placement, n),
+				Hosts:          hosts,
+				PEs:            PlaceAcrossHosts(n, hosts, nil),
+				BaseCost:       20_000,
+				TotalTuples:    tuples,
+				SampleInterval: 250 * time.Millisecond,
+				// Host capacities differ by only 20% here; the paper's
+				// incremental change constraints keep exploration from
+				// churning away the small gain.
+				MaxStep: 10,
+			}
+			kind := PolicyRR
+			if placement == PlaceEvenLB {
+				kind = PolicyLBAdaptive
+			}
+			m, err := RunPolicy(sc, kind)
+			if err != nil {
+				return SweepReport{}, err
+			}
+			if placement == PlaceEvenRR {
+				evenRRExec = m.EndTime
+			}
+			rows = append(rows, Row{
+				Policy:          placement.String(),
+				ExecTime:        m.EndTime,
+				FinalThroughput: m.FinalThroughput,
+				MeanThroughput:  m.MeanThroughput,
+				LatencyP50:      m.LatencyP50,
+				LatencyP99:      m.LatencyP99,
+				FinalWeights:    m.FinalWeights,
+			})
+		}
+		if evenRRExec > 0 {
+			for i := range rows {
+				rows[i].NormalizedExec = float64(rows[i].ExecTime) / float64(evenRRExec)
+			}
+		}
+		report.Points = append(report.Points, SweepPoint{PEs: n, Rows: rows})
+	}
+	return report, nil
+}

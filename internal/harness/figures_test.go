@@ -1,0 +1,359 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig2CumulativeResetsAndRate(t *testing.T) {
+	report, err := Fig2Blocking(40 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Cumulative.Len() == 0 || report.Rate.Len() == 0 {
+		t.Fatal("empty series")
+	}
+	// The cumulative counter must rise and be reset at least once.
+	sawReset := false
+	prev := -1.0
+	for _, p := range report.Cumulative.Points() {
+		if p.Value < prev {
+			sawReset = true
+		}
+		prev = p.Value
+	}
+	if !sawReset {
+		t.Fatal("cumulative blocking never reset")
+	}
+	// The loaded connection's blocking rate is high and stable.
+	if mean := report.Rate.MeanSince(5 * time.Second); mean < 0.5 {
+		t.Fatalf("mean blocking rate %.3f, want high for an overloaded connection", mean)
+	}
+	if !strings.Contains(report.String(), "cumulative") {
+		t.Fatal("report rendering missing cumulative column")
+	}
+}
+
+func TestFig5MonotoneAndStable(t *testing.T) {
+	report, err := Fig5FixedSplits(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Splits) != 4 {
+		t.Fatalf("got %d splits, want 4", len(report.Splits))
+	}
+	// Blocking rate decreases monotonically from the 80/20 split to the
+	// 50/50 split (Figure 5's monotonicity observation).
+	for i := 1; i < len(report.Splits); i++ {
+		if report.Splits[i].MeanRate > report.Splits[i-1].MeanRate+1e-9 {
+			t.Fatalf("split %d mean rate %.4f > previous %.4f: not monotone",
+				i, report.Splits[i].MeanRate, report.Splits[i-1].MeanRate)
+		}
+	}
+	// The skewed splits are stable (flat): the draft leader is pinned.
+	for _, s := range report.Splits[:3] {
+		if s.CoV > 0.25 {
+			t.Fatalf("split %d CoV %.3f, want flat signal", s.Share, s.CoV)
+		}
+	}
+	// Blocking concentrates on one connection (drafting).
+	for _, s := range report.Splits {
+		if s.LeaderShare < 0.8 {
+			t.Fatalf("split %d leader share %.2f, want >= 0.8", s.Share, s.LeaderShare)
+		}
+	}
+	if !strings.Contains(report.String(), "80/20") {
+		t.Fatal("report rendering missing split labels")
+	}
+}
+
+func TestFig8TopAdaptsAndRecovers(t *testing.T) {
+	duration := 160 * time.Second // load removed at 20s
+	report, err := Fig8Top(duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := report.Weights.Get("conn0")
+	// While loaded, connection 0 must be throttled hard.
+	if v, ok := w0.At(18 * time.Second); !ok || v > 150 {
+		t.Fatalf("conn0 weight at 18s = %v, want throttled below 150", v)
+	}
+	// Well after the load is removed it recovers toward an even share.
+	final := report.Final.FinalWeights
+	for j, w := range final {
+		if w < 250 || w > 450 {
+			t.Fatalf("final weights %v: conn %d not near even share", final, j)
+		}
+	}
+}
+
+func TestFig8BottomDetectsEqualCapacity(t *testing.T) {
+	report, err := Fig8Bottom(200 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := report.Final.FinalWeights
+	for j, w := range final {
+		if w < 200 || w > 500 {
+			t.Fatalf("final weights %v: conn %d far from even despite equal capacity", final, j)
+		}
+	}
+	// Throughput near the 3-PE capacity (300/s at 10k multiplies).
+	if report.Final.FinalThroughput < 250 {
+		t.Fatalf("final throughput %.1f, want near 300", report.Final.FinalThroughput)
+	}
+}
+
+func TestFig11TopFavorsFastHost(t *testing.T) {
+	report, err := Fig11Top(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := report.Final.FinalWeights
+	if final[0] <= final[1] {
+		t.Fatalf("final weights %v: fast host should hold more", final)
+	}
+	// Capacities are 1.2:1, so expect roughly a 55/45 split, not a wild
+	// skew.
+	if final[0] > 750 {
+		t.Fatalf("final weights %v: fast host share implausibly high", final)
+	}
+}
+
+func TestFig12ClassesSeparate(t *testing.T) {
+	report, err := Fig12(150 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clusters == nil {
+		t.Fatal("no clustering recorded")
+	}
+	last := report.Clusters[len(report.Clusters)-1]
+	// Count distinct clusters in the final tick.
+	ids := make(map[int]bool)
+	for _, id := range last {
+		ids[id] = true
+	}
+	if len(ids) < 3 {
+		t.Fatalf("final clustering has %d clusters, want >= 3 classes", len(ids))
+	}
+	// Clusters of meaningful size must not span load classes (channels
+	// 0-19: 100x, 20-39: 5x, 40-63: unloaded). A few straggler channels
+	// whose weight oscillates through zero carry decayed, near-flat
+	// functions and can be mislabelled transiently — the paper's own heat
+	// map shows channels still switching clusters late in the run — so
+	// only clusters with three or more members are held to purity, and at
+	// most 10% of channels may sit in a mixed cluster.
+	classOf := func(j int) int {
+		switch {
+		case j < 20:
+			return 0
+		case j < 40:
+			return 1
+		default:
+			return 2
+		}
+	}
+	members := make(map[int][]int)
+	for j, id := range last {
+		members[id] = append(members[id], j)
+	}
+	mixedChannels := 0
+	for id, chans := range members {
+		counts := make(map[int]int)
+		for _, j := range chans {
+			counts[classOf(j)]++
+		}
+		if len(counts) == 1 {
+			continue
+		}
+		majority := 0
+		for _, c := range counts {
+			if c > majority {
+				majority = c
+			}
+		}
+		mixed := len(chans) - majority
+		mixedChannels += mixed
+		if len(chans) >= 3 && mixed > len(chans)/2 {
+			t.Fatalf("large cluster %d badly mixes classes: %v", id, chans)
+		}
+	}
+	if mixedChannels > 6 {
+		t.Fatalf("%d channels sit in mixed clusters, want <= 6 stragglers", mixedChannels)
+	}
+	// The 100x channels end with much lower weight than unloaded ones.
+	final := report.Final.FinalWeights
+	var loaded, unloaded float64
+	for j := 0; j < 20; j++ {
+		loaded += float64(final[j])
+	}
+	for j := 40; j < 64; j++ {
+		unloaded += float64(final[j])
+	}
+	if loaded/20 >= unloaded/24 {
+		t.Fatalf("mean weight loaded %.1f >= unloaded %.1f", loaded/20, unloaded/24)
+	}
+	if !strings.Contains(report.String(), "heat map") {
+		t.Fatal("report rendering missing heat map")
+	}
+}
+
+func TestFig9StaticShape(t *testing.T) {
+	report, err := Fig9Static(SweepOptions{Sizes: []int{2, 4}, Tuples: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4} {
+		rr, ok := report.Lookup(n, "RR")
+		if !ok {
+			t.Fatalf("no RR row at %d PEs", n)
+		}
+		lb, ok := report.Lookup(n, "LB-adaptive")
+		if !ok {
+			t.Fatalf("no LB row at %d PEs", n)
+		}
+		// Paper: LB is 1.5-4x better than RR.
+		if rr.ExecTime < time.Duration(float64(lb.ExecTime)*1.4) {
+			t.Fatalf("%d PEs: RR %v vs LB %v: expected RR clearly slower", n, rr.ExecTime, lb.ExecTime)
+		}
+		oracle, _ := report.Lookup(n, "Oracle*")
+		if oracle.NormalizedExec != 1 {
+			t.Fatalf("%d PEs: oracle normalized %v, want 1", n, oracle.NormalizedExec)
+		}
+	}
+}
+
+func TestFig10DynamicAdaptiveBeatsStatic(t *testing.T) {
+	// Full per-run workload: the post-switch phase must be long enough for
+	// the adaptive variant's re-exploration to pay off.
+	report, err := Fig10Dynamic(SweepOptions{Sizes: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, ok := report.Lookup(4, "LB-static")
+	if !ok {
+		t.Fatal("no LB-static row")
+	}
+	adaptive, ok := report.Lookup(4, "LB-adaptive")
+	if !ok {
+		t.Fatal("no LB-adaptive row")
+	}
+	// Paper: LB-adaptive's final throughput is almost twice LB-static's,
+	// because only the adaptive variant discovers the load removal.
+	if adaptive.FinalThroughput < 1.3*static.FinalThroughput {
+		t.Fatalf("adaptive final %.1f vs static %.1f: adaptation invisible",
+			adaptive.FinalThroughput, static.FinalThroughput)
+	}
+}
+
+func TestFig13ClusteringBeatsRR(t *testing.T) {
+	report, err := Fig13(SweepOptions{Sizes: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := report.Lookup(32, "RR")
+	if !ok {
+		t.Fatal("no RR row")
+	}
+	adaptive, ok := report.Lookup(32, "LB-adaptive")
+	if !ok {
+		t.Fatal("no LB-adaptive row")
+	}
+	// Paper: close to 9x better than RR at 32/64 PEs.
+	if rr.ExecTime < 3*adaptive.ExecTime {
+		t.Fatalf("RR %v vs LB-adaptive %v: expected a decisive LB win", rr.ExecTime, adaptive.ExecTime)
+	}
+}
+
+func TestFig11BottomEvenLBWinsAt24(t *testing.T) {
+	report, err := Fig11Bottom(SweepOptions{Sizes: []int{24}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) Row {
+		row, ok := report.Lookup(24, label)
+		if !ok {
+			t.Fatalf("no %s row", label)
+		}
+		return row
+	}
+	// The paper's headline (Section 6.5): with 24 PEs split 16 fast + 8
+	// slow, dynamic load balancing makes the slow host additive and the
+	// configuration achieves the fastest overall throughput. Final
+	// throughput is the steady-state measure, past the learning transient.
+	evenLB := get("Even-LB")
+	for _, other := range []string{"All-Fast", "All-Slow", "Even-RR"} {
+		if evenLB.FinalThroughput <= get(other).FinalThroughput {
+			t.Fatalf("Even-LB %.1f <= %s %.1f at 24 PEs: paper's headline result missing",
+				evenLB.FinalThroughput, other, get(other).FinalThroughput)
+		}
+	}
+}
+
+func TestSec44RerouteOrdering(t *testing.T) {
+	report, err := Sec44Reroute(150 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]RerouteRow)
+	for _, row := range report.Rows {
+		byKey[row.Policy+"@"+itoa(row.BaseCost)] = row
+	}
+	rr := byKey["RR@1000"]
+	re := byKey["RR+reroute@1000"]
+	lb := byKey["LB-adaptive@1000"]
+	if re.MeanThroughput <= rr.MeanThroughput {
+		t.Fatalf("reroute %.1f <= RR %.1f", re.MeanThroughput, rr.MeanThroughput)
+	}
+	if lb.MeanThroughput < 2*re.MeanThroughput {
+		t.Fatalf("LB %.1f vs reroute %.1f: balancer should far exceed re-routing",
+			lb.MeanThroughput, re.MeanThroughput)
+	}
+	if re.ReroutedPercent <= 0 || re.ReroutedPercent >= 100 {
+		t.Fatalf("rerouted percent %.2f out of range", re.ReroutedPercent)
+	}
+	if rr.ReroutedPercent != 0 {
+		t.Fatalf("plain RR rerouted %.2f%%, want 0", rr.ReroutedPercent)
+	}
+}
+
+func itoa(n int) string {
+	if n == 1000 {
+		return "1000"
+	}
+	if n == 10000 {
+		return "10000"
+	}
+	return "?"
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	rows := make([][]int, 20)
+	for i := range rows {
+		rows[i] = []int{0, 0, 1, 2}
+	}
+	out := RenderHeatmap(rows)
+	if !strings.Contains(out, "aabc") {
+		t.Fatalf("heat map rendering = %q, want cluster glyphs", out)
+	}
+}
+
+func TestSweepReportLookup(t *testing.T) {
+	report := SweepReport{Points: []SweepPoint{
+		{PEs: 2, Rows: []Row{{Policy: "RR", ExecTime: time.Second}}},
+	}}
+	if _, ok := report.Lookup(2, "RR"); !ok {
+		t.Fatal("existing row not found")
+	}
+	if _, ok := report.Lookup(2, "LB"); ok {
+		t.Fatal("missing policy found")
+	}
+	if _, ok := report.Lookup(4, "RR"); ok {
+		t.Fatal("missing size found")
+	}
+	if !strings.Contains(report.String(), "RR") {
+		t.Fatal("rendering missing policy")
+	}
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// renderRows renders a policy-comparison table.
+func renderRows(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %14s %12s %14s %14s %12s %12s\n",
+		"policy", "exec-time", "norm-exec", "final-tput/s", "mean-tput/s", "lat-p50", "lat-p99")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %14s %12.2f %14.1f %14.1f %12s %12s\n",
+			r.Policy, r.ExecTime.Truncate(time.Millisecond), r.NormalizedExec,
+			r.FinalThroughput, r.MeanThroughput,
+			r.LatencyP50.Truncate(time.Microsecond), r.LatencyP99.Truncate(time.Microsecond))
+	}
+	return b.String()
+}
+
+// SweepPoint is one fan-out size within a sweep figure.
+type SweepPoint struct {
+	PEs  int
+	Rows []Row
+}
+
+// SweepReport is a whole sweep figure (Figures 9, 10, 11-bottom, 13).
+type SweepReport struct {
+	Title  string
+	Points []SweepPoint
+}
+
+// String renders the sweep as one table per fan-out.
+func (r SweepReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	for _, p := range r.Points {
+		b.WriteString(renderRows(fmt.Sprintf("-- %d PEs --", p.PEs), p.Rows))
+	}
+	return b.String()
+}
+
+// Lookup returns the row for a policy label at a fan-out; ok is false when
+// absent.
+func (r SweepReport) Lookup(pes int, policy string) (Row, bool) {
+	for _, p := range r.Points {
+		if p.PEs != pes {
+			continue
+		}
+		for _, row := range p.Rows {
+			if row.Policy == policy {
+				return row, true
+			}
+		}
+	}
+	return Row{}, false
+}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"streambalance/internal/sim"
+)
+
+func TestPolicyKindString(t *testing.T) {
+	tests := []struct {
+		kind PolicyKind
+		want string
+	}{
+		{PolicyOracle, "Oracle*"},
+		{PolicyLBStatic, "LB-static"},
+		{PolicyLBAdaptive, "LB-adaptive"},
+		{PolicyRR, "RR"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Fatalf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestOracleWeights(t *testing.T) {
+	tests := []struct {
+		name string
+		caps []float64
+		want []int
+	}{
+		{"equal pair", []float64{100, 100}, []int{500, 500}},
+		{"ten to one", []float64{100, 1000}, nil}, // checked proportionally below
+		{"zero capacity", []float64{0, 0}, []int{500, 500}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := OracleWeights(tt.caps, 1000)
+			sum := 0
+			for _, w := range got {
+				sum += w
+			}
+			if sum != 1000 {
+				t.Fatalf("weights %v sum to %d, want 1000", got, sum)
+			}
+			if tt.want != nil {
+				for j := range tt.want {
+					if got[j] != tt.want[j] {
+						t.Fatalf("weights = %v, want %v", got, tt.want)
+					}
+				}
+			}
+		})
+	}
+	// Proportionality: 1:10 capacities within rounding.
+	got := OracleWeights([]float64{100, 1000}, 1000)
+	if got[0] < 89 || got[0] > 93 {
+		t.Fatalf("weights = %v, want conn0 near 91", got)
+	}
+}
+
+func TestOracleWeightsSumProperty(t *testing.T) {
+	prop := func(seed int64, rawN uint8) bool {
+		n := int(rawN%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		caps := make([]float64, n)
+		for j := range caps {
+			caps[j] = rng.Float64() * 1000
+		}
+		weights := OracleWeights(caps, 1000)
+		sum := 0
+		for _, w := range weights {
+			if w < 0 {
+				return false
+			}
+			sum += w
+		}
+		return sum == 1000
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceAcrossHosts(t *testing.T) {
+	fastSlow := []sim.HostSpec{sim.FastHost("fast"), sim.SlowHost("slow")}
+	tests := []struct {
+		n    int
+		want []int // PEs per host
+	}{
+		{2, []int{1, 1}},
+		{4, []int{2, 2}},
+		{8, []int{4, 4}},
+		{16, []int{8, 8}},
+		{24, []int{16, 8}}, // slow host's 8 slots exhaust first
+		{30, []int{19, 11}},
+	}
+	for _, tt := range tests {
+		pes := PlaceAcrossHosts(tt.n, fastSlow, nil)
+		counts := make([]int, len(fastSlow))
+		for _, pe := range pes {
+			counts[pe.Host]++
+		}
+		for h := range tt.want {
+			if counts[h] != tt.want[h] {
+				t.Fatalf("n=%d: placement %v, want %v", tt.n, counts, tt.want)
+			}
+		}
+	}
+}
+
+func TestPlaceAcrossHostsAppliesLoads(t *testing.T) {
+	hosts := HostsForPEs(4)
+	pes := PlaceAcrossHosts(4, hosts, HalfLoaded(4, 10, 0))
+	if got := pes[0].Load.At(0); got != 10 {
+		t.Fatalf("PE 0 load = %v, want 10", got)
+	}
+	if got := pes[3].Load.At(0); got != 1 {
+		t.Fatalf("PE 3 load = %v, want 1", got)
+	}
+	// Dynamic variant removes the load at the switch time.
+	pes = PlaceAcrossHosts(4, hosts, HalfLoaded(4, 10, 20*time.Second))
+	if got := pes[0].Load.At(19 * time.Second); got != 10 {
+		t.Fatalf("PE 0 load before switch = %v, want 10", got)
+	}
+	if got := pes[0].Load.At(20 * time.Second); got != 1 {
+		t.Fatalf("PE 0 load after switch = %v, want 1", got)
+	}
+}
+
+func TestHostsForPEs(t *testing.T) {
+	if got := len(HostsForPEs(8)); got != 1 {
+		t.Fatalf("8 PEs need %d hosts, want 1", got)
+	}
+	if got := len(HostsForPEs(9)); got != 2 {
+		t.Fatalf("9 PEs need %d hosts, want 2", got)
+	}
+	if got := len(HostsForPEs(64)); got != 8 {
+		t.Fatalf("64 PEs need %d hosts, want 8", got)
+	}
+}
+
+func TestScenarioCapacities(t *testing.T) {
+	hosts := []sim.HostSpec{sim.FastHost("fast"), sim.SlowHost("slow")}
+	sc := Scenario{
+		Hosts:    hosts,
+		PEs:      []sim.PESpec{{Host: 0}, {Host: 1, Load: sim.ConstantLoad(10)}},
+		BaseCost: 1000,
+	}
+	caps := sc.capacities(0)
+	// Fast host: 1.2 clock / 1ms base = 1200/s. Slow at 10x: 100/s.
+	if math.Abs(caps[0]-1200) > 1 {
+		t.Fatalf("fast capacity = %v, want ~1200", caps[0])
+	}
+	if math.Abs(caps[1]-100) > 1 {
+		t.Fatalf("loaded slow capacity = %v, want ~100", caps[1])
+	}
+}
+
+func TestCompareNormalizesToOracle(t *testing.T) {
+	hosts := HostsForPEs(2)
+	sc := Scenario{
+		Name:           "compare-test",
+		Hosts:          hosts,
+		PEs:            PlaceAcrossHosts(2, hosts, HalfLoaded(2, 10, 0)),
+		BaseCost:       1000,
+		TotalTuples:    20_000,
+		SampleInterval: 250 * time.Millisecond,
+	}
+	rows, err := Compare(sc, []PolicyKind{PolicyOracle, PolicyRR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if math.Abs(rows[0].NormalizedExec-1) > 1e-9 {
+		t.Fatalf("oracle normalized exec = %v, want 1", rows[0].NormalizedExec)
+	}
+	// RR is gated by the slowest PE; the paper reports 1.5-4x worse.
+	if rows[1].NormalizedExec < 1.3 {
+		t.Fatalf("RR normalized exec = %v, want clearly above 1", rows[1].NormalizedExec)
+	}
+}
+
+func TestRunPolicyUnknownKind(t *testing.T) {
+	hosts := HostsForPEs(2)
+	sc := Scenario{
+		Hosts:       hosts,
+		PEs:         PlaceAcrossHosts(2, hosts, nil),
+		BaseCost:    1000,
+		TotalTuples: 100,
+	}
+	if _, err := RunPolicy(sc, PolicyKind(99)); err == nil {
+		t.Fatal("unknown policy kind accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package placement_test
+
+import (
+	"fmt"
+
+	"streambalance/internal/placement"
+)
+
+// Example places two regions' workers on a heterogeneous pair of hosts and
+// prints the resulting worst-case utilization.
+func Example() {
+	p := placement.Problem{
+		Hosts: []placement.Host{
+			{Name: "fast", Slots: 16, Speed: 60},
+			{Name: "slow", Slots: 8, Speed: 50},
+		},
+		Regions: []placement.Region{
+			{Name: "ingest", Workers: 8, Demand: 600},
+			{Name: "score", Workers: 8, Demand: 300},
+		},
+	}
+	a, err := placement.Place(p)
+	if err != nil {
+		panic(err)
+	}
+	obj, err := p.Objective(a)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max host utilization: %.0f%%\n", obj*100)
+	fmt.Println("every worker placed:", len(a.Workers[0]) == 8 && len(a.Workers[1]) == 8)
+	// Output:
+	// max host utilization: 66%
+	// every worker placed: true
+}

@@ -1,0 +1,375 @@
+// Package placement addresses the paper's stated future work (Section 8):
+// cluster-wide load balancing by assigning the parallel worker PEs of many
+// regions to many hosts. The local balancer (internal/core) can only divide
+// traffic among the workers a region already has; where those workers *live*
+// decides how much leverage it gets. Placement chooses host assignments that
+// minimize the maximum host utilization — the same minimax objective the
+// local optimizer uses, one level up — and rebalances incrementally when
+// region demands change, echoing the local model's incremental weight
+// constraints.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Host is one compute node of the cluster.
+type Host struct {
+	// Name labels the host in reports.
+	Name string
+	// Slots is the number of workers the host runs at full speed (its
+	// hardware threads).
+	Slots int
+	// Speed is the per-slot processing rate in arbitrary work units per
+	// second (e.g. tuples/s at some reference cost).
+	Speed float64
+}
+
+// Capacity returns the host's total work rate.
+func (h Host) Capacity() float64 {
+	return float64(h.Slots) * h.Speed
+}
+
+// Region is one data-parallel region demanding placement.
+type Region struct {
+	// Name labels the region.
+	Name string
+	// Workers is the region's replica count.
+	Workers int
+	// Demand is the region's total offered work rate in the same units as
+	// host Speed. The per-worker demand is Demand/Workers under the local
+	// balancer's even steady state; the local balancer reshapes it further
+	// at runtime.
+	Demand float64
+}
+
+// perWorkerDemand returns the demand one worker of the region carries.
+func (r Region) perWorkerDemand() float64 {
+	if r.Workers <= 0 {
+		return 0
+	}
+	return r.Demand / float64(r.Workers)
+}
+
+// Assignment maps every worker to a host: Workers[region][worker] = host
+// index.
+type Assignment struct {
+	Workers [][]int
+}
+
+// Clone deep-copies the assignment.
+func (a Assignment) Clone() Assignment {
+	out := Assignment{Workers: make([][]int, len(a.Workers))}
+	for i, ws := range a.Workers {
+		out.Workers[i] = append([]int(nil), ws...)
+	}
+	return out
+}
+
+// Problem is a placement instance.
+type Problem struct {
+	Hosts   []Host
+	Regions []Region
+}
+
+// validate rejects unusable instances.
+func (p Problem) validate() error {
+	if len(p.Hosts) == 0 {
+		return errors.New("placement: no hosts")
+	}
+	if len(p.Regions) == 0 {
+		return errors.New("placement: no regions")
+	}
+	for i, h := range p.Hosts {
+		if h.Slots <= 0 {
+			return fmt.Errorf("placement: host %d (%s) has %d slots", i, h.Name, h.Slots)
+		}
+		if h.Speed <= 0 {
+			return fmt.Errorf("placement: host %d (%s) has speed %v", i, h.Name, h.Speed)
+		}
+	}
+	for i, r := range p.Regions {
+		if r.Workers <= 0 {
+			return fmt.Errorf("placement: region %d (%s) has %d workers", i, r.Name, r.Workers)
+		}
+		if r.Demand < 0 {
+			return fmt.Errorf("placement: region %d (%s) has negative demand", i, r.Name)
+		}
+	}
+	return nil
+}
+
+// Utilizations returns each host's load fraction under the assignment:
+// the demand placed on it divided by its capacity, with oversubscription
+// (more workers than slots) additionally scaling the load by the
+// oversubscription factor, mirroring the simulator's host model.
+func (p Problem) Utilizations(a Assignment) ([]float64, error) {
+	if len(a.Workers) != len(p.Regions) {
+		return nil, fmt.Errorf("placement: assignment covers %d regions, want %d", len(a.Workers), len(p.Regions))
+	}
+	demand := make([]float64, len(p.Hosts))
+	workers := make([]int, len(p.Hosts))
+	for ri, ws := range a.Workers {
+		if len(ws) != p.Regions[ri].Workers {
+			return nil, fmt.Errorf("placement: region %d has %d placed workers, want %d", ri, len(ws), p.Regions[ri].Workers)
+		}
+		per := p.Regions[ri].perWorkerDemand()
+		for _, h := range ws {
+			if h < 0 || h >= len(p.Hosts) {
+				return nil, fmt.Errorf("placement: worker of region %d on host %d of %d", ri, h, len(p.Hosts))
+			}
+			demand[h] += per
+			workers[h]++
+		}
+	}
+	utils := make([]float64, len(p.Hosts))
+	for h := range p.Hosts {
+		util := demand[h] / p.Hosts[h].Capacity()
+		if over := workers[h] - p.Hosts[h].Slots; over > 0 {
+			// Oversubscribed hosts context-switch: effective capacity is
+			// unchanged but scheduling overhead grows with the excess.
+			util *= float64(workers[h]) / float64(p.Hosts[h].Slots)
+		}
+		utils[h] = util
+	}
+	return utils, nil
+}
+
+// Objective returns the maximum host utilization — the quantity both the
+// paper's local model and this global placement minimize.
+func (p Problem) Objective(a Assignment) (float64, error) {
+	utils, err := p.Utilizations(a)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, u := range utils {
+		if u > worst {
+			worst = u
+		}
+	}
+	return worst, nil
+}
+
+// Greedy places workers one at a time, worst-fit: each worker (regions
+// ordered by per-worker demand, heaviest first) goes to the host whose
+// utilization after placement is smallest. This is the classic greedy for
+// minimax scheduling (a 4/3-approximation for makespan on uniform machines)
+// and is the starting point for Improve.
+func Greedy(p Problem) (Assignment, error) {
+	if err := p.validate(); err != nil {
+		return Assignment{}, err
+	}
+	type workerRef struct {
+		region int
+		demand float64
+	}
+	var workers []workerRef
+	for ri, r := range p.Regions {
+		per := r.perWorkerDemand()
+		for w := 0; w < r.Workers; w++ {
+			workers = append(workers, workerRef{region: ri, demand: per})
+		}
+	}
+	sort.SliceStable(workers, func(i, j int) bool { return workers[i].demand > workers[j].demand })
+
+	demand := make([]float64, len(p.Hosts))
+	count := make([]int, len(p.Hosts))
+	a := Assignment{Workers: make([][]int, len(p.Regions))}
+	utilAfter := func(h int, extra float64) float64 {
+		u := (demand[h] + extra) / p.Hosts[h].Capacity()
+		if over := count[h] + 1 - p.Hosts[h].Slots; over > 0 {
+			u *= float64(count[h]+1) / float64(p.Hosts[h].Slots)
+		}
+		return u
+	}
+	for _, w := range workers {
+		best, bestUtil := -1, math.Inf(1)
+		for h := range p.Hosts {
+			if u := utilAfter(h, w.demand); u < bestUtil {
+				best, bestUtil = h, u
+			}
+		}
+		demand[best] += w.demand
+		count[best]++
+		a.Workers[w.region] = append(a.Workers[w.region], best)
+	}
+	return a, nil
+}
+
+// sortedUtils returns the utilization vector sorted descending: the
+// lexicographic objective the local search minimizes. Comparing whole
+// vectors instead of just the maximum lets the search drain the second-worst
+// host while the worst is momentarily tied — pure-max local search stalls on
+// such plateaus.
+func (p Problem) sortedUtils(a Assignment) ([]float64, error) {
+	utils, err := p.Utilizations(a)
+	if err != nil {
+		return nil, err
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(utils)))
+	return utils, nil
+}
+
+// lexLess reports whether a is lexicographically smaller than b (both sorted
+// descending) beyond floating-point noise.
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		switch {
+		case a[i] < b[i]-1e-12:
+			return true
+		case a[i] > b[i]+1e-12:
+			return false
+		}
+	}
+	return false
+}
+
+// Improve runs a local search over single-worker moves and pairwise swaps:
+// while some move of one worker to another host — or an exchange of two
+// workers' hosts — lowers the (lexicographic) objective, take the best such
+// step, spending at most maxMoves worker moves (a swap costs two). It
+// returns the improved assignment and the number of worker moves taken.
+func Improve(p Problem, a Assignment, maxMoves int) (Assignment, int, error) {
+	if err := p.validate(); err != nil {
+		return Assignment{}, 0, err
+	}
+	current := a.Clone()
+	obj, err := p.sortedUtils(current)
+	if err != nil {
+		return Assignment{}, 0, err
+	}
+	// Flat worker references for the swap neighborhood.
+	type ref struct{ region, worker int }
+	var refs []ref
+	for ri, ws := range current.Workers {
+		for wi := range ws {
+			refs = append(refs, ref{region: ri, worker: wi})
+		}
+	}
+	hostOf := func(r ref) int { return current.Workers[r.region][r.worker] }
+	setHost := func(r ref, h int) { current.Workers[r.region][r.worker] = h }
+
+	moves := 0
+	for moves < maxMoves {
+		bestObj := obj
+		bestMove := ref{region: -1}
+		bestHost := -1
+		// Single-worker moves.
+		for _, r := range refs {
+			orig := hostOf(r)
+			for h := range p.Hosts {
+				if h == orig {
+					continue
+				}
+				setHost(r, h)
+				cand, err := p.sortedUtils(current)
+				if err != nil {
+					setHost(r, orig)
+					return Assignment{}, 0, err
+				}
+				if lexLess(cand, bestObj) {
+					bestObj = cand
+					bestMove, bestHost = r, h
+				}
+				setHost(r, orig)
+			}
+		}
+		if bestMove.region >= 0 {
+			setHost(bestMove, bestHost)
+			obj = bestObj
+			moves++
+			continue
+		}
+		// No single move helps: try pairwise swaps (two moves each).
+		if maxMoves-moves < 2 {
+			break
+		}
+		swapA, swapB := ref{region: -1}, ref{region: -1}
+		for i := 0; i < len(refs); i++ {
+			for j := i + 1; j < len(refs); j++ {
+				ha, hb := hostOf(refs[i]), hostOf(refs[j])
+				if ha == hb {
+					continue
+				}
+				setHost(refs[i], hb)
+				setHost(refs[j], ha)
+				cand, err := p.sortedUtils(current)
+				if err == nil && lexLess(cand, bestObj) {
+					bestObj = cand
+					swapA, swapB = refs[i], refs[j]
+				}
+				setHost(refs[i], ha)
+				setHost(refs[j], hb)
+			}
+		}
+		if swapA.region < 0 {
+			break
+		}
+		ha, hb := hostOf(swapA), hostOf(swapB)
+		setHost(swapA, hb)
+		setHost(swapB, ha)
+		obj = bestObj
+		moves += 2
+	}
+	return current, moves, nil
+}
+
+// Place computes an assignment: greedy worst-fit followed by local search.
+func Place(p Problem) (Assignment, error) {
+	a, err := Greedy(p)
+	if err != nil {
+		return Assignment{}, err
+	}
+	improved, _, err := Improve(p, a, 10*totalWorkers(p))
+	if err != nil {
+		return Assignment{}, err
+	}
+	return improved, nil
+}
+
+func totalWorkers(p Problem) int {
+	n := 0
+	for _, r := range p.Regions {
+		n += r.Workers
+	}
+	return n
+}
+
+// Rebalance adapts an existing assignment to changed demands while moving at
+// most maxMoves workers — the global analogue of the local model's
+// incremental weight constraints: a worker move means draining and
+// restarting a PE, so churn is bounded. It returns the new assignment and
+// the moves actually taken.
+func Rebalance(p Problem, current Assignment, maxMoves int) (Assignment, int, error) {
+	if err := p.validate(); err != nil {
+		return Assignment{}, 0, err
+	}
+	if _, err := p.Objective(current); err != nil {
+		return Assignment{}, 0, err
+	}
+	return Improve(p, current, maxMoves)
+}
+
+// MovedWorkers counts the workers whose host differs between two
+// assignments of the same shape.
+func MovedWorkers(a, b Assignment) int {
+	moved := 0
+	for ri := range a.Workers {
+		if ri >= len(b.Workers) {
+			break
+		}
+		for wi := range a.Workers[ri] {
+			if wi < len(b.Workers[ri]) && a.Workers[ri][wi] != b.Workers[ri][wi] {
+				moved++
+			}
+		}
+	}
+	return moved
+}

@@ -1,0 +1,253 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func twoHosts() []Host {
+	return []Host{
+		{Name: "fast", Slots: 16, Speed: 60},
+		{Name: "slow", Slots: 8, Speed: 50},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+	}{
+		{"no hosts", Problem{Regions: []Region{{Name: "r", Workers: 1}}}},
+		{"no regions", Problem{Hosts: twoHosts()}},
+		{"zero slots", Problem{Hosts: []Host{{Name: "h", Speed: 1}}, Regions: []Region{{Name: "r", Workers: 1}}}},
+		{"zero speed", Problem{Hosts: []Host{{Name: "h", Slots: 1}}, Regions: []Region{{Name: "r", Workers: 1}}}},
+		{"zero workers", Problem{Hosts: twoHosts(), Regions: []Region{{Name: "r"}}}},
+		{"negative demand", Problem{Hosts: twoHosts(), Regions: []Region{{Name: "r", Workers: 1, Demand: -1}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Greedy(tt.p); err == nil {
+				t.Fatal("invalid problem accepted")
+			}
+		})
+	}
+}
+
+func TestGreedyCoversAllWorkers(t *testing.T) {
+	p := Problem{
+		Hosts: twoHosts(),
+		Regions: []Region{
+			{Name: "a", Workers: 6, Demand: 300},
+			{Name: "b", Workers: 10, Demand: 100},
+		},
+	}
+	a, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Workers) != 2 || len(a.Workers[0]) != 6 || len(a.Workers[1]) != 10 {
+		t.Fatalf("assignment shape %v, want [6 10]", a.Workers)
+	}
+	if _, err := p.Objective(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyPrefersFasterHost(t *testing.T) {
+	// One worker, two hosts: it must land on the faster one.
+	p := Problem{
+		Hosts:   []Host{{Name: "slow", Slots: 8, Speed: 10}, {Name: "fast", Slots: 8, Speed: 100}},
+		Regions: []Region{{Name: "r", Workers: 1, Demand: 50}},
+	}
+	a, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workers[0][0] != 1 {
+		t.Fatalf("worker placed on host %d, want the fast host 1", a.Workers[0][0])
+	}
+}
+
+func TestUtilizationsOversubscriptionPenalty(t *testing.T) {
+	p := Problem{
+		Hosts:   []Host{{Name: "h", Slots: 2, Speed: 100}},
+		Regions: []Region{{Name: "r", Workers: 4, Demand: 100}},
+	}
+	a := Assignment{Workers: [][]int{{0, 0, 0, 0}}}
+	utils, err := p.Utilizations(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base utilization 100/200 = 0.5, scaled by 4/2 oversubscription.
+	if math.Abs(utils[0]-1.0) > 1e-12 {
+		t.Fatalf("utilization = %v, want 1.0 with oversubscription penalty", utils[0])
+	}
+}
+
+func TestImproveNeverWorsens(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nHosts := 2 + rng.Intn(3)
+		hosts := make([]Host, nHosts)
+		for h := range hosts {
+			hosts[h] = Host{Name: "h", Slots: 1 + rng.Intn(8), Speed: 10 + rng.Float64()*90}
+		}
+		nRegions := 1 + rng.Intn(3)
+		regions := make([]Region, nRegions)
+		for r := range regions {
+			regions[r] = Region{Name: "r", Workers: 1 + rng.Intn(6), Demand: rng.Float64() * 500}
+		}
+		p := Problem{Hosts: hosts, Regions: regions}
+		a, err := Greedy(p)
+		if err != nil {
+			return false
+		}
+		before, err := p.Objective(a)
+		if err != nil {
+			return false
+		}
+		improved, _, err := Improve(p, a, 50)
+		if err != nil {
+			return false
+		}
+		after, err := p.Objective(improved)
+		if err != nil {
+			return false
+		}
+		return after <= before+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteBest enumerates every assignment of a tiny instance.
+func bruteBest(p Problem) float64 {
+	total := 0
+	for _, r := range p.Regions {
+		total += r.Workers
+	}
+	best := math.Inf(1)
+	a := Assignment{Workers: make([][]int, len(p.Regions))}
+	for ri, r := range p.Regions {
+		a.Workers[ri] = make([]int, r.Workers)
+	}
+	var recurse func(flat int)
+	recurse = func(flat int) {
+		if flat == total {
+			if obj, err := p.Objective(a); err == nil && obj < best {
+				best = obj
+			}
+			return
+		}
+		ri, wi := flat, 0
+		for ri < len(p.Regions) && p.Regions[ri].Workers <= 0 {
+			ri++
+		}
+		// Map flat index to (region, worker).
+		rem := flat
+		for ri = 0; ri < len(p.Regions); ri++ {
+			if rem < p.Regions[ri].Workers {
+				wi = rem
+				break
+			}
+			rem -= p.Regions[ri].Workers
+		}
+		for h := range p.Hosts {
+			a.Workers[ri][wi] = h
+			recurse(flat + 1)
+		}
+	}
+	recurse(0)
+	return best
+}
+
+func TestPlaceNearOptimalOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		nHosts := 2 + rng.Intn(2)
+		hosts := make([]Host, nHosts)
+		for h := range hosts {
+			hosts[h] = Host{Name: "h", Slots: 1 + rng.Intn(3), Speed: 10 + rng.Float64()*90}
+		}
+		regions := []Region{
+			{Name: "a", Workers: 1 + rng.Intn(3), Demand: rng.Float64() * 200},
+			{Name: "b", Workers: 1 + rng.Intn(2), Demand: rng.Float64() * 200},
+		}
+		p := Problem{Hosts: hosts, Regions: regions}
+		a, err := Place(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Objective(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteBest(p)
+		// Greedy + local search: allow 35% over the optimum.
+		if got > want*1.35+1e-9 {
+			t.Fatalf("trial %d: objective %.4f vs optimal %.4f (hosts=%+v regions=%+v)",
+				trial, got, want, hosts, regions)
+		}
+	}
+}
+
+func TestRebalanceBoundsMoves(t *testing.T) {
+	p := Problem{
+		Hosts: twoHosts(),
+		Regions: []Region{
+			{Name: "a", Workers: 8, Demand: 200},
+			{Name: "b", Workers: 8, Demand: 200},
+		},
+	}
+	a, err := Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand shifts heavily to region a.
+	p.Regions[0].Demand = 900
+	p.Regions[1].Demand = 50
+	rebalanced, moves, err := Rebalance(p, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves > 3 {
+		t.Fatalf("rebalance took %d moves, limit 3", moves)
+	}
+	if got := MovedWorkers(a, rebalanced); got != moves {
+		t.Fatalf("MovedWorkers = %d, reported moves = %d", got, moves)
+	}
+	before, err := p.Objective(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := p.Objective(rebalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Fatalf("rebalance worsened objective: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestObjectiveErrors(t *testing.T) {
+	p := Problem{Hosts: twoHosts(), Regions: []Region{{Name: "r", Workers: 2, Demand: 10}}}
+	if _, err := p.Objective(Assignment{Workers: [][]int{{0}}}); err == nil {
+		t.Fatal("wrong worker count accepted")
+	}
+	if _, err := p.Objective(Assignment{Workers: [][]int{{0, 9}}}); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	if _, err := p.Objective(Assignment{}); err == nil {
+		t.Fatal("missing regions accepted")
+	}
+}
+
+func TestHostCapacity(t *testing.T) {
+	h := Host{Slots: 8, Speed: 50}
+	if got := h.Capacity(); got != 400 {
+		t.Fatalf("Capacity = %v, want 400", got)
+	}
+}

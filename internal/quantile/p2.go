@@ -1,0 +1,204 @@
+// Package quantile implements the P² (piecewise-parabolic) streaming
+// quantile estimator of Jain & Chlamtac (1985): a constant-space estimate of
+// an arbitrary quantile over an unbounded stream of observations. The
+// simulator and runtime use it to report per-tuple end-to-end latency
+// percentiles — the low-latency requirement that motivates the paper —
+// without retaining per-tuple state.
+package quantile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Estimator tracks one quantile of a stream with five markers. The zero
+// value is not usable; construct with New.
+type Estimator struct {
+	p     float64
+	count int
+	// Marker heights (the estimates) and positions.
+	heights   [5]float64
+	positions [5]float64
+	desired   [5]float64
+	increment [5]float64
+	initial   []float64
+}
+
+// New returns an estimator for the p-quantile, 0 < p < 1.
+func New(p float64) (*Estimator, error) {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("quantile: p = %v outside (0,1)", p)
+	}
+	e := &Estimator{p: p, initial: make([]float64, 0, 5)}
+	e.positions = [5]float64{1, 2, 3, 4, 5}
+	e.desired = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.increment = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e, nil
+}
+
+// Add feeds one observation.
+func (e *Estimator) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	e.count++
+	if len(e.initial) < 5 {
+		e.initial = append(e.initial, x)
+		if len(e.initial) == 5 {
+			sort.Float64s(e.initial)
+			copy(e.heights[:], e.initial)
+		}
+		return
+	}
+
+	// Find the cell containing x and update extreme markers.
+	var k int
+	switch {
+	case x < e.heights[0]:
+		e.heights[0] = x
+		k = 0
+	case x >= e.heights[4]:
+		e.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.positions[i]++
+	}
+	for i := range e.desired {
+		e.desired[i] += e.increment[i]
+	}
+
+	// Adjust the three middle markers with the parabolic formula, falling
+	// back to linear when the parabolic estimate leaves the bracket.
+	for i := 1; i <= 3; i++ {
+		d := e.desired[i] - e.positions[i]
+		if (d >= 1 && e.positions[i+1]-e.positions[i] > 1) ||
+			(d <= -1 && e.positions[i-1]-e.positions[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := e.parabolic(i, sign)
+			if e.heights[i-1] < h && h < e.heights[i+1] {
+				e.heights[i] = h
+			} else {
+				e.heights[i] = e.linear(i, sign)
+			}
+			e.positions[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (e *Estimator) parabolic(i int, sign float64) float64 {
+	num1 := e.positions[i] - e.positions[i-1] + sign
+	num2 := e.positions[i+1] - e.positions[i] - sign
+	den := e.positions[i+1] - e.positions[i-1]
+	term1 := num1 * (e.heights[i+1] - e.heights[i]) / (e.positions[i+1] - e.positions[i])
+	term2 := num2 * (e.heights[i] - e.heights[i-1]) / (e.positions[i] - e.positions[i-1])
+	return e.heights[i] + sign/den*(term1+term2)
+}
+
+// linear is the fallback height prediction.
+func (e *Estimator) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return e.heights[i] + sign*(e.heights[j]-e.heights[i])/(e.positions[j]-e.positions[i])
+}
+
+// Count returns the number of observations.
+func (e *Estimator) Count() int {
+	return e.count
+}
+
+// ErrNoData is returned by Value before any observation arrives.
+var ErrNoData = errors.New("quantile: no observations")
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it returns the exact sample quantile.
+func (e *Estimator) Value() (float64, error) {
+	if e.count == 0 {
+		return 0, ErrNoData
+	}
+	if len(e.initial) < 5 {
+		sorted := append([]float64(nil), e.initial...)
+		sort.Float64s(sorted)
+		idx := int(math.Ceil(e.p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx], nil
+	}
+	return e.heights[2], nil
+}
+
+// Tracker bundles the usual latency quantiles plus mean and max.
+type Tracker struct {
+	p50, p99 *Estimator
+	count    int
+	sum      float64
+	max      float64
+}
+
+// NewTracker returns a tracker for the median and the 99th percentile.
+func NewTracker() *Tracker {
+	p50, err := New(0.5)
+	if err != nil {
+		panic(err) // static parameter; cannot fail
+	}
+	p99, err := New(0.99)
+	if err != nil {
+		panic(err)
+	}
+	return &Tracker{p50: p50, p99: p99}
+}
+
+// Add feeds one observation.
+func (t *Tracker) Add(x float64) {
+	t.p50.Add(x)
+	t.p99.Add(x)
+	t.count++
+	t.sum += x
+	if x > t.max {
+		t.max = x
+	}
+}
+
+// Count returns the number of observations.
+func (t *Tracker) Count() int { return t.count }
+
+// Mean returns the arithmetic mean, or 0 with no data.
+func (t *Tracker) Mean() float64 {
+	if t.count == 0 {
+		return 0
+	}
+	return t.sum / float64(t.count)
+}
+
+// Max returns the largest observation.
+func (t *Tracker) Max() float64 { return t.max }
+
+// P50 returns the median estimate, or 0 with no data.
+func (t *Tracker) P50() float64 {
+	v, err := t.p50.Value()
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// P99 returns the 99th-percentile estimate, or 0 with no data.
+func (t *Tracker) P99() float64 {
+	v, err := t.p99.Value()
+	if err != nil {
+		return 0
+	}
+	return v
+}

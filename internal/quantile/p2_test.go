@@ -1,0 +1,170 @@
+package quantile
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := New(p); err == nil {
+			t.Fatalf("New(%v) accepted", p)
+		}
+	}
+	if _, err := New(0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueBeforeData(t *testing.T) {
+	e, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Value(); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestExactSmallSamples(t *testing.T) {
+	e, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(10)
+	e.Add(2)
+	e.Add(7)
+	v, err := e.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("median of {10,2,7} = %v, want 7", v)
+	}
+	if e.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", e.Count())
+	}
+}
+
+// exactQuantile computes the reference quantile over a full sample.
+func exactQuantile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func TestAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		e, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]float64, 50_000)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+			e.Add(xs[i])
+		}
+		got, err := e.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exactQuantile(xs, p)
+		if math.Abs(got-want) > 0.03*1000 {
+			t.Fatalf("p=%v: estimate %.2f vs exact %.2f", p, got, want)
+		}
+	}
+}
+
+func TestAccuracyExponential(t *testing.T) {
+	// Heavy-tailed data, the shape of latency distributions.
+	rng := rand.New(rand.NewSource(6))
+	e, err := New(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 80_000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+		e.Add(xs[i])
+	}
+	got, err := e.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exactQuantile(xs, 0.99)
+	if math.Abs(got-want) > 0.15*want {
+		t.Fatalf("p99 estimate %.2f vs exact %.2f", got, want)
+	}
+}
+
+func TestEstimateWithinRangeProperty(t *testing.T) {
+	// The estimate always lies within [min, max] of the observations.
+	prop := func(seed int64, rawN uint16) bool {
+		n := int(rawN%2000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e, err := New(0.9)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64() * 100
+			e.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		v, err := e.Value()
+		if err != nil {
+			return false
+		}
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddIgnoresNaN(t *testing.T) {
+	e, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(math.NaN())
+	if e.Count() != 0 {
+		t.Fatal("NaN counted")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker()
+	if tr.P50() != 0 || tr.P99() != 0 || tr.Mean() != 0 || tr.Max() != 0 {
+		t.Fatal("empty tracker returned nonzero stats")
+	}
+	for i := 1; i <= 1000; i++ {
+		tr.Add(float64(i))
+	}
+	if tr.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", tr.Count())
+	}
+	if math.Abs(tr.Mean()-500.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 500.5", tr.Mean())
+	}
+	if tr.Max() != 1000 {
+		t.Fatalf("Max = %v, want 1000", tr.Max())
+	}
+	if p50 := tr.P50(); math.Abs(p50-500) > 25 {
+		t.Fatalf("P50 = %v, want ~500", p50)
+	}
+	if p99 := tr.P99(); math.Abs(p99-990) > 25 {
+		t.Fatalf("P99 = %v, want ~990", p99)
+	}
+}

@@ -1,0 +1,218 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"streambalance/internal/transport"
+)
+
+// DefaultMergerQueue bounds each connection's reorder queue: while the tuple
+// the merge needs next has not arrived, at most this many tuples are buffered
+// per other connection before their readers stop draining TCP — which is how
+// back pressure reaches the splitter through the fast connections only under
+// severe skew (see Section 4.1 and the sim package's discussion).
+const DefaultMergerQueue = 1024
+
+// Merger restores sequence order across N worker connections (Section 4.1).
+// Tuples leave through the sink callback in strictly increasing sequence
+// order, regardless of which worker processed them or when.
+type Merger struct {
+	ln       net.Listener
+	workers  int
+	queueCap int
+	sink     func(transport.Tuple, int)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [][]transport.Tuple // per-connection FIFO, bounded by queueCap
+	eof    []bool
+	next   uint64
+
+	done chan struct{}
+	err  error
+}
+
+// NewMerger listens for worker connections. sink receives every tuple, in
+// order, with the worker id that processed it; it runs on the merge goroutine
+// and must not block indefinitely. queueCap <= 0 selects DefaultMergerQueue.
+func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger, error) {
+	if workers <= 0 {
+		return nil, errors.New("runtime: merger needs at least one worker")
+	}
+	if sink == nil {
+		return nil, errors.New("runtime: merger needs a sink")
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultMergerQueue
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("runtime: merger listen: %w", err)
+	}
+	m := &Merger{
+		ln:       ln,
+		workers:  workers,
+		queueCap: queueCap,
+		sink:     sink,
+		queues:   make([][]transport.Tuple, workers),
+		eof:      make([]bool, workers),
+		done:     make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m, nil
+}
+
+// Addr returns the address workers dial.
+func (m *Merger) Addr() string {
+	return m.ln.Addr().String()
+}
+
+// Start launches the accept loop, per-connection readers and the merge loop.
+func (m *Merger) Start() {
+	go func() {
+		defer close(m.done)
+		m.err = m.run()
+	}()
+}
+
+// run accepts all worker connections, then merges until every stream ends.
+func (m *Merger) run() error {
+	var wg sync.WaitGroup
+	conns := make([]net.Conn, m.workers)
+	for i := 0; i < m.workers; i++ {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("runtime: merger accept: %w", err)
+		}
+		var idBuf [4]byte
+		if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+			conn.Close()
+			return fmt.Errorf("runtime: merger read worker id: %w", err)
+		}
+		id := int(binary.LittleEndian.Uint32(idBuf[:]))
+		if id < 0 || id >= m.workers || conns[id] != nil {
+			conn.Close()
+			return fmt.Errorf("runtime: merger got bad worker id %d", id)
+		}
+		conns[id] = conn
+	}
+	m.ln.Close()
+
+	readErrs := make([]error, m.workers)
+	for id, conn := range conns {
+		wg.Add(1)
+		go func(id int, conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			readErrs[id] = m.readLoop(id, conn)
+		}(id, conn)
+	}
+
+	mergeErr := m.mergeLoop()
+	wg.Wait()
+	if mergeErr != nil {
+		return mergeErr
+	}
+	return errors.Join(readErrs...)
+}
+
+// readLoop drains one worker connection into its bounded reorder queue. When
+// the queue is full the loop waits — it stops reading from TCP, so the
+// worker's sends eventually block: back pressure.
+func (m *Merger) readLoop(id int, conn net.Conn) error {
+	rc := transport.NewReceiver(conn)
+	for {
+		t, err := rc.Receive()
+		if errors.Is(err, io.EOF) {
+			m.mu.Lock()
+			m.eof[id] = true
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			return nil
+		}
+		if err != nil {
+			m.mu.Lock()
+			m.eof[id] = true
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			return fmt.Errorf("runtime: merger read worker %d: %w", id, err)
+		}
+		m.mu.Lock()
+		for len(m.queues[id]) >= m.queueCap {
+			m.cond.Wait()
+		}
+		m.queues[id] = append(m.queues[id], t)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// mergeLoop releases tuples in strict sequence order.
+func (m *Merger) mergeLoop() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		released := false
+		for id := range m.queues {
+			if len(m.queues[id]) == 0 {
+				continue
+			}
+			head := m.queues[id][0]
+			if head.Seq != m.next {
+				continue
+			}
+			m.queues[id] = m.queues[id][1:]
+			m.next++
+			released = true
+			m.mu.Unlock()
+			m.sink(head, id)
+			m.mu.Lock()
+			m.cond.Broadcast()
+			break
+		}
+		if released {
+			continue
+		}
+		// Nothing matched: either a stream still owes us the next tuple, or
+		// everything has drained.
+		allDone := true
+		for id := range m.queues {
+			if !m.eof[id] || len(m.queues[id]) > 0 {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return nil
+		}
+		// If every live stream is at EOF but queues hold only later
+		// sequence numbers, the next tuple can never arrive.
+		stuck := true
+		for id := range m.queues {
+			if !m.eof[id] {
+				stuck = false
+				break
+			}
+		}
+		if stuck {
+			return fmt.Errorf("runtime: merger missing sequence %d at end of streams", m.next)
+		}
+		m.cond.Wait()
+	}
+}
+
+// Wait blocks until merging completes and returns the first error.
+func (m *Merger) Wait() error {
+	<-m.done
+	return m.err
+}
+
+// Close shuts the listener.
+func (m *Merger) Close() {
+	m.ln.Close()
+}

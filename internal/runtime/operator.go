@@ -1,0 +1,106 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"time"
+
+	"streambalance/internal/transport"
+)
+
+// Operator is a stateless tuple computation: given an input tuple it returns
+// the output tuple (Section 2 — stateless PEs are pure functions).
+type Operator interface {
+	Process(t transport.Tuple) transport.Tuple
+}
+
+// OperatorFunc adapts a function to the Operator interface.
+type OperatorFunc func(transport.Tuple) transport.Tuple
+
+// Process implements Operator.
+func (f OperatorFunc) Process(t transport.Tuple) transport.Tuple {
+	return f(t)
+}
+
+// Identity returns tuples unchanged.
+func Identity() Operator {
+	return OperatorFunc(func(t transport.Tuple) transport.Tuple { return t })
+}
+
+// SpinOperator burns a configurable number of integer multiplies per tuple —
+// the paper's synthetic workload ("base cost of 1,000 integer multiplies").
+// The cost can be changed concurrently to emulate external load arriving or
+// departing mid-run, as in the Section 6.3/6.4 dynamic experiments.
+type SpinOperator struct {
+	multiplies atomic.Int64
+	// sink absorbs the spin result so the loop cannot be optimized away.
+	sink atomic.Int64
+}
+
+var _ Operator = (*SpinOperator)(nil)
+
+// NewSpinOperator returns an operator costing the given number of integer
+// multiplies per tuple.
+func NewSpinOperator(multiplies int64) *SpinOperator {
+	op := &SpinOperator{}
+	op.multiplies.Store(multiplies)
+	return op
+}
+
+// SetMultiplies changes the per-tuple cost; safe to call during a run.
+func (op *SpinOperator) SetMultiplies(multiplies int64) {
+	op.multiplies.Store(multiplies)
+}
+
+// Multiplies returns the current per-tuple cost.
+func (op *SpinOperator) Multiplies() int64 {
+	return op.multiplies.Load()
+}
+
+// Process implements Operator: it performs the integer multiplies and passes
+// the tuple through unchanged.
+func (op *SpinOperator) Process(t transport.Tuple) transport.Tuple {
+	n := op.multiplies.Load()
+	acc := int64(1)
+	x := int64(t.Seq) | 3
+	for i := int64(0); i < n; i++ {
+		acc *= x
+	}
+	op.sink.Store(acc)
+	return t
+}
+
+// DelayOperator holds each tuple for a configurable duration without
+// consuming CPU. On machines with fewer cores than workers, SpinOperator
+// cannot express a genuine capacity difference — every worker just contends
+// for the same cores — so examples and tests emulate a slower host by
+// delaying instead. The delay can be changed concurrently.
+type DelayOperator struct {
+	delayNS atomic.Int64
+}
+
+var _ Operator = (*DelayOperator)(nil)
+
+// NewDelayOperator returns an operator that sleeps for d per tuple.
+func NewDelayOperator(d time.Duration) *DelayOperator {
+	op := &DelayOperator{}
+	op.delayNS.Store(int64(d))
+	return op
+}
+
+// SetDelay changes the per-tuple delay; safe to call during a run.
+func (op *DelayOperator) SetDelay(d time.Duration) {
+	op.delayNS.Store(int64(d))
+}
+
+// Delay returns the current per-tuple delay.
+func (op *DelayOperator) Delay() time.Duration {
+	return time.Duration(op.delayNS.Load())
+}
+
+// Process implements Operator: it sleeps and passes the tuple through.
+func (op *DelayOperator) Process(t transport.Tuple) transport.Tuple {
+	if d := time.Duration(op.delayNS.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	return t
+}

@@ -1,0 +1,167 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/transport"
+)
+
+// RegionConfig assembles one ordered data-parallel region.
+type RegionConfig struct {
+	// Workers is the fan-out N; one operator per worker is required.
+	Operators []Operator
+	// Source feeds the splitter.
+	Source Source
+	// Balancer, when set, balances dynamically; nil means round-robin.
+	Balancer *core.Balancer
+	// SampleInterval for the controller (default 1s).
+	SampleInterval time.Duration
+	// MergerQueue bounds each reorder queue (default DefaultMergerQueue).
+	MergerQueue int
+	// Sink receives every released tuple in order, with the worker id.
+	// Optional.
+	Sink func(transport.Tuple, int)
+	// OnSample observes controller ticks. Optional.
+	OnSample func(now time.Duration, rates []float64, weights []int)
+	// SocketBufferBytes sizes the kernel buffers between splitter and
+	// workers (default DefaultSocketBuffer).
+	SocketBufferBytes int
+}
+
+// Region owns the processes of one parallel region: N workers, the merger
+// and the splitter, wired over loopback TCP.
+type Region struct {
+	workers  []*Worker
+	merger   *Merger
+	splitter *Splitter
+
+	mu        sync.Mutex
+	released  uint64
+	lastSeq   uint64
+	orderGood bool
+}
+
+// RegionResult summarizes a completed region run.
+type RegionResult struct {
+	// Released counts tuples that exited the merger.
+	Released uint64
+	// OrderPreserved reports whether every release had the next sequence
+	// number in line.
+	OrderPreserved bool
+	// TotalBlocking is the lifetime blocking per connection.
+	TotalBlocking []time.Duration
+	// PerConnSent counts tuples sent per connection.
+	PerConnSent []int64
+	// Elapsed is the wall-clock makespan.
+	Elapsed time.Duration
+}
+
+// NewRegion builds and connects all components; nothing runs until Run.
+func NewRegion(cfg RegionConfig) (*Region, error) {
+	if len(cfg.Operators) == 0 {
+		return nil, errors.New("runtime: region needs at least one operator")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("runtime: region needs a source")
+	}
+	r := &Region{orderGood: true}
+
+	merger, err := NewMerger(len(cfg.Operators), cfg.MergerQueue, func(t transport.Tuple, conn int) {
+		r.mu.Lock()
+		if t.Seq != r.lastSeq {
+			r.orderGood = false
+		}
+		r.lastSeq = t.Seq + 1
+		r.released++
+		r.mu.Unlock()
+		if cfg.Sink != nil {
+			cfg.Sink(t, conn)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.merger = merger
+
+	addrs := make([]string, len(cfg.Operators))
+	for i, op := range cfg.Operators {
+		w, err := NewWorker(i, op, merger.Addr())
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		if cfg.SocketBufferBytes > 0 {
+			w.SetReceiveBuffer(cfg.SocketBufferBytes)
+		}
+		r.workers = append(r.workers, w)
+		addrs[i] = w.Addr()
+	}
+
+	// Workers and merger must be listening before the splitter dials, and
+	// workers only dial the merger after the splitter connects, so start
+	// them before constructing the splitter.
+	merger.Start()
+	for _, w := range r.workers {
+		w.Start()
+	}
+
+	splitter, err := NewSplitter(SplitterConfig{
+		WorkerAddrs:       addrs,
+		Source:            cfg.Source,
+		Balancer:          cfg.Balancer,
+		SampleInterval:    cfg.SampleInterval,
+		OnSample:          cfg.OnSample,
+		SocketBufferBytes: cfg.SocketBufferBytes,
+	})
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	r.splitter = splitter
+	return r, nil
+}
+
+// Run executes the region until the source is exhausted and every tuple has
+// exited the merger.
+func (r *Region) Run() (RegionResult, error) {
+	start := time.Now()
+	r.splitter.Start()
+
+	var errs []error
+	if err := r.splitter.Wait(); err != nil {
+		errs = append(errs, fmt.Errorf("splitter: %w", err))
+	}
+	for i, w := range r.workers {
+		if err := w.Wait(); err != nil {
+			errs = append(errs, fmt.Errorf("worker %d: %w", i, err))
+		}
+	}
+	if err := r.merger.Wait(); err != nil {
+		errs = append(errs, fmt.Errorf("merger: %w", err))
+	}
+
+	res := RegionResult{Elapsed: time.Since(start)}
+	r.mu.Lock()
+	res.Released = r.released
+	res.OrderPreserved = r.orderGood
+	r.mu.Unlock()
+	for _, s := range r.splitter.Senders() {
+		res.TotalBlocking = append(res.TotalBlocking, s.TotalBlocking())
+		res.PerConnSent = append(res.PerConnSent, s.Sent())
+	}
+	return res, errors.Join(errs...)
+}
+
+// Close tears down listeners for a region that never ran.
+func (r *Region) Close() {
+	if r.merger != nil {
+		r.merger.Close()
+	}
+	for _, w := range r.workers {
+		w.Close()
+	}
+}

@@ -1,0 +1,244 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"streambalance/internal/core"
+	"streambalance/internal/schedule"
+	"streambalance/internal/stats"
+	"streambalance/internal/transport"
+)
+
+// Source supplies tuple payloads to the splitter. Returning ok=false ends
+// the stream.
+type Source func(seq uint64) (payload []byte, ok bool)
+
+// ConstantSource emits the same payload for n tuples (n == 0 means
+// unbounded).
+func ConstantSource(payload []byte, n uint64) Source {
+	return func(seq uint64) ([]byte, bool) {
+		if n > 0 && seq >= n {
+			return nil, false
+		}
+		return payload, true
+	}
+}
+
+// SplitterConfig configures a Splitter.
+type SplitterConfig struct {
+	// WorkerAddrs are the worker PE endpoints, one connection each.
+	WorkerAddrs []string
+	// Source feeds the splitter; required.
+	Source Source
+	// Balancer, when set, drives dynamic weights from sampled blocking
+	// rates. Nil means fixed even round-robin.
+	Balancer *core.Balancer
+	// SampleInterval is the controller's collection interval (default 1s;
+	// tests use much shorter).
+	SampleInterval time.Duration
+	// ResetInterval periodically resets the cumulative counters as the
+	// paper's transport does (default 16x the sample interval; negative
+	// disables).
+	ResetInterval time.Duration
+	// OnSample, when set, observes each controller tick.
+	OnSample func(now time.Duration, rates []float64, weights []int)
+	// SocketBufferBytes sizes the kernel send buffer of each worker
+	// connection (default DefaultSocketBuffer). The blocking-time signal
+	// only exists when the buffers are small relative to the workload:
+	// with gigantic buffers the kernel absorbs everything and no send ever
+	// blocks — the paper's "numerous system buffers" caveat (Section 4.4).
+	SocketBufferBytes int
+}
+
+// DefaultSocketBuffer is the kernel buffer size requested per connection.
+const DefaultSocketBuffer = 64 << 10
+
+// Splitter distributes tuples across worker connections by smooth weighted
+// round-robin, measuring per-connection blocking, and (optionally) runs the
+// balancing controller.
+type Splitter struct {
+	cfg     SplitterConfig
+	senders []*transport.Sender
+	wrr     *schedule.WRR
+
+	weightCh chan []int
+	done     chan struct{}
+	stopCtl  chan struct{}
+	ctlDone  chan struct{}
+	err      error
+	started  time.Time
+}
+
+// NewSplitter dials every worker.
+func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
+	if len(cfg.WorkerAddrs) == 0 {
+		return nil, errors.New("runtime: splitter needs worker addresses")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("runtime: splitter needs a source")
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = time.Second
+	}
+	if cfg.ResetInterval == 0 {
+		cfg.ResetInterval = 16 * cfg.SampleInterval
+	}
+	if cfg.SocketBufferBytes <= 0 {
+		cfg.SocketBufferBytes = DefaultSocketBuffer
+	}
+	wrr, err := schedule.NewWRR(len(cfg.WorkerAddrs))
+	if err != nil {
+		return nil, err
+	}
+	sp := &Splitter{
+		cfg:      cfg,
+		wrr:      wrr,
+		weightCh: make(chan []int, 1),
+		done:     make(chan struct{}),
+		stopCtl:  make(chan struct{}),
+		ctlDone:  make(chan struct{}),
+	}
+	initial := core.EvenWeights(len(cfg.WorkerAddrs), core.DefaultUnits)
+	if err := sp.wrr.SetWeights(initial); err != nil {
+		return nil, err
+	}
+	for i, addr := range cfg.WorkerAddrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			sp.closeSenders()
+			return nil, fmt.Errorf("runtime: splitter dial worker %d: %w", i, err)
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			if err := tc.SetWriteBuffer(cfg.SocketBufferBytes); err != nil {
+				conn.Close()
+				sp.closeSenders()
+				return nil, fmt.Errorf("runtime: splitter set buffer %d: %w", i, err)
+			}
+		}
+		sender, err := transport.NewSender(conn)
+		if err != nil {
+			conn.Close()
+			sp.closeSenders()
+			return nil, fmt.Errorf("runtime: splitter wrap worker %d: %w", i, err)
+		}
+		sp.senders = append(sp.senders, sender)
+	}
+	return sp, nil
+}
+
+func (sp *Splitter) closeSenders() {
+	for _, s := range sp.senders {
+		s.Close()
+	}
+}
+
+// Start launches the send loop and, if a balancer is configured, the
+// controller goroutine.
+func (sp *Splitter) Start() {
+	sp.started = time.Now()
+	go sp.controller()
+	go func() {
+		defer close(sp.done)
+		sp.err = sp.sendLoop()
+		close(sp.stopCtl)
+		<-sp.ctlDone
+		sp.closeSenders()
+	}()
+}
+
+// sendLoop is the splitter's single thread of control.
+func (sp *Splitter) sendLoop() error {
+	var seq uint64
+	for {
+		// Apply any weight update the controller published.
+		select {
+		case w := <-sp.weightCh:
+			if err := sp.wrr.SetWeights(w); err != nil {
+				return fmt.Errorf("runtime: apply weights: %w", err)
+			}
+		default:
+		}
+		payload, ok := sp.cfg.Source(seq)
+		if !ok {
+			return nil
+		}
+		j := sp.wrr.Next()
+		if err := sp.senders[j].Send(transport.Tuple{Seq: seq, Payload: payload}); err != nil {
+			return fmt.Errorf("runtime: send to worker %d: %w", j, err)
+		}
+		seq++
+	}
+}
+
+// controller samples the cumulative blocking counters every interval, feeds
+// the balancer and publishes new weights to the send loop.
+func (sp *Splitter) controller() {
+	defer close(sp.ctlDone)
+	ticker := time.NewTicker(sp.cfg.SampleInterval)
+	defer ticker.Stop()
+	samplers := make([]stats.RateSampler, len(sp.senders))
+	lastReset := time.Duration(0)
+	for {
+		select {
+		case <-sp.stopCtl:
+			return
+		case <-ticker.C:
+		}
+		now := time.Since(sp.started)
+		rates := make([]float64, len(sp.senders))
+		for j, s := range sp.senders {
+			if rate, ok := samplers[j].Sample(now, s.CumulativeBlocking().Seconds()); ok {
+				rates[j] = rate
+			}
+		}
+		if sp.cfg.ResetInterval > 0 && now-lastReset >= sp.cfg.ResetInterval {
+			for j, s := range sp.senders {
+				s.ResetCumulative()
+				samplers[j].Reset()
+				samplers[j].Sample(now, 0)
+			}
+			lastReset = now
+		}
+		weights := sp.wrr.Weights()
+		if sp.cfg.Balancer != nil {
+			ok := true
+			for j, r := range rates {
+				if err := sp.cfg.Balancer.Observe(j, r); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if newWeights, err := sp.cfg.Balancer.Rebalance(); err == nil {
+					weights = newWeights
+					// Publish, replacing any unconsumed update.
+					select {
+					case <-sp.weightCh:
+					default:
+					}
+					sp.weightCh <- weights
+				}
+			}
+		}
+		if sp.cfg.OnSample != nil {
+			sp.cfg.OnSample(now, rates, weights)
+		}
+	}
+}
+
+// Wait blocks until the send loop finishes (source exhausted or error) and
+// all connections are closed.
+func (sp *Splitter) Wait() error {
+	<-sp.done
+	return sp.err
+}
+
+// Senders exposes the per-connection senders (for metrics inspection).
+func (sp *Splitter) Senders() []*transport.Sender {
+	out := make([]*transport.Sender, len(sp.senders))
+	copy(out, sp.senders)
+	return out
+}

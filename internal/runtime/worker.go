@@ -1,0 +1,126 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"streambalance/internal/transport"
+)
+
+// Worker is one parallel PE: it accepts a single connection from the
+// splitter, applies its operator to every tuple, and forwards results to the
+// merger over its own TCP connection.
+type Worker struct {
+	id       int
+	operator Operator
+	ln       net.Listener
+	merger   string // merger address to dial
+	rcvBuf   int
+
+	done chan struct{}
+	err  error
+}
+
+// NewWorker starts listening for the splitter on a fresh loopback port.
+// mergerAddr is where processed tuples are sent.
+func NewWorker(id int, operator Operator, mergerAddr string) (*Worker, error) {
+	if operator == nil {
+		return nil, errors.New("runtime: worker needs an operator")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("runtime: worker %d listen: %w", id, err)
+	}
+	return &Worker{
+		id:       id,
+		operator: operator,
+		ln:       ln,
+		merger:   mergerAddr,
+		rcvBuf:   64 << 10,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// SetReceiveBuffer overrides the kernel receive-buffer size requested for the
+// splitter connection (bytes). Call before Start.
+func (w *Worker) SetReceiveBuffer(bytes int) {
+	if bytes > 0 {
+		w.rcvBuf = bytes
+	}
+}
+
+// Addr returns the address the splitter should dial.
+func (w *Worker) Addr() string {
+	return w.ln.Addr().String()
+}
+
+// Start launches the worker loop; it runs until the splitter closes its
+// connection or an error occurs. Wait for completion with Wait.
+func (w *Worker) Start() {
+	go func() {
+		defer close(w.done)
+		w.err = w.run()
+	}()
+}
+
+// run accepts the splitter connection and processes tuples until EOF.
+func (w *Worker) run() error {
+	in, err := w.ln.Accept()
+	if err != nil {
+		return fmt.Errorf("runtime: worker %d accept: %w", w.id, err)
+	}
+	defer in.Close()
+	// Once the splitter is connected no further connections are expected.
+	w.ln.Close()
+	if tc, ok := in.(*net.TCPConn); ok {
+		if err := tc.SetReadBuffer(w.rcvBuf); err != nil {
+			return fmt.Errorf("runtime: worker %d set read buffer: %w", w.id, err)
+		}
+	}
+
+	out, err := net.Dial("tcp", w.merger)
+	if err != nil {
+		return fmt.Errorf("runtime: worker %d dial merger: %w", w.id, err)
+	}
+	defer out.Close()
+	// Identify this connection to the merger.
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], uint32(w.id))
+	if _, err := out.Write(id[:]); err != nil {
+		return fmt.Errorf("runtime: worker %d send id: %w", w.id, err)
+	}
+
+	rc := transport.NewReceiver(in)
+	var frame []byte
+	for {
+		t, err := rc.Receive()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("runtime: worker %d receive: %w", w.id, err)
+		}
+		result := w.operator.Process(t)
+		frame, err = transport.AppendFrame(frame[:0], result)
+		if err != nil {
+			return fmt.Errorf("runtime: worker %d frame: %w", w.id, err)
+		}
+		if _, err := out.Write(frame); err != nil {
+			return fmt.Errorf("runtime: worker %d forward: %w", w.id, err)
+		}
+	}
+}
+
+// Wait blocks until the worker loop exits and returns its error, if any.
+func (w *Worker) Wait() error {
+	<-w.done
+	return w.err
+}
+
+// Close shuts the worker's listener; pending Accept calls fail.
+func (w *Worker) Close() {
+	w.ln.Close()
+}

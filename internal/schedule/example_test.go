@@ -1,0 +1,27 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"streambalance/internal/schedule"
+)
+
+// Example shows the smooth interleaving: with weights 3:1, connection 0
+// receives three of every four tuples, spread through the frame rather than
+// sent in a burst.
+func Example() {
+	wrr, err := schedule.NewWRR(2)
+	if err != nil {
+		panic(err)
+	}
+	if err := wrr.SetWeights([]int{3, 1}); err != nil {
+		panic(err)
+	}
+	var picks []int
+	for i := 0; i < 8; i++ {
+		picks = append(picks, wrr.Next())
+	}
+	fmt.Println(picks)
+	// Output:
+	// [0 0 1 0 0 0 1 0]
+}

@@ -1,0 +1,194 @@
+package schedule
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWRRValidation(t *testing.T) {
+	if _, err := NewWRR(0); !errors.Is(err, ErrNoConnections) {
+		t.Fatalf("NewWRR(0) err = %v, want ErrNoConnections", err)
+	}
+	if _, err := NewWRR(-3); err == nil {
+		t.Fatal("NewWRR(-3) accepted")
+	}
+	w, err := NewWRR(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 4 {
+		t.Fatalf("N = %d, want 4", w.N())
+	}
+}
+
+func TestSetWeightsValidation(t *testing.T) {
+	w, err := NewWRR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{1, 2}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if err := w.SetWeights([]int{1, -1, 2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := w.SetWeights([]int{1, 2, 3}); err != nil {
+		t.Fatalf("valid weights rejected: %v", err)
+	}
+	got := w.Weights()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Weights = %v, want [1 2 3]", got)
+	}
+}
+
+func TestWRRExactQuotaPerFrame(t *testing.T) {
+	// Over one frame of total-weight picks, each connection receives
+	// exactly its weight.
+	tests := [][]int{
+		{1, 1, 1},
+		{8, 2},
+		{5, 0, 5},
+		{997, 2, 1},
+		{0, 0, 7},
+	}
+	for _, weights := range tests {
+		w, err := NewWRR(len(weights))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SetWeights(weights); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, x := range weights {
+			total += x
+		}
+		counts := make([]int, len(weights))
+		for i := 0; i < total; i++ {
+			counts[w.Next()]++
+		}
+		for j := range weights {
+			if counts[j] != weights[j] {
+				t.Fatalf("weights %v: counts %v", weights, counts)
+			}
+		}
+	}
+}
+
+func TestWRRQuotaProperty(t *testing.T) {
+	prop := func(seed int64, rawN uint8) bool {
+		n := int(rawN%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		weights := make([]int, n)
+		total := 0
+		for j := range weights {
+			weights[j] = rng.Intn(20)
+			total += weights[j]
+		}
+		if total == 0 {
+			weights[0] = 1
+			total = 1
+		}
+		w, err := NewWRR(n)
+		if err != nil {
+			return false
+		}
+		if err := w.SetWeights(weights); err != nil {
+			return false
+		}
+		// Two frames: quotas must hold in each.
+		for frame := 0; frame < 2; frame++ {
+			counts := make([]int, n)
+			for i := 0; i < total; i++ {
+				counts[w.Next()]++
+			}
+			for j := range weights {
+				if counts[j] != weights[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWRRSmoothness(t *testing.T) {
+	// With weights 5:5, the schedule must alternate rather than burst.
+	w, err := NewWRR(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	prev := w.Next()
+	for i := 0; i < 9; i++ {
+		next := w.Next()
+		if next == prev {
+			t.Fatalf("pick %d repeated connection %d with even weights", i, next)
+		}
+		prev = next
+	}
+}
+
+func TestWRRZeroWeightNeverPicked(t *testing.T) {
+	w, err := NewWRR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{4, 0, 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if w.Next() == 1 {
+			t.Fatal("zero-weight connection selected")
+		}
+	}
+}
+
+func TestWRRAllZeroFallsBackToRoundRobin(t *testing.T) {
+	w, err := NewWRR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if got := w.Next(); got != i%3 {
+			t.Fatalf("pick %d = %d, want plain round-robin %d", i, got, i%3)
+		}
+	}
+}
+
+func TestWRRReset(t *testing.T) {
+	w, err := NewWRR(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	first := w.Next()
+	w.Reset()
+	if got := w.Next(); got != first {
+		t.Fatalf("after Reset first pick = %d, want %d", got, first)
+	}
+}
+
+func TestWRRWeightsCopy(t *testing.T) {
+	w, err := NewWRR(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.Weights()
+	got[0] = 99
+	if w.Weights()[0] == 99 {
+		t.Fatal("Weights returned internal slice")
+	}
+}

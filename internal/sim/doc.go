@@ -1,0 +1,28 @@
+// Package sim is a deterministic discrete-event simulator of one ordered
+// data-parallel region of a distributed streaming system, standing in for the
+// heterogeneous Xeon cluster the paper evaluates on.
+//
+// The simulated topology mirrors Section 2: a single-threaded splitter sends
+// tuples over N connections into bounded per-connection in-flight buffers
+// (modelling the sender-side and receiver-side TCP socket buffers), one
+// worker PE per connection drains its buffer with a service time derived from
+// the tuple's cost in "integer multiplies" and the PE's host, and an in-order
+// merger with bounded per-connection queues releases tuples in strict
+// sequence order. Because the buffers are bounded and the splitter has a
+// single thread of control, the phenomena the paper's metric depends on —
+// back pressure equalizing per-connection throughput (Section 4.3), drafting
+// (Section 4.2), and blocking as a rare, late indicator (Section 4.4) —
+// emerge from the model rather than being scripted.
+//
+// When the splitter would block it "elects to block", exactly as the real
+// transport does: the time spent waiting accrues to that connection's
+// cumulative blocking-time counter, which a controller samples periodically
+// and feeds to a pluggable Policy (round-robin, the paper's balancer, an
+// oracle schedule, or the Section 4.4 transport-level re-routing mode).
+//
+// Virtual time is scaled so that one "integer multiply" defaults to 1µs
+// rather than the sub-nanosecond cost of real hardware; every quantity the
+// experiments compare is relative (normalized execution times, throughput
+// ratios, weight trajectories), so the scaling preserves the shapes of the
+// paper's figures while keeping event counts tractable on one CPU.
+package sim

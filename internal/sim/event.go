@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// eventKind discriminates the simulator's event types.
+type eventKind int
+
+const (
+	// evSplitterSend: the splitter attempts to send its next tuple.
+	evSplitterSend eventKind = iota + 1
+	// evWorkerFinish: worker conn finishes processing its current tuple.
+	evWorkerFinish
+	// evController: the controller samples blocking counters and runs the
+	// balancing policy.
+	evController
+)
+
+// event is one scheduled simulator event. order breaks time ties in FIFO
+// scheduling order, keeping runs fully deterministic.
+type event struct {
+	at    time.Duration
+	order uint64
+	kind  eventKind
+	conn  int
+}
+
+// eventQueue is a min-heap of events by (at, order).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].order < q[j].order
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// scheduler wraps the heap with an insertion counter.
+type scheduler struct {
+	q     eventQueue
+	order uint64
+}
+
+func (s *scheduler) schedule(at time.Duration, kind eventKind, conn int) {
+	s.order++
+	heap.Push(&s.q, event{at: at, order: s.order, kind: kind, conn: conn})
+}
+
+func (s *scheduler) next() (event, bool) {
+	if len(s.q) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&s.q).(event), true
+}
+
+func (s *scheduler) empty() bool {
+	return len(s.q) == 0
+}

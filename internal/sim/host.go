@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// HostSpec describes one compute node. The paper's "slow" hosts are
+// 2x Intel Xeon X5365 (8 cores, 3.0 GHz, no SMT); its "fast" hosts are
+// 2x Xeon X5687 (8 cores, 2-way SMT, 3.6 GHz), which support 16 hardware
+// threads for the integer-multiply workload (Section 6.5).
+type HostSpec struct {
+	// Name labels the host in reports.
+	Name string
+	// Cores is the number of physical cores.
+	Cores int
+	// SMTPerCore is the number of hardware threads per core (1 = no SMT).
+	SMTPerCore int
+	// ClockFactor scales processing speed relative to the baseline host
+	// (1.0 = the paper's 3.0 GHz slow host; 1.2 = its 3.6 GHz fast host).
+	ClockFactor float64
+}
+
+// ThreadSlots returns the number of PEs the host can run at full speed.
+func (h HostSpec) ThreadSlots() int {
+	smt := h.SMTPerCore
+	if smt < 1 {
+		smt = 1
+	}
+	return h.Cores * smt
+}
+
+// SlowHost returns the paper's baseline node: 8 cores at 3.0 GHz, no SMT.
+func SlowHost(name string) HostSpec {
+	return HostSpec{Name: name, Cores: 8, SMTPerCore: 1, ClockFactor: 1.0}
+}
+
+// FastHost returns the paper's fast node: 8 cores, 2-way SMT, 3.6 GHz.
+func FastHost(name string) HostSpec {
+	return HostSpec{Name: name, Cores: 8, SMTPerCore: 2, ClockFactor: 1.2}
+}
+
+// LoadPhase is one segment of a PE's external-load schedule: from From
+// onward the PE's tuples cost Multiplier times the base cost. The paper's
+// dynamic experiments start PEs at 10x or 100x and drop them to 1x an eighth
+// of the way through the run (Section 6.3, 6.4).
+type LoadPhase struct {
+	From       time.Duration
+	Multiplier float64
+}
+
+// LoadSchedule is a piecewise-constant cost multiplier over virtual time.
+// The zero value means a constant multiplier of 1.
+type LoadSchedule struct {
+	phases []LoadPhase
+}
+
+// ConstantLoad returns a schedule fixed at the given multiplier.
+func ConstantLoad(multiplier float64) LoadSchedule {
+	return LoadSchedule{phases: []LoadPhase{{From: 0, Multiplier: multiplier}}}
+}
+
+// StepLoad returns a schedule that starts at initial and becomes final at the
+// given switch time — the paper's "load removed an eighth through" pattern.
+func StepLoad(initial, final float64, at time.Duration) LoadSchedule {
+	return LoadSchedule{phases: []LoadPhase{
+		{From: 0, Multiplier: initial},
+		{From: at, Multiplier: final},
+	}}
+}
+
+// NewLoadSchedule builds a schedule from arbitrary phases; they are sorted by
+// start time. An empty phase list means a constant multiplier of 1.
+func NewLoadSchedule(phases []LoadPhase) LoadSchedule {
+	sorted := make([]LoadPhase, len(phases))
+	copy(sorted, phases)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
+	return LoadSchedule{phases: sorted}
+}
+
+// At returns the multiplier in force at virtual time t (1 if unspecified).
+func (s LoadSchedule) At(t time.Duration) float64 {
+	mult := 1.0
+	for _, p := range s.phases {
+		if p.From > t {
+			break
+		}
+		mult = p.Multiplier
+	}
+	if mult <= 0 {
+		mult = 1
+	}
+	return mult
+}
+
+// PESpec places one worker PE on a host and gives it an external-load
+// schedule.
+type PESpec struct {
+	// Host indexes into Config.Hosts.
+	Host int
+	// Load is the external-load multiplier schedule (zero value = 1x).
+	Load LoadSchedule
+}
+
+// validateTopology checks host references and returns the per-host PE counts.
+func validateTopology(hosts []HostSpec, pes []PESpec) ([]int, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("sim: no hosts")
+	}
+	if len(pes) == 0 {
+		return nil, fmt.Errorf("sim: no PEs")
+	}
+	counts := make([]int, len(hosts))
+	for i, pe := range pes {
+		if pe.Host < 0 || pe.Host >= len(hosts) {
+			return nil, fmt.Errorf("sim: PE %d references host %d of %d", i, pe.Host, len(hosts))
+		}
+		counts[pe.Host]++
+	}
+	for i, h := range hosts {
+		if h.Cores <= 0 {
+			return nil, fmt.Errorf("sim: host %d (%s) has %d cores", i, h.Name, h.Cores)
+		}
+		if h.ClockFactor <= 0 {
+			return nil, fmt.Errorf("sim: host %d (%s) has clock factor %v", i, h.Name, h.ClockFactor)
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHostSpecThreadSlots(t *testing.T) {
+	tests := []struct {
+		name string
+		host HostSpec
+		want int
+	}{
+		{"slow host", SlowHost("s"), 8},
+		{"fast host", FastHost("f"), 16},
+		{"smt zero treated as 1", HostSpec{Cores: 4}, 4},
+		{"explicit smt", HostSpec{Cores: 2, SMTPerCore: 4}, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.host.ThreadSlots(); got != tt.want {
+				t.Fatalf("ThreadSlots = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHostPresets(t *testing.T) {
+	slow, fast := SlowHost("s"), FastHost("f")
+	if fast.ClockFactor <= slow.ClockFactor {
+		t.Fatalf("fast clock %v should exceed slow clock %v", fast.ClockFactor, slow.ClockFactor)
+	}
+	if slow.SMTPerCore != 1 || fast.SMTPerCore != 2 {
+		t.Fatalf("SMT: slow=%d fast=%d, want 1 and 2", slow.SMTPerCore, fast.SMTPerCore)
+	}
+}
+
+func TestLoadScheduleAt(t *testing.T) {
+	tests := []struct {
+		name string
+		s    LoadSchedule
+		at   time.Duration
+		want float64
+	}{
+		{"zero value", LoadSchedule{}, time.Hour, 1},
+		{"constant", ConstantLoad(10), 5 * time.Second, 10},
+		{"step before switch", StepLoad(100, 1, 10*time.Second), 9 * time.Second, 100},
+		{"step at switch", StepLoad(100, 1, 10*time.Second), 10 * time.Second, 1},
+		{"step after switch", StepLoad(100, 1, 10*time.Second), time.Minute, 1},
+		{"non-positive multiplier defaults to 1", ConstantLoad(-5), 0, 1},
+		{
+			"unsorted phases sorted by NewLoadSchedule",
+			NewLoadSchedule([]LoadPhase{
+				{From: 20 * time.Second, Multiplier: 3},
+				{From: 0, Multiplier: 7},
+			}),
+			5 * time.Second,
+			7,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.At(tt.at); got != tt.want {
+				t.Fatalf("At(%v) = %v, want %v", tt.at, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateTopology(t *testing.T) {
+	hosts := []HostSpec{SlowHost("a"), FastHost("b")}
+	tests := []struct {
+		name    string
+		hosts   []HostSpec
+		pes     []PESpec
+		wantErr bool
+	}{
+		{"valid", hosts, []PESpec{{Host: 0}, {Host: 1}, {Host: 1}}, false},
+		{"no hosts", nil, []PESpec{{Host: 0}}, true},
+		{"no pes", hosts, nil, true},
+		{"bad host index", hosts, []PESpec{{Host: 2}}, true},
+		{"negative host index", hosts, []PESpec{{Host: -1}}, true},
+		{"zero cores", []HostSpec{{Name: "x", ClockFactor: 1}}, []PESpec{{Host: 0}}, true},
+		{"zero clock", []HostSpec{{Name: "x", Cores: 2}}, []PESpec{{Host: 0}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			counts, err := validateTopology(tt.hosts, tt.pes)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && counts[1] != 2 {
+				t.Fatalf("counts = %v, want host 1 to hold 2 PEs", counts)
+			}
+		})
+	}
+}

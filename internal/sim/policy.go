@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streambalance/internal/core"
+)
+
+// Policy decides allocation weights from periodically sampled per-connection
+// blocking rates. Implementations receive one callback per collection
+// interval and return either a fresh weight vector (in units summing to the
+// configured total) or nil to leave the current weights unchanged.
+type Policy interface {
+	// Name labels the policy in experiment reports.
+	Name() string
+	// OnSample consumes this interval's snapshot — most importantly the
+	// per-connection blocking rates (seconds blocked per second) — and may
+	// return new weights.
+	OnSample(sn Snapshot) []int
+}
+
+// RoundRobin is the paper's RR baseline: a fixed even split, never adjusted.
+type RoundRobin struct{}
+
+var _ Policy = RoundRobin{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "RR" }
+
+// OnSample implements Policy; it never changes the weights.
+func (RoundRobin) OnSample(Snapshot) []int { return nil }
+
+// ZeroTrustMode selects how a BalancerPolicy treats zero-blocking intervals;
+// see OnSample. The default, ZeroTrustScaled, is the repository's calibrated
+// choice (DESIGN.md section 4b); the other modes exist for the ablation
+// experiments that justify it.
+type ZeroTrustMode int
+
+const (
+	// ZeroTrustScaled folds zeros in with trust 1 - (blocked fraction of
+	// the interval): a zero means spare capacity only to the extent the
+	// splitter was actually offering tuples.
+	ZeroTrustScaled ZeroTrustMode = iota
+	// ZeroTrustNone ignores zero intervals entirely (the strictest reading
+	// of Section 5.1's "only a single new data value").
+	ZeroTrustNone
+	// ZeroTrustFull folds every zero in at full trust, as if drafting did
+	// not exist.
+	ZeroTrustFull
+)
+
+// BalancerPolicy adapts core.Balancer to the simulator: LB-static when the
+// balancer's decay is disabled, LB-adaptive when enabled.
+type BalancerPolicy struct {
+	balancer  *Balancer
+	label     string
+	zeroTrust ZeroTrustMode
+	err       error
+}
+
+// Balancer aliases core.Balancer so harness code can stay within sim's
+// vocabulary when constructing policies.
+type Balancer = core.Balancer
+
+// NewBalancerPolicy wraps a balancer. label is usually "LB-static" or
+// "LB-adaptive"; an empty label derives one from the balancer's decay mode.
+func NewBalancerPolicy(b *core.Balancer, label string) *BalancerPolicy {
+	if label == "" {
+		label = "LB"
+	}
+	return &BalancerPolicy{balancer: b, label: label}
+}
+
+var _ Policy = (*BalancerPolicy)(nil)
+
+// Name implements Policy.
+func (p *BalancerPolicy) Name() string { return p.label }
+
+// Balancer returns the wrapped model, e.g. for cluster heat maps.
+func (p *BalancerPolicy) Balancer() *core.Balancer { return p.balancer }
+
+// SetZeroTrustMode overrides how zero-blocking intervals are folded in.
+// Call before the run starts.
+func (p *BalancerPolicy) SetZeroTrustMode(mode ZeroTrustMode) {
+	p.zeroTrust = mode
+}
+
+// Err returns the first error the balancer reported, if any. The simulator's
+// controller cannot fail a run mid-flight, so errors are surfaced here and
+// checked by the harness after the run.
+func (p *BalancerPolicy) Err() error { return p.err }
+
+// OnSample implements Policy: it feeds the model and rebalances. Connections
+// that experienced blocking contribute full-trust samples — usually just one
+// per interval, as the paper observes (Section 5.1). A zero from a quiet
+// connection is only evidence of spare capacity to the extent the splitter
+// was actually offering it tuples: while the splitter sat blocked on a draft
+// leader, the other connections were shielded (Section 4.2), so their zeros
+// are folded in with trust equal to the fraction of the interval the
+// splitter was not blocked anywhere.
+func (p *BalancerPolicy) OnSample(sn Snapshot) []int {
+	if p.err != nil {
+		return nil
+	}
+	blockedFraction := 0.0
+	for _, r := range sn.BlockingRates {
+		blockedFraction += r
+	}
+	if blockedFraction > 1 {
+		blockedFraction = 1
+	}
+	zeroTrust := 1 - blockedFraction
+	for j, r := range sn.BlockingRates {
+		trust := 1.0
+		if r <= 0 {
+			switch p.zeroTrust {
+			case ZeroTrustNone:
+				continue
+			case ZeroTrustFull:
+				trust = 1
+			default:
+				trust = zeroTrust
+				if trust < 0.01 {
+					continue
+				}
+			}
+		}
+		if err := p.balancer.ObserveWeighted(j, r, trust); err != nil {
+			p.err = fmt.Errorf("observe conn %d at %v: %w", j, sn.Now, err)
+			return nil
+		}
+	}
+	weights, err := p.balancer.Rebalance()
+	if err != nil {
+		p.err = fmt.Errorf("rebalance at %v: %w", sn.Now, err)
+		return nil
+	}
+	return weights
+}
+
+// WeightPhase is one segment of an oracle schedule: the splitter uses
+// Weights from virtual time From onward, or — when FromTuples is nonzero —
+// from the moment that many tuples have been released, matching a load
+// switch defined in work rather than time.
+type WeightPhase struct {
+	From       time.Duration
+	FromTuples uint64
+	Weights    []int
+}
+
+// OracleSchedule is the paper's Oracle* baseline: the best static
+// distribution for each load phase, derived offline, switched exactly when
+// the load changes. As the paper notes, switching exactly at the load change
+// is actually slightly too early — tuples already queued still carry the old
+// cost — which is why Oracle* can be beaten by LB-adaptive (Section 6.3).
+type OracleSchedule struct {
+	phases []WeightPhase
+	label  string
+}
+
+var _ Policy = (*OracleSchedule)(nil)
+
+// NewOracleSchedule builds an oracle policy from weight phases (sorted by
+// start time).
+func NewOracleSchedule(phases []WeightPhase, label string) *OracleSchedule {
+	if label == "" {
+		label = "Oracle*"
+	}
+	sorted := make([]WeightPhase, len(phases))
+	copy(sorted, phases)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
+	return &OracleSchedule{phases: sorted, label: label}
+}
+
+// Name implements Policy.
+func (o *OracleSchedule) Name() string { return o.label }
+
+// OnSample implements Policy: it returns the weights of the latest phase
+// whose trigger (time or completed tuples) has been reached.
+func (o *OracleSchedule) OnSample(sn Snapshot) []int {
+	var current []int
+	for _, p := range o.phases {
+		if p.FromTuples > 0 {
+			if sn.Completed >= p.FromTuples {
+				current = p.Weights
+			}
+			continue
+		}
+		if p.From > sn.Now {
+			break
+		}
+		current = p.Weights
+	}
+	return current
+}

@@ -1,0 +1,67 @@
+package sim
+
+// seqQueue is a bounded FIFO ring buffer of tuple sequence numbers. It backs
+// both the per-connection in-flight buffers and the merger's per-connection
+// reorder queues.
+type seqQueue struct {
+	buf  []uint64
+	head int
+	size int
+}
+
+// newSeqQueue returns a queue with the given capacity (minimum 1).
+func newSeqQueue(capacity int) *seqQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &seqQueue{buf: make([]uint64, capacity)}
+}
+
+// Len returns the number of queued items.
+func (q *seqQueue) Len() int {
+	return q.size
+}
+
+// Cap returns the queue capacity.
+func (q *seqQueue) Cap() int {
+	return len(q.buf)
+}
+
+// Full reports whether the queue is at capacity.
+func (q *seqQueue) Full() bool {
+	return q.size == len(q.buf)
+}
+
+// Empty reports whether the queue holds no items.
+func (q *seqQueue) Empty() bool {
+	return q.size == 0
+}
+
+// Push appends a sequence number; it reports false when the queue is full.
+func (q *seqQueue) Push(seq uint64) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = seq
+	q.size++
+	return true
+}
+
+// Head returns the oldest item without removing it; ok is false when empty.
+func (q *seqQueue) Head() (uint64, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	return q.buf[q.head], true
+}
+
+// Pop removes and returns the oldest item; ok is false when empty.
+func (q *seqQueue) Pop() (uint64, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	seq := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return seq, true
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqQueueBasics(t *testing.T) {
+	q := newSeqQueue(3)
+	if q.Cap() != 3 || !q.Empty() || q.Full() {
+		t.Fatalf("fresh queue: cap=%d empty=%v full=%v", q.Cap(), q.Empty(), q.Full())
+	}
+	for i := uint64(0); i < 3; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !q.Full() || q.Len() != 3 {
+		t.Fatalf("after fill: full=%v len=%d", q.Full(), q.Len())
+	}
+	if q.Push(99) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if head, ok := q.Head(); !ok || head != 0 {
+		t.Fatalf("head = %d %v, want 0 true", head, ok)
+	}
+	for i := uint64(0); i < 3; i++ {
+		got, ok := q.Pop()
+		if !ok || got != i {
+			t.Fatalf("pop = %d %v, want %d true", got, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	if _, ok := q.Head(); ok {
+		t.Fatal("head of empty queue succeeded")
+	}
+}
+
+func TestSeqQueueMinCapacity(t *testing.T) {
+	q := newSeqQueue(0)
+	if q.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", q.Cap())
+	}
+}
+
+func TestSeqQueueWrapAround(t *testing.T) {
+	q := newSeqQueue(2)
+	next := uint64(0)
+	for round := 0; round < 10; round++ {
+		if !q.Push(next) {
+			t.Fatal("push failed")
+		}
+		next++
+		if got, _ := q.Pop(); got != next-1 {
+			t.Fatalf("round %d: pop = %d, want %d", round, got, next-1)
+		}
+	}
+}
+
+func TestSeqQueueFIFOProperty(t *testing.T) {
+	// Under any interleaving of pushes and pops, popped values come out in
+	// push order.
+	prop := func(ops []bool, capRaw uint8) bool {
+		q := newSeqQueue(int(capRaw%16) + 1)
+		nextPush, nextPop := uint64(0), uint64(0)
+		for _, push := range ops {
+			if push {
+				if q.Push(nextPush) {
+					nextPush++
+				} else if !q.Full() {
+					return false
+				}
+			} else {
+				v, ok := q.Pop()
+				if ok {
+					if v != nextPop {
+						return false
+					}
+					nextPop++
+				} else if !q.Empty() {
+					return false
+				}
+			}
+			if q.Len() != int(nextPush-nextPop) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package stats provides the small statistical utilities the load balancer
+// relies on: exponentially weighted moving averages for smoothing noisy
+// blocking-rate samples, a sampler that converts cumulative counters into
+// rates, running moment accumulators, and time-series recorders used by the
+// experiment harness.
+package stats
+
+import "math"
+
+// EWMA is an exponentially weighted moving average. The zero value is not
+// ready for use; construct with NewEWMA. Alpha close to 1 weights recent
+// samples heavily, alpha close to 0 smooths aggressively.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Alpha is clamped
+// to (0, 1]; a non-positive or NaN alpha becomes 1 (no smoothing), which is
+// the safest degradation because the balancer then simply tracks raw samples.
+func NewEWMA(alpha float64) *EWMA {
+	if math.IsNaN(alpha) || alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds a new sample into the average and returns the updated value. The
+// first sample primes the average directly rather than decaying from zero so
+// that early estimates are unbiased.
+func (e *EWMA) Add(sample float64) float64 {
+	if !e.primed {
+		e.value = sample
+		e.primed = true
+		return e.value
+	}
+	e.value = e.alpha*sample + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average, or 0 if no samples have been added.
+func (e *EWMA) Value() float64 {
+	return e.value
+}
+
+// Primed reports whether at least one sample has been added.
+func (e *EWMA) Primed() bool {
+	return e.primed
+}
+
+// Reset discards all accumulated state.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.primed = false
+}
+
+// Alpha returns the smoothing factor in use.
+func (e *EWMA) Alpha() float64 {
+	return e.alpha
+}

@@ -1,0 +1,54 @@
+package stats
+
+import "time"
+
+// RateSampler converts a cumulative, monotonically increasing counter into a
+// rate by differencing successive samples, exactly as the paper derives the
+// blocking rate from the cumulative blocking time (Section 3, Figure 2). The
+// data transport layer periodically resets its counters; a sample smaller
+// than its predecessor is interpreted as a reset and the new value is treated
+// as the delta since the reset.
+type RateSampler struct {
+	lastValue float64
+	lastAt    time.Duration
+	primed    bool
+}
+
+// Sample records the cumulative counter value observed at time now (an
+// offset from an arbitrary epoch, e.g. experiment start) and returns the
+// estimated rate (delta value / delta time) since the previous sample. The
+// first sample primes the sampler and returns ok=false. A non-positive time
+// step also returns ok=false because no rate can be derived from it.
+func (s *RateSampler) Sample(now time.Duration, value float64) (rate float64, ok bool) {
+	if !s.primed {
+		s.lastValue = value
+		s.lastAt = now
+		s.primed = true
+		return 0, false
+	}
+	dt := now - s.lastAt
+	if dt <= 0 {
+		return 0, false
+	}
+	delta := value - s.lastValue
+	if delta < 0 {
+		// Counter reset by the transport layer: the cumulative value
+		// restarted from zero, so the new reading is the delta itself.
+		delta = value
+	}
+	s.lastValue = value
+	s.lastAt = now
+	return delta / dt.Seconds(), true
+}
+
+// Reset discards sampler state; the next Sample call primes it again.
+func (s *RateSampler) Reset() {
+	s.lastValue = 0
+	s.lastAt = 0
+	s.primed = false
+}
+
+// Primed reports whether the sampler has observed at least one sample.
+func (s *RateSampler) Primed() bool {
+	return s.primed
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is a single (time, value) observation in a Series.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series is an append-only time series. It is not safe for concurrent use;
+// callers that record from multiple goroutines must synchronize externally.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Record appends an observation.
+func (s *Series) Record(at time.Duration, value float64) {
+	s.points = append(s.points, Point{At: at, Value: value})
+}
+
+// Points returns a copy of the recorded observations.
+func (s *Series) Points() []Point {
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Len returns the number of recorded observations.
+func (s *Series) Len() int {
+	return len(s.points)
+}
+
+// Last returns the most recent observation, or ok=false if empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
+// At returns the value in effect at time t: the value of the latest
+// observation with At <= t. ok is false if no observation precedes t.
+func (s *Series) At(t time.Duration) (float64, bool) {
+	idx := sort.Search(len(s.points), func(i int) bool {
+		return s.points[i].At > t
+	})
+	if idx == 0 {
+		return 0, false
+	}
+	return s.points[idx-1].Value, true
+}
+
+// Mean returns the arithmetic mean of all values, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.points))
+}
+
+// MeanSince returns the mean of values observed at or after t.
+func (s *Series) MeanSince(t time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.points {
+		if p.At >= t {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Max returns the maximum value, or 0 if empty.
+func (s *Series) Max() float64 {
+	var best float64
+	for i, p := range s.points {
+		if i == 0 || p.Value > best {
+			best = p.Value
+		}
+	}
+	return best
+}
+
+// Min returns the minimum value, or 0 if empty.
+func (s *Series) Min() float64 {
+	var best float64
+	for i, p := range s.points {
+		if i == 0 || p.Value < best {
+			best = p.Value
+		}
+	}
+	return best
+}
+
+// SeriesSet groups related series (e.g. one per connection) under one label,
+// which is how the harness records per-connection allocation weights and
+// blocking rates for the in-depth experiment figures.
+type SeriesSet struct {
+	Label  string
+	series []*Series
+	byName map[string]*Series
+}
+
+// NewSeriesSet returns an empty set with the given label.
+func NewSeriesSet(label string) *SeriesSet {
+	return &SeriesSet{Label: label, byName: make(map[string]*Series)}
+}
+
+// Get returns the series with the given name, creating it if necessary.
+func (ss *SeriesSet) Get(name string) *Series {
+	if s, ok := ss.byName[name]; ok {
+		return s
+	}
+	s := NewSeries(name)
+	ss.byName[name] = s
+	ss.series = append(ss.series, s)
+	return s
+}
+
+// All returns the series in creation order.
+func (ss *SeriesSet) All() []*Series {
+	out := make([]*Series, len(ss.series))
+	copy(out, ss.series)
+	return out
+}
+
+// Table renders the set as an aligned text table sampled at the given step,
+// one row per sample time and one column per series. It is used by cmd/sbench
+// to print figure data.
+func (ss *SeriesSet) Table(step time.Duration) string {
+	if len(ss.series) == 0 || step <= 0 {
+		return ""
+	}
+	var maxAt time.Duration
+	for _, s := range ss.series {
+		if p, ok := s.Last(); ok && p.At > maxAt {
+			maxAt = p.At
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s", "t")
+	for _, s := range ss.series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for t := time.Duration(0); t <= maxAt; t += step {
+		fmt.Fprintf(&b, "%10s", t.Truncate(time.Millisecond))
+		for _, s := range ss.series {
+			v, ok := s.At(t)
+			if !ok {
+				fmt.Fprintf(&b, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %14.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

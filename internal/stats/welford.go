@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// Welford accumulates running mean and variance using Welford's online
+// algorithm, which is numerically stable for long runs. The zero value is
+// ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds a sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of samples added.
+func (w *Welford) Count() int {
+	return w.n
+}
+
+// Mean returns the running mean, or 0 with no samples.
+func (w *Welford) Mean() float64 {
+	return w.mean
+}
+
+// Variance returns the sample variance (n-1 denominator), or 0 with fewer
+// than two samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 {
+	return math.Sqrt(w.Variance())
+}
+
+// CoefficientOfVariation returns stddev/mean, a scale-free stability measure
+// used by tests to assert that blocking rates are flat over time for a fixed
+// allocation (Figure 5). It returns 0 when the mean is 0.
+func (w *Welford) CoefficientOfVariation() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Abs(w.mean)
+}
+
+// Reset discards all accumulated state.
+func (w *Welford) Reset() {
+	*w = Welford{}
+}

@@ -1,0 +1,17 @@
+// Package transport is the data transport layer of the streaming runtime: a
+// length-prefixed tuple framing over TCP with per-connection cumulative
+// blocking-time instrumentation, reproducing the measurement mechanism of
+// Section 3 of the paper.
+//
+// The paper's transport issues send(2) with MSG_DONTWAIT; when the kernel
+// reports the socket buffer full it records the fact and then *elects to
+// block* in select(2), adding the measured wait to a per-connection
+// cumulative blocking-time counter. Go's runtime poller offers the same
+// mechanism through syscall.RawConn: the Write callback performs a
+// non-blocking write(2) on the raw descriptor, and returning false parks the
+// goroutine in the netpoller until the socket is writable again — precisely
+// the "record, then block anyway" behaviour, with the wait timed around the
+// park. A Sender accumulates those waits; a periodic sampler (stats
+// package) turns the cumulative counter into the blocking rate the balancer
+// consumes.
+package transport

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Tuple is the unit of data flowing through a parallel region: a sequence
+// number assigned by the splitter (which the merger uses to restore order)
+// and an opaque payload.
+type Tuple struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// MaxFrameSize bounds a single encoded tuple, protecting receivers from
+// corrupt or hostile length prefixes.
+const MaxFrameSize = 16 << 20
+
+// frameHeaderSize is the wire overhead per tuple: a 4-byte length (covering
+// the sequence number and payload) followed by the 8-byte sequence number.
+const frameHeaderSize = 4 + 8
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+
+// AppendFrame encodes the tuple onto dst and returns the extended slice. The
+// wire format is little-endian: uint32 length (seq + payload bytes), uint64
+// sequence number, payload.
+func AppendFrame(dst []byte, t Tuple) ([]byte, error) {
+	body := 8 + len(t.Payload)
+	if body > MaxFrameSize {
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	dst = binary.LittleEndian.AppendUint64(dst, t.Seq)
+	dst = append(dst, t.Payload...)
+	return dst, nil
+}
+
+// FrameLen returns the encoded size of a tuple.
+func FrameLen(t Tuple) int {
+	return frameHeaderSize + len(t.Payload)
+}
+
+// Receiver decodes tuples from a stream written with AppendFrame.
+type Receiver struct {
+	r *bufio.Reader
+}
+
+// NewReceiver wraps a stream in a buffered tuple decoder.
+func NewReceiver(r io.Reader) *Receiver {
+	return &Receiver{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Receive reads the next tuple. It returns io.EOF at a clean end of stream
+// and io.ErrUnexpectedEOF when the stream ends mid-frame.
+func (rc *Receiver) Receive() (Tuple, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(rc.r, header[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Tuple{}, io.EOF
+		}
+		return Tuple{}, fmt.Errorf("transport: read frame length: %w", err)
+	}
+	body := binary.LittleEndian.Uint32(header[:])
+	if body < 8 {
+		return Tuple{}, fmt.Errorf("transport: frame body %d bytes, want >= 8", body)
+	}
+	if body > MaxFrameSize {
+		return Tuple{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	}
+	var seqBuf [8]byte
+	if _, err := io.ReadFull(rc.r, seqBuf[:]); err != nil {
+		return Tuple{}, fmt.Errorf("transport: read sequence: %w", err)
+	}
+	t := Tuple{Seq: binary.LittleEndian.Uint64(seqBuf[:])}
+	if payload := int(body) - 8; payload > 0 {
+		t.Payload = make([]byte, payload)
+		if _, err := io.ReadFull(rc.r, t.Payload); err != nil {
+			return Tuple{}, fmt.Errorf("transport: read payload: %w", err)
+		}
+	}
+	return t, nil
+}

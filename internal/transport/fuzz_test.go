@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReceive throws arbitrary bytes at the frame decoder: it must never
+// panic and must either produce a tuple or a clean error.
+func FuzzReceive(f *testing.F) {
+	good, _ := AppendFrame(nil, Tuple{Seq: 7, Payload: []byte("payload")})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 1, 2, 3})
+	f.Add(append(good, good...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rc := NewReceiver(bytes.NewReader(data))
+		for i := 0; i < 100; i++ {
+			_, err := rc.Receive()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				return // any clean error ends the stream
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that encode/decode is the identity for any payload.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), []byte(nil))
+	f.Add(uint64(1<<63), []byte("hello"))
+	f.Fuzz(func(t *testing.T, seq uint64, payload []byte) {
+		frame, err := AppendFrame(nil, Tuple{Seq: seq, Payload: payload})
+		if err != nil {
+			if len(payload) > MaxFrameSize-8 {
+				return // oversized payloads are rejected by contract
+			}
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		got, err := NewReceiver(bytes.NewReader(frame)).Receive()
+		if err != nil {
+			t.Fatalf("Receive: %v", err)
+		}
+		if got.Seq != seq || !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("round trip changed tuple: seq %d->%d", seq, got.Seq)
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// rawConner is satisfied by net.TCPConn, net.UnixConn and any other net.Conn
+// exposing its file descriptor.
+type rawConner interface {
+	SyscallConn() (syscall.RawConn, error)
+}
+
+// Sender frames and sends tuples on one connection, accumulating the
+// cumulative blocking time of Section 3: each send is attempted without
+// blocking, and when the kernel reports the socket buffer full the sender
+// elects to block in the runtime poller anyway, timing the wait.
+//
+// Send may be called from only one goroutine at a time (the splitter has a
+// single thread of control); the counters may be read concurrently.
+type Sender struct {
+	conn net.Conn
+	raw  syscall.RawConn
+	buf  []byte
+
+	cumBlockingNS   atomic.Int64 // sampled counter, reset by the controller
+	totalBlockingNS atomic.Int64 // lifetime counter
+	blockEvents     atomic.Int64
+	sent            atomic.Int64
+
+	// now is replaceable for tests.
+	now func() time.Time
+}
+
+// NewSender wraps a connection. The connection must expose its descriptor
+// via SyscallConn (net.TCPConn and net.UnixConn do).
+func NewSender(conn net.Conn) (*Sender, error) {
+	rc, ok := conn.(rawConner)
+	if !ok {
+		return nil, fmt.Errorf("transport: %T does not expose a raw descriptor", conn)
+	}
+	raw, err := rc.SyscallConn()
+	if err != nil {
+		return nil, fmt.Errorf("transport: raw conn: %w", err)
+	}
+	return &Sender{
+		conn: conn,
+		raw:  raw,
+		buf:  make([]byte, 0, 4096),
+		now:  time.Now,
+	}, nil
+}
+
+// Send frames the tuple and writes it, electing to block (and timing the
+// block) when the socket buffer is full.
+func (s *Sender) Send(t Tuple) error {
+	buf, err := AppendFrame(s.buf[:0], t)
+	if err != nil {
+		return err
+	}
+	s.buf = buf[:0]
+	if err := s.writeAll(buf); err != nil {
+		return fmt.Errorf("transport: send seq %d: %w", t.Seq, err)
+	}
+	s.sent.Add(1)
+	return nil
+}
+
+// TrySend attempts to send without ever electing to block. It reports
+// sent=false (with no error and no blocking accounted) when the socket buffer
+// cannot accept even the first byte — the probe the Section 4.4 re-routing
+// experiment uses to divert tuples. If the frame is partially written before
+// the buffer fills, the send must complete (a half tuple cannot be diverted),
+// so the remainder is written with normal blocking accounting.
+func (s *Sender) TrySend(t Tuple) (bool, error) {
+	buf, err := AppendFrame(s.buf[:0], t)
+	if err != nil {
+		return false, err
+	}
+	s.buf = buf[:0]
+	wrote := false
+	var probeErr error
+	err = s.raw.Write(func(fd uintptr) bool {
+		for {
+			n, errno := syscall.Write(int(fd), buf)
+			if n > 0 {
+				wrote = true
+				buf = buf[n:]
+				if len(buf) == 0 {
+					return true
+				}
+				continue
+			}
+			switch {
+			case errors.Is(errno, syscall.EAGAIN):
+				return true // never park during the probe
+			case errors.Is(errno, syscall.EINTR):
+				continue
+			case errno != nil:
+				probeErr = errno
+				return true
+			default:
+				probeErr = errors.New("write returned 0 without error")
+				return true
+			}
+		}
+	})
+	if err == nil {
+		err = probeErr
+	}
+	if err != nil {
+		return false, fmt.Errorf("transport: try send seq %d: %w", t.Seq, err)
+	}
+	if !wrote {
+		return false, nil
+	}
+	if len(buf) > 0 {
+		if err := s.writeAll(buf); err != nil {
+			return true, fmt.Errorf("transport: complete partial send seq %d: %w", t.Seq, err)
+		}
+	}
+	s.sent.Add(1)
+	return true, nil
+}
+
+// writeAll writes p using non-blocking write(2) calls, parking in the
+// runtime poller on EAGAIN and accounting the parked time.
+func (s *Sender) writeAll(p []byte) error {
+	var blockedAt time.Time
+	blocked := false
+	var writeErr error
+	account := func() {
+		if !blocked {
+			return
+		}
+		d := s.now().Sub(blockedAt)
+		if d > 0 {
+			s.cumBlockingNS.Add(int64(d))
+			s.totalBlockingNS.Add(int64(d))
+		}
+		blocked = false
+	}
+	err := s.raw.Write(func(fd uintptr) bool {
+		// Re-entry after a park: the socket became writable; record how
+		// long the "select" lasted, exactly as the paper's transport adds
+		// the select(2) wait to the cumulative counter.
+		account()
+		for len(p) > 0 {
+			n, errno := syscall.Write(int(fd), p)
+			if n > 0 {
+				p = p[n:]
+				continue
+			}
+			switch {
+			case errors.Is(errno, syscall.EAGAIN):
+				// The send would have blocked (MSG_DONTWAIT semantics).
+				// Record the event and elect to block: returning false
+				// parks this goroutine until the descriptor is writable.
+				blocked = true
+				blockedAt = s.now()
+				s.blockEvents.Add(1)
+				return false
+			case errors.Is(errno, syscall.EINTR):
+				continue
+			case errno != nil:
+				writeErr = errno
+				return true
+			default:
+				writeErr = errors.New("write returned 0 without error")
+				return true
+			}
+		}
+		return true
+	})
+	// If the poller wait ended in a connection error the callback never
+	// re-ran; close out the accounting so the wait is not lost.
+	account()
+	if err != nil {
+		return err
+	}
+	return writeErr
+}
+
+// CumulativeBlocking returns the sampled blocking-time counter. The
+// controller differences successive readings to obtain the blocking rate.
+func (s *Sender) CumulativeBlocking() time.Duration {
+	return time.Duration(s.cumBlockingNS.Load())
+}
+
+// ResetCumulative zeroes the sampled counter, emulating the transport
+// layer's periodic reset (Figure 2). The lifetime counter is unaffected.
+func (s *Sender) ResetCumulative() {
+	s.cumBlockingNS.Store(0)
+}
+
+// TotalBlocking returns the lifetime blocking time on this connection.
+func (s *Sender) TotalBlocking() time.Duration {
+	return time.Duration(s.totalBlockingNS.Load())
+}
+
+// BlockEvents returns how many sends would have blocked.
+func (s *Sender) BlockEvents() int64 {
+	return s.blockEvents.Load()
+}
+
+// Sent returns how many tuples have been sent.
+func (s *Sender) Sent() int64 {
+	return s.sent.Load()
+}
+
+// Close closes the underlying connection.
+func (s *Sender) Close() error {
+	return s.conn.Close()
+}
