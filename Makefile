@@ -1,9 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet bench figures figures-csv examples quick-bench
+.PHONY: test test-race vet bench figures figures-csv examples quick-bench
 
 test:
 	go test ./...
+
+# Race-detector pass over the concurrency-heavy packages (the recovery
+# protocol, the chaos proxy and the transport layer).
+test-race:
+	go test -race ./internal/runtime ./internal/chaos ./internal/transport ./internal/schedule
 
 vet:
 	go vet ./...

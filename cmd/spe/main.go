@@ -7,6 +7,11 @@
 //	spe splitter -workers A1,A2,... -tuples N  # splitter + balancer
 //	spe run      -workers N -tuples N       # spawn everything, wire it up
 //
+// Passing -recover to run (or -control ADDR to splitter plus -resilient to
+// worker) enables the fault-tolerant mode: the splitter retains unreleased
+// tuples and replays them if a worker dies, reconnects with backoff, and the
+// merger dedupes so every tuple is still released exactly once in order.
+//
 // merger and worker print "ADDR host:port" on stdout once listening, so a
 // launcher (spe run, a script, or an operator) can wire the pipeline. All
 // tuple traffic flows over real TCP with the blocking-time instrumentation
@@ -93,6 +98,7 @@ func runWorker(w io.Writer, args []string) error {
 	merger := fs.String("merger", "", "merger address to forward to")
 	delay := fs.Duration("delay", 0, "artificial per-tuple delay (emulated load)")
 	spin := fs.Int64("spin", 0, "integer multiplies per tuple (CPU load)")
+	resilient := fs.Bool("resilient", false, "serve reconnecting splitters until killed (recovery mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,6 +118,9 @@ func runWorker(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *resilient {
+		worker.SetResilient(true)
+	}
 	fmt.Fprintf(w, "ADDR %s\n", worker.Addr())
 	worker.Start()
 	if err := worker.Wait(); err != nil {
@@ -130,6 +139,9 @@ func runSplitter(w io.Writer, args []string) error {
 	interval := fs.Duration("interval", 100*time.Millisecond, "controller sampling interval")
 	noBalance := fs.Bool("no-balance", false, "disable balancing")
 	sockbuf := fs.Int("sockbuf", 8<<10, "socket buffer bytes per connection")
+	control := fs.String("control", "", "merger address for the recovery control channel (enables replay on worker failure)")
+	retain := fs.Int("retain", 0, "replay buffer capacity in tuples (0 = default; needs -control)")
+	noRedial := fs.Bool("no-redial", false, "do not reconnect to failed workers (needs -control)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,13 +157,32 @@ func runSplitter(w io.Writer, args []string) error {
 			return err
 		}
 	}
-	sp, err := runtime.NewSplitter(runtime.SplitterConfig{
+	scfg := runtime.SplitterConfig{
 		WorkerAddrs:       addrs,
 		Source:            runtime.ConstantSource(make([]byte, *payload), *tuples),
 		Balancer:          balancer,
 		SampleInterval:    *interval,
 		SocketBufferBytes: *sockbuf,
-	})
+		OnConnEvent: func(ev runtime.ConnEvent) {
+			switch ev.Kind {
+			case "down":
+				fmt.Fprintf(w, "EVENT worker %d down: %v\n", ev.Conn, ev.Err)
+			case "replay":
+				fmt.Fprintf(w, "EVENT worker %d replayed %d tuples\n", ev.Conn, ev.Tuples)
+			case "rejoin":
+				fmt.Fprintf(w, "EVENT worker %d rejoined\n", ev.Conn)
+			}
+		},
+	}
+	if *control != "" {
+		scfg.ControlAddr = *control
+		scfg.RetainCap = *retain
+		if !*noRedial {
+			policy := runtime.DefaultRegionRedial
+			scfg.Redial = &policy
+		}
+	}
+	sp, err := runtime.NewSplitter(scfg)
 	if err != nil {
 		return err
 	}
@@ -159,12 +190,7 @@ func runSplitter(w io.Writer, args []string) error {
 	if err := sp.Wait(); err != nil {
 		return err
 	}
-	var sent []int64
-	var blocking []time.Duration
-	for _, s := range sp.Senders() {
-		sent = append(sent, s.Sent())
-		blocking = append(blocking, s.TotalBlocking())
-	}
+	sent, blocking := sp.ConnStats()
 	fmt.Fprintf(w, "DONE sent=%v blocking=%v\n", sent, blocking)
 	if balancer != nil {
 		fmt.Fprintf(w, "weights=%v\n", balancer.Weights())
@@ -181,6 +207,7 @@ func runAll(w io.Writer, args []string) error {
 	slowWorker := fs.Int("slow-worker", 0, "worker carrying extra load (-1 for none)")
 	slowDelay := fs.Duration("slow-delay", time.Millisecond, "per-tuple delay of the loaded worker")
 	baseDelay := fs.Duration("base-delay", 50*time.Microsecond, "per-tuple delay of unloaded workers")
+	recover := fs.Bool("recover", false, "enable worker-failure recovery (resilient workers + control channel)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,10 +233,15 @@ func runAll(w io.Writer, args []string) error {
 		if i == *slowWorker {
 			delay = *slowDelay
 		}
-		cmd, addr, err := spawn(self, "worker",
+		wargs := []string{
 			"-id", fmt.Sprint(i),
 			"-merger", mergerAddr,
-			"-delay", delay.String())
+			"-delay", delay.String(),
+		}
+		if *recover {
+			wargs = append(wargs, "-resilient")
+		}
+		cmd, addr, err := spawn(self, "worker", wargs...)
 		if err != nil {
 			return fmt.Errorf("run: worker %d: %w", i, err)
 		}
@@ -218,13 +250,23 @@ func runAll(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "worker %d listening on %s (delay %v)\n", i, addr, delay)
 	}
 
-	if err := runSplitter(w, []string{
+	sargs := []string{
 		"-workers", strings.Join(addrs, ","),
 		"-tuples", fmt.Sprint(*tuples),
-	}); err != nil {
+	}
+	if *recover {
+		sargs = append(sargs, "-control", mergerAddr)
+	}
+	if err := runSplitter(w, sargs); err != nil {
 		return fmt.Errorf("run: splitter: %w", err)
 	}
 	for i, cmd := range workerCmds {
+		if *recover {
+			// Resilient workers serve until killed.
+			cmd.Process.Kill()
+			cmd.Wait()
+			continue
+		}
 		if err := cmd.Wait(); err != nil {
 			return fmt.Errorf("run: wait worker %d: %w", i, err)
 		}

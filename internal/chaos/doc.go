@@ -1,0 +1,12 @@
+// Package chaos provides a fault-injecting TCP proxy for testing the
+// runtime's worker-failure recovery. A Proxy sits on any of a region's
+// links (splitter->worker is the interesting one) and can, on demand or on
+// a schedule, kill the live connections, add per-chunk delay, throttle
+// bandwidth, or black-hole traffic entirely while keeping the connection
+// open — the classic gray failure.
+//
+// The paper's evaluation (Section 5) varies load but never link health; the
+// north-star deployment cannot afford that assumption, so the chaos layer
+// exists to prove the recovery protocol (see DESIGN.md, "Failure model and
+// recovery") under adversarial conditions rather than on the happy path.
+package chaos

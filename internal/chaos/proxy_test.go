@@ -1,0 +1,327 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoBackend accepts connections and echoes everything back.
+func echoBackend(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				io.Copy(c, c)
+				c.Close()
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	if p.Accepted() != 1 || p.Active() != 1 {
+		t.Fatalf("accepted=%d active=%d, want 1 1", p.Accepted(), p.Active())
+	}
+}
+
+func TestProxyKillActive(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the link to register, then kill it.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Active() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("link never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := p.KillActive(); n != 1 {
+		t.Fatalf("killed %d links, want 1", n)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	for {
+		_, err := conn.Read(buf)
+		if err == nil {
+			continue // draining data echoed before the kill
+		}
+		if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+			t.Fatal("connection survived KillActive")
+		}
+		break
+	}
+}
+
+func TestProxyRejectsNewConnections(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetReject(true)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		return // refused outright also counts as rejected
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("rejected connection delivered data")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("rejected connection stayed open")
+	}
+	// Turning rejection off restores service.
+	p.SetReject(false)
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn2, make([]byte, 1)); err != nil {
+		t.Fatalf("service not restored after SetReject(false): %v", err)
+	}
+}
+
+func TestProxyDelaySlowsTraffic(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDelay(50 * time.Millisecond)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Two proxied hops (request + echo), each delayed 50ms.
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("round trip %v, want >= ~100ms with 50ms per-chunk delay", elapsed)
+	}
+}
+
+func TestProxyThrottleCapsBandwidth(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetThrottle(64 << 10) // 64 KiB/s
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 32<<10) // half a second at the cap, echoed = 1s
+	start := time.Now()
+	go func() {
+		conn.Write(payload)
+	}()
+	got := 0
+	buf := make([]byte, 4096)
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	for got < len(payload) {
+		n, err := conn.Read(buf)
+		got += n
+		if err != nil {
+			t.Fatalf("read after %d bytes: %v", got, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 500*time.Millisecond {
+		t.Fatalf("32KiB round trip in %v under a 64KiB/s cap: throttle not applied", elapsed)
+	}
+}
+
+func TestProxyBlackholeDiscardsSilently(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	p.SetBlackhole(true)
+	if _, err := conn.Write([]byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("blackholed traffic was delivered")
+	} else if nerr, ok := err.(net.Error); !ok || !nerr.Timeout() {
+		t.Fatalf("connection errored instead of staying silently open: %v", err)
+	}
+	// The connection itself is still alive — the gray-failure property.
+	if p.Active() != 1 {
+		t.Fatalf("active=%d, want 1 (connection must stay open)", p.Active())
+	}
+}
+
+func TestProxySetBackendRetargets(t *testing.T) {
+	ln1 := echoBackend(t)
+	// Second backend prefixes every byte stream with '2'.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln2.Close() })
+	go func() {
+		for {
+			conn, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				c.Write([]byte("2"))
+				io.Copy(c, c)
+				c.Close()
+			}(conn)
+		}
+	}()
+	p, err := NewProxy(ln1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetBackend(ln2.Addr().String())
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != '2' {
+		t.Fatalf("connected to old backend after SetBackend (got %q)", got)
+	}
+}
+
+func TestProxySchedule(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	done := p.Schedule(
+		Step{After: 10 * time.Millisecond, Do: Delay(time.Millisecond)},
+		Step{After: 10 * time.Millisecond, Do: Kill()},
+	)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("schedule never completed")
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	for {
+		_, err := conn.Read(buf)
+		if err == nil {
+			continue
+		}
+		if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+			t.Fatal("scheduled Kill step did not sever the link")
+		}
+		break
+	}
+}
+
+func TestProxyCloseAbortsSchedule(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 1)
+	done := p.Schedule(
+		Step{After: 10 * time.Minute, Do: func(*Proxy) { fired <- struct{}{} }},
+	)
+	p.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not abort the schedule")
+	}
+	select {
+	case <-fired:
+		t.Fatal("aborted step still ran")
+	default:
+	}
+}

@@ -1,0 +1,102 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// The recovery control channel is a side TCP connection between splitter and
+// merger. It shares the merger's listener: a peer that handshakes with
+// controlConnID instead of a worker id is a control connection. Over it flow
+// two kinds of 8-byte little-endian frames:
+//
+//	merger -> splitter: the released watermark — the count of tuples
+//	  released contiguously (i.e. the lowest unreleased sequence number),
+//	  sent periodically and once more when the merge completes. The
+//	  splitter retains every sent tuple at or above the watermark and can
+//	  therefore replay a dead connection's unreleased tuples to survivors.
+//	splitter -> merger: the FIN total — the number of tuples the source
+//	  produced, sent exactly once when the source is exhausted. It tells
+//	  the merger when the stream is complete even though worker streams
+//	  may detach and rejoin arbitrarily along the way.
+//
+// The paper's transport (Section 4.4) has no such channel because it assumes
+// a fixed worker set on long-lived connections; see DESIGN.md, "Failure
+// model and recovery", for why this deliberate divergence is required once
+// workers are allowed to fail.
+const controlConnID = 0xFFFFFFFF
+
+// controlLink is the splitter's end of the control channel.
+type controlLink struct {
+	conn      net.Conn
+	watermark atomic.Uint64
+	// wmSignal is pulsed (coalesced) after every watermark advance.
+	wmSignal chan struct{}
+	// dead is closed when the merger side goes away.
+	dead chan struct{}
+}
+
+// dialControl connects to the merger's listener and identifies the
+// connection as the control channel, then starts the watermark reader.
+func dialControl(addr string) (*controlLink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: splitter dial control channel: %w", err)
+	}
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], controlConnID)
+	if _, err := conn.Write(id[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("runtime: splitter control handshake: %w", err)
+	}
+	c := &controlLink{
+		conn:     conn,
+		wmSignal: make(chan struct{}, 1),
+		dead:     make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop consumes watermark frames until the connection dies.
+func (c *controlLink) readLoop() {
+	defer close(c.dead)
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(c.conn, buf[:]); err != nil {
+			return
+		}
+		wm := binary.LittleEndian.Uint64(buf[:])
+		if wm > c.watermark.Load() {
+			c.watermark.Store(wm)
+			select {
+			case c.wmSignal <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Watermark returns the merger's latest released watermark: every sequence
+// number below it has been released downstream exactly once.
+func (c *controlLink) Watermark() uint64 {
+	return c.watermark.Load()
+}
+
+// SendFin tells the merger how many tuples the completed source produced.
+func (c *controlLink) SendFin(total uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], total)
+	if _, err := c.conn.Write(buf[:]); err != nil {
+		return fmt.Errorf("runtime: splitter send fin: %w", err)
+	}
+	return nil
+}
+
+// Close tears down the splitter's end of the channel.
+func (c *controlLink) Close() {
+	c.conn.Close()
+}

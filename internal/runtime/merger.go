@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"streambalance/internal/transport"
 )
@@ -18,23 +19,49 @@ import (
 // severe skew (see Section 4.1 and the sim package's discussion).
 const DefaultMergerQueue = 1024
 
+// DefaultWatermarkInterval is how often the merger reports its released
+// watermark on the control channel.
+const DefaultWatermarkInterval = 20 * time.Millisecond
+
 // Merger restores sequence order across N worker connections (Section 4.1).
 // Tuples leave through the sink callback in strictly increasing sequence
 // order, regardless of which worker processed them or when.
+//
+// Unlike the paper's merger, a worker stream ending is not fatal: a worker
+// id may detach (crash) and later reattach (restart), and replayed tuples
+// that were already released are deduplicated, so every sequence number is
+// released exactly once. The merger learns the stream's total length from
+// the splitter's FIN frame on the control channel; without a control
+// channel it falls back to the original fixed-worker semantics.
 type Merger struct {
-	ln       net.Listener
-	workers  int
-	queueCap int
-	sink     func(transport.Tuple, int)
+	ln         net.Listener
+	workers    int
+	queueCap   int
+	sink       func(transport.Tuple, int)
+	wmInterval time.Duration
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues [][]transport.Tuple // per-connection FIFO, bounded by queueCap
-	eof    []bool
-	next   uint64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [][]transport.Tuple // per worker id, ascending by Seq
+	live     []bool              // worker id currently attached
+	attached int                 // distinct worker ids ever attached
+	seen     []bool
+	next     uint64
+	finKnown bool
+	finTotal uint64
+	ctrlSeen bool // a control connection has ever attached
+	ctrlLive int  // control connections currently open
+	fatal      error
+	closed     bool
+	deduped    uint64
+	dupRejects uint64
+	strmErrs   []error
+	conns    map[net.Conn]struct{} // attached worker conns, for teardown
 
-	done chan struct{}
-	err  error
+	wmStop chan struct{} // tells watermark writers to flush and exit
+	done   chan struct{}
+	err    error
+	wg     sync.WaitGroup
 }
 
 // NewMerger listens for worker connections. sink receives every tuple, in
@@ -55,21 +82,49 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 		return nil, fmt.Errorf("runtime: merger listen: %w", err)
 	}
 	m := &Merger{
-		ln:       ln,
-		workers:  workers,
-		queueCap: queueCap,
-		sink:     sink,
-		queues:   make([][]transport.Tuple, workers),
-		eof:      make([]bool, workers),
-		done:     make(chan struct{}),
+		ln:         ln,
+		workers:    workers,
+		queueCap:   queueCap,
+		sink:       sink,
+		wmInterval: DefaultWatermarkInterval,
+		queues:     make([][]transport.Tuple, workers),
+		live:       make([]bool, workers),
+		seen:       make([]bool, workers),
+		conns:      make(map[net.Conn]struct{}),
+		wmStop:     make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
 }
 
-// Addr returns the address workers dial.
+// SetWatermarkInterval tunes how often released watermarks are reported on
+// the control channel. Call before Start.
+func (m *Merger) SetWatermarkInterval(d time.Duration) {
+	if d > 0 {
+		m.wmInterval = d
+	}
+}
+
+// Addr returns the address workers (and the splitter's control channel) dial.
 func (m *Merger) Addr() string {
 	return m.ln.Addr().String()
+}
+
+// Deduped returns how many duplicate tuples (replays of already-released or
+// already-queued sequence numbers) were dropped.
+func (m *Merger) Deduped() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deduped
+}
+
+// DupRejects returns how many connections were rejected for claiming a
+// worker id whose stream was still live.
+func (m *Merger) DupRejects() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dupRejects
 }
 
 // Start launches the accept loop, per-connection readers and the merge loop.
@@ -80,76 +135,284 @@ func (m *Merger) Start() {
 	}()
 }
 
-// run accepts all worker connections, then merges until every stream ends.
+// run accepts connections and merges until the stream completes or fails.
 func (m *Merger) run() error {
-	var wg sync.WaitGroup
-	conns := make([]net.Conn, m.workers)
-	for i := 0; i < m.workers; i++ {
-		conn, err := m.ln.Accept()
-		if err != nil {
-			return fmt.Errorf("runtime: merger accept: %w", err)
-		}
-		var idBuf [4]byte
-		if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
-			conn.Close()
-			return fmt.Errorf("runtime: merger read worker id: %w", err)
-		}
-		id := int(binary.LittleEndian.Uint32(idBuf[:]))
-		if id < 0 || id >= m.workers || conns[id] != nil {
-			conn.Close()
-			return fmt.Errorf("runtime: merger got bad worker id %d", id)
-		}
-		conns[id] = conn
-	}
-	m.ln.Close()
-
-	readErrs := make([]error, m.workers)
-	for id, conn := range conns {
-		wg.Add(1)
-		go func(id int, conn net.Conn) {
-			defer wg.Done()
-			defer conn.Close()
-			readErrs[id] = m.readLoop(id, conn)
-		}(id, conn)
-	}
+	m.wg.Add(1)
+	go m.acceptLoop()
 
 	mergeErr := m.mergeLoop()
-	wg.Wait()
+
+	// Let in-flight watermark writers deliver the final watermark before
+	// the control connections close, so a draining splitter observes
+	// completion rather than an abrupt loss.
+	close(m.wmStop)
+	m.teardown()
+	m.wg.Wait()
+
+	m.mu.Lock()
+	strmErrs := m.strmErrs
+	ctrlSeen := m.ctrlSeen
+	m.mu.Unlock()
 	if mergeErr != nil {
-		return mergeErr
+		return errors.Join(append([]error{mergeErr}, strmErrs...)...)
 	}
-	return errors.Join(readErrs...)
+	if !ctrlSeen {
+		// Original fixed-worker semantics: with no recovery protocol in
+		// play, a worker stream error is the caller's problem even when
+		// every tuple was released.
+		return errors.Join(strmErrs...)
+	}
+	return nil
+}
+
+// teardown closes the listener and every attached connection, and wakes all
+// parked goroutines so they observe the shutdown.
+func (m *Merger) teardown() {
+	m.ln.Close()
+	m.mu.Lock()
+	m.closed = true
+	for conn := range m.conns {
+		conn.Close()
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// acceptLoop admits worker and control connections until the listener
+// closes. The handshake runs in a per-connection goroutine so one stalled
+// peer cannot block the others from attaching.
+func (m *Merger) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go m.handshake(conn)
+	}
+}
+
+// handshake reads the 4-byte connection id and routes the connection: a
+// worker id attaches a reader, the control sentinel attaches the watermark
+// writer and FIN reader. Every failure path closes the accepted connection.
+func (m *Merger) handshake(conn net.Conn) {
+	defer m.wg.Done()
+	var idBuf [4]byte
+	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+		conn.Close()
+		m.recordStreamErr(fmt.Errorf("runtime: merger read worker id: %w", err))
+		return
+	}
+	raw := binary.LittleEndian.Uint32(idBuf[:])
+	if raw == controlConnID {
+		m.attachControl(conn)
+		return
+	}
+	id := int(raw)
+	m.mu.Lock()
+	if id < 0 || id >= m.workers {
+		m.mu.Unlock()
+		conn.Close()
+		m.setFatal(fmt.Errorf("runtime: merger got bad worker id %d", id))
+		return
+	}
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if m.live[id] {
+		// A duplicate of a live stream is rejected (closed) but not
+		// fatal: a restarting worker can race its predecessor's teardown
+		// and will retry after backoff. Rejection is the correct
+		// handling, so it does not count as a stream error.
+		m.dupRejects++
+		m.mu.Unlock()
+		conn.Close()
+		return
+	}
+	m.live[id] = true
+	if !m.seen[id] {
+		m.seen[id] = true
+		m.attached++
+	}
+	m.conns[conn] = struct{}{}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.readLoop(id, conn)
+}
+
+// setFatal records a protocol violation and aborts the merge.
+func (m *Merger) setFatal(err error) {
+	m.mu.Lock()
+	if m.fatal == nil {
+		m.fatal = err
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *Merger) recordStreamErr(err error) {
+	m.mu.Lock()
+	m.strmErrs = append(m.strmErrs, err)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// attachControl wires a splitter control connection: one goroutine streams
+// watermarks out, this goroutine reads the FIN total and then watches for
+// the peer closing.
+func (m *Merger) attachControl(conn net.Conn) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return
+	}
+	m.ctrlSeen = true
+	m.ctrlLive++
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go m.watermarkWriter(conn)
+
+	var buf [8]byte
+	if _, err := io.ReadFull(conn, buf[:]); err == nil {
+		m.mu.Lock()
+		m.finKnown = true
+		m.finTotal = binary.LittleEndian.Uint64(buf[:])
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		// The splitter holds the channel open until it drains; wait for
+		// the close so ctrlLive reflects liveness, not FIN receipt.
+		io.Copy(io.Discard, conn)
+	}
+	m.mu.Lock()
+	m.ctrlLive--
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// watermarkWriter periodically reports the released watermark, and flushes a
+// final report when the merge completes so the splitter's drain observes
+// every release. It owns closing the control connection.
+func (m *Merger) watermarkWriter(conn net.Conn) {
+	defer m.wg.Done()
+	defer conn.Close()
+	ticker := time.NewTicker(m.wmInterval)
+	defer ticker.Stop()
+	var buf [8]byte
+	write := func() error {
+		m.mu.Lock()
+		wm := m.next
+		m.mu.Unlock()
+		binary.LittleEndian.PutUint64(buf[:], wm)
+		_, err := conn.Write(buf[:])
+		return err
+	}
+	for {
+		select {
+		case <-m.wmStop:
+			write()
+			return
+		case <-ticker.C:
+			if write() != nil {
+				return
+			}
+		}
+	}
 }
 
 // readLoop drains one worker connection into its bounded reorder queue. When
 // the queue is full the loop waits — it stops reading from TCP, so the
-// worker's sends eventually block: back pressure.
-func (m *Merger) readLoop(id int, conn net.Conn) error {
+// worker's sends eventually block: back pressure. The one exception is the
+// exact tuple the merge needs next, which is always admitted so a replay
+// arriving behind a full queue cannot wedge the region.
+func (m *Merger) readLoop(id int, conn net.Conn) {
+	defer func() {
+		m.mu.Lock()
+		m.live[id] = false
+		delete(m.conns, conn)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		conn.Close()
+	}()
 	rc := transport.NewReceiver(conn)
 	for {
 		t, err := rc.Receive()
-		if errors.Is(err, io.EOF) {
-			m.mu.Lock()
-			m.eof[id] = true
-			m.cond.Broadcast()
-			m.mu.Unlock()
-			return nil
-		}
 		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
 			m.mu.Lock()
-			m.eof[id] = true
-			m.cond.Broadcast()
+			closed := m.closed
 			m.mu.Unlock()
-			return fmt.Errorf("runtime: merger read worker %d: %w", id, err)
+			if !closed {
+				m.recordStreamErr(fmt.Errorf("runtime: merger read worker %d: %w", id, err))
+			}
+			return
 		}
 		m.mu.Lock()
-		for len(m.queues[id]) >= m.queueCap {
+		// Block on a full queue only while the merge can progress without
+		// this reader. If no queue holds the next-needed sequence, the
+		// tuple carrying it may be *behind* the one in hand in this very
+		// stream (a replay queued after a survivor's backlog), so the
+		// reader must overflow the cap and keep reading or the region
+		// wedges on head-of-line blocking.
+		for len(m.queues[id]) >= m.queueCap && t.Seq > m.next && !m.closed && m.progressPossible() {
 			m.cond.Wait()
 		}
-		m.queues[id] = append(m.queues[id], t)
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		if t.Seq < m.next {
+			// Replay of a sequence already released: exactly-once means
+			// dropping it here.
+			m.deduped++
+			m.mu.Unlock()
+			continue
+		}
+		if q, ok := insertSorted(m.queues[id], t); ok {
+			m.queues[id] = q
+		} else {
+			m.deduped++
+		}
 		m.cond.Broadcast()
 		m.mu.Unlock()
 	}
+}
+
+// progressPossible reports whether the merge loop can release or drop at
+// least one queued tuple right now: some queue's head is at or below the
+// next-needed sequence. Callers hold m.mu.
+func (m *Merger) progressPossible() bool {
+	for id := range m.queues {
+		if len(m.queues[id]) > 0 && m.queues[id][0].Seq <= m.next {
+			return true
+		}
+	}
+	return false
+}
+
+// insertSorted places t into q keeping ascending sequence order, reporting
+// ok=false when the sequence is already queued. A worker's own stream is
+// in order, so the common case appends at the tail; replayed tuples carry
+// older sequence numbers and insert near the front.
+func insertSorted(q []transport.Tuple, t transport.Tuple) ([]transport.Tuple, bool) {
+	i := len(q)
+	for i > 0 && q[i-1].Seq > t.Seq {
+		i--
+	}
+	if i > 0 && q[i-1].Seq == t.Seq {
+		return q, false
+	}
+	q = append(q, transport.Tuple{})
+	copy(q[i+1:], q[i:])
+	q[i] = t
+	return q, true
 }
 
 // mergeLoop releases tuples in strict sequence order.
@@ -157,15 +420,26 @@ func (m *Merger) mergeLoop() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
+		if m.fatal != nil {
+			return m.fatal
+		}
+		if m.closed {
+			return errors.New("runtime: merger closed")
+		}
 		released := false
 		for id := range m.queues {
-			if len(m.queues[id]) == 0 {
+			// Drop heads the merge has already released (cross-queue
+			// duplicates from replay). Dropping frees queue space, so wake
+			// any reader parked on the full queue.
+			for len(m.queues[id]) > 0 && m.queues[id][0].Seq < m.next {
+				m.queues[id] = m.queues[id][1:]
+				m.deduped++
+				m.cond.Broadcast()
+			}
+			if len(m.queues[id]) == 0 || m.queues[id][0].Seq != m.next {
 				continue
 			}
 			head := m.queues[id][0]
-			if head.Seq != m.next {
-				continue
-			}
 			m.queues[id] = m.queues[id][1:]
 			m.next++
 			released = true
@@ -178,28 +452,37 @@ func (m *Merger) mergeLoop() error {
 		if released {
 			continue
 		}
-		// Nothing matched: either a stream still owes us the next tuple, or
-		// everything has drained.
-		allDone := true
-		for id := range m.queues {
-			if !m.eof[id] || len(m.queues[id]) > 0 {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
+		if m.finKnown && m.next >= m.finTotal {
 			return nil
 		}
-		// If every live stream is at EOF but queues hold only later
-		// sequence numbers, the next tuple can never arrive.
-		stuck := true
-		for id := range m.queues {
-			if !m.eof[id] {
-				stuck = false
+		// Nothing matched. Can the tuple we need still arrive? Yes while
+		// any worker stream is live, while the splitter's control channel
+		// is (or may yet be) open, or — without a control channel — while
+		// the initial worker set is still attaching.
+		canArrive := false
+		for id := range m.live {
+			if m.live[id] {
+				canArrive = true
 				break
 			}
 		}
-		if stuck {
+		if !canArrive && m.ctrlSeen && m.ctrlLive > 0 {
+			canArrive = true
+		}
+		if !canArrive && !m.ctrlSeen && m.attached < m.workers {
+			canArrive = true
+		}
+		if !canArrive {
+			empty := true
+			for id := range m.queues {
+				if len(m.queues[id]) > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty && !m.finKnown {
+				return nil
+			}
 			return fmt.Errorf("runtime: merger missing sequence %d at end of streams", m.next)
 		}
 		m.cond.Wait()
@@ -212,7 +495,11 @@ func (m *Merger) Wait() error {
 	return m.err
 }
 
-// Close shuts the listener.
+// Close shuts the listener and aborts the merge.
 func (m *Merger) Close() {
 	m.ln.Close()
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }

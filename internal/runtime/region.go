@@ -10,6 +10,31 @@ import (
 	"streambalance/internal/transport"
 )
 
+// RecoveryConfig opts a region into worker-failure recovery: the splitter
+// retains sent tuples above the merger's released watermark (reported on a
+// side control connection) and replays a dead worker's unreleased tuples to
+// the survivors; the merger tolerates worker streams dying and rejoining
+// and dedupes replayed sequences, so every tuple is released exactly once
+// in strict order even across worker crashes.
+type RecoveryConfig struct {
+	// Enabled turns recovery on.
+	Enabled bool
+	// RetainCap bounds the splitter's replay buffer in tuples (default
+	// DefaultRetainCap).
+	RetainCap int
+	// WatermarkInterval is how often the merger reports its released
+	// watermark (default DefaultWatermarkInterval).
+	WatermarkInterval time.Duration
+	// Redial governs reconnection to failed workers; nil selects a
+	// default exponential backoff (base 10ms, cap 500ms, jittered,
+	// unlimited attempts until the region ends). Set MaxAttempts to bound
+	// it, or Disabled to never redial.
+	Redial *transport.RedialPolicy
+	// DisableRedial turns reconnection off: a dead worker stays dead and
+	// its load shifts permanently to the survivors.
+	DisableRedial bool
+}
+
 // RegionConfig assembles one ordered data-parallel region.
 type RegionConfig struct {
 	// Workers is the fan-out N; one operator per worker is required.
@@ -20,6 +45,9 @@ type RegionConfig struct {
 	Balancer *core.Balancer
 	// SampleInterval for the controller (default 1s).
 	SampleInterval time.Duration
+	// ResetInterval for the controller's periodic counter reset (default
+	// 16x SampleInterval; negative disables).
+	ResetInterval time.Duration
 	// MergerQueue bounds each reorder queue (default DefaultMergerQueue).
 	MergerQueue int
 	// Sink receives every released tuple in order, with the worker id.
@@ -27,9 +55,18 @@ type RegionConfig struct {
 	Sink func(transport.Tuple, int)
 	// OnSample observes controller ticks. Optional.
 	OnSample func(now time.Duration, rates []float64, weights []int)
+	// OnConnEvent observes splitter recovery events (down/replay/rejoin).
+	// Optional.
+	OnConnEvent func(ConnEvent)
 	// SocketBufferBytes sizes the kernel buffers between splitter and
 	// workers (default DefaultSocketBuffer).
 	SocketBufferBytes int
+	// Recovery opts the region into worker-failure recovery.
+	Recovery RecoveryConfig
+	// WrapWorkerAddr, when set, maps each worker's listen address to the
+	// address the splitter should dial instead — the hook fault-injecting
+	// proxies (internal/chaos) use to interpose on worker links.
+	WrapWorkerAddr func(worker int, addr string) string
 }
 
 // Region owns the processes of one parallel region: N workers, the merger
@@ -38,6 +75,7 @@ type Region struct {
 	workers  []*Worker
 	merger   *Merger
 	splitter *Splitter
+	recovery bool
 
 	mu        sync.Mutex
 	released  uint64
@@ -52,12 +90,24 @@ type RegionResult struct {
 	// OrderPreserved reports whether every release had the next sequence
 	// number in line.
 	OrderPreserved bool
-	// TotalBlocking is the lifetime blocking per connection.
+	// TotalBlocking is the lifetime blocking per worker (summed across
+	// reconnections).
 	TotalBlocking []time.Duration
-	// PerConnSent counts tuples sent per connection.
+	// PerConnSent counts tuples sent per worker, including replays.
 	PerConnSent []int64
+	// Deduped counts replayed duplicates the merger dropped to keep the
+	// exactly-once release guarantee.
+	Deduped uint64
 	// Elapsed is the wall-clock makespan.
 	Elapsed time.Duration
+}
+
+// DefaultRegionRedial is the redial policy a recovery-enabled region uses
+// when none is configured.
+var DefaultRegionRedial = transport.RedialPolicy{
+	Base:   10 * time.Millisecond,
+	Max:    500 * time.Millisecond,
+	Jitter: 0.2,
 }
 
 // NewRegion builds and connects all components; nothing runs until Run.
@@ -68,7 +118,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 	if cfg.Source == nil {
 		return nil, errors.New("runtime: region needs a source")
 	}
-	r := &Region{orderGood: true}
+	r := &Region{orderGood: true, recovery: cfg.Recovery.Enabled}
 
 	merger, err := NewMerger(len(cfg.Operators), cfg.MergerQueue, func(t transport.Tuple, conn int) {
 		r.mu.Lock()
@@ -85,6 +135,9 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Recovery.WatermarkInterval > 0 {
+		merger.SetWatermarkInterval(cfg.Recovery.WatermarkInterval)
+	}
 	r.merger = merger
 
 	addrs := make([]string, len(cfg.Operators))
@@ -97,8 +150,14 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		if cfg.SocketBufferBytes > 0 {
 			w.SetReceiveBuffer(cfg.SocketBufferBytes)
 		}
+		if r.recovery {
+			w.SetResilient(true)
+		}
 		r.workers = append(r.workers, w)
 		addrs[i] = w.Addr()
+		if cfg.WrapWorkerAddr != nil {
+			addrs[i] = cfg.WrapWorkerAddr(i, addrs[i])
+		}
 	}
 
 	// Workers and merger must be listening before the splitter dials, and
@@ -109,14 +168,28 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		w.Start()
 	}
 
-	splitter, err := NewSplitter(SplitterConfig{
+	scfg := SplitterConfig{
 		WorkerAddrs:       addrs,
 		Source:            cfg.Source,
 		Balancer:          cfg.Balancer,
 		SampleInterval:    cfg.SampleInterval,
+		ResetInterval:     cfg.ResetInterval,
 		OnSample:          cfg.OnSample,
+		OnConnEvent:       cfg.OnConnEvent,
 		SocketBufferBytes: cfg.SocketBufferBytes,
-	})
+	}
+	if r.recovery {
+		scfg.ControlAddr = merger.Addr()
+		scfg.RetainCap = cfg.Recovery.RetainCap
+		if !cfg.Recovery.DisableRedial {
+			policy := DefaultRegionRedial
+			if cfg.Recovery.Redial != nil {
+				policy = *cfg.Recovery.Redial
+			}
+			scfg.Redial = &policy
+		}
+	}
+	splitter, err := NewSplitter(scfg)
 	if err != nil {
 		r.Close()
 		return nil, err
@@ -126,7 +199,10 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 }
 
 // Run executes the region until the source is exhausted and every tuple has
-// exited the merger.
+// exited the merger. With recovery enabled, worker failures along the way
+// are absorbed (replayed and, if possible, reconnected) rather than
+// surfaced, and an error is returned only when the stream could not be
+// completed — e.g. every worker died.
 func (r *Region) Run() (RegionResult, error) {
 	start := time.Now()
 	r.splitter.Start()
@@ -135,12 +211,23 @@ func (r *Region) Run() (RegionResult, error) {
 	if err := r.splitter.Wait(); err != nil {
 		errs = append(errs, fmt.Errorf("splitter: %w", err))
 	}
+	if r.recovery {
+		// Resilient workers keep accepting until told otherwise.
+		for _, w := range r.workers {
+			w.Close()
+		}
+	}
 	for i, w := range r.workers {
 		if err := w.Wait(); err != nil {
 			errs = append(errs, fmt.Errorf("worker %d: %w", i, err))
 		}
 	}
-	if err := r.merger.Wait(); err != nil {
+	if len(errs) > 0 {
+		// The merger cannot finish once splitter or workers failed
+		// terminally; abort it rather than waiting forever.
+		r.merger.Close()
+	}
+	if err := r.merger.Wait(); err != nil && len(errs) == 0 {
 		errs = append(errs, fmt.Errorf("merger: %w", err))
 	}
 
@@ -149,19 +236,21 @@ func (r *Region) Run() (RegionResult, error) {
 	res.Released = r.released
 	res.OrderPreserved = r.orderGood
 	r.mu.Unlock()
-	for _, s := range r.splitter.Senders() {
-		res.TotalBlocking = append(res.TotalBlocking, s.TotalBlocking())
-		res.PerConnSent = append(res.PerConnSent, s.Sent())
-	}
+	res.PerConnSent, res.TotalBlocking = r.splitter.ConnStats()
+	res.Deduped = r.merger.Deduped()
 	return res, errors.Join(errs...)
 }
 
-// Close tears down listeners for a region that never ran.
+// Close tears down a region that never ran: listeners, worker connections
+// and the splitter's dialed senders.
 func (r *Region) Close() {
 	if r.merger != nil {
 		r.merger.Close()
 	}
 	for _, w := range r.workers {
 		w.Close()
+	}
+	if r.splitter != nil {
+		r.splitter.Close()
 	}
 }

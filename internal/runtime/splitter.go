@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"streambalance/internal/core"
@@ -13,7 +14,10 @@ import (
 )
 
 // Source supplies tuple payloads to the splitter. Returning ok=false ends
-// the stream.
+// the stream. When recovery is enabled the returned payload must not be
+// mutated after the call returns: the splitter retains it (by reference)
+// until the merger's watermark passes the tuple, in case it must be
+// replayed to a surviving worker.
 type Source func(seq uint64) (payload []byte, ok bool)
 
 // ConstantSource emits the same payload for n tuples (n == 0 means
@@ -25,6 +29,20 @@ func ConstantSource(payload []byte, n uint64) Source {
 		}
 		return payload, true
 	}
+}
+
+// ConnEvent reports a recovery event on one splitter connection.
+type ConnEvent struct {
+	// Kind is "down" (connection failed), "replay" (its unreleased tuples
+	// were re-sent to survivors) or "rejoin" (a redial succeeded and the
+	// worker was re-admitted).
+	Kind string
+	// Conn is the stable worker index (position in WorkerAddrs).
+	Conn int
+	// Tuples counts replayed tuples (Kind "replay").
+	Tuples int
+	// Err is the failure cause (Kind "down").
+	Err error
 }
 
 // SplitterConfig configures a Splitter.
@@ -43,7 +61,9 @@ type SplitterConfig struct {
 	// paper's transport does (default 16x the sample interval; negative
 	// disables).
 	ResetInterval time.Duration
-	// OnSample, when set, observes each controller tick.
+	// OnSample, when set, observes each controller tick. With recovery
+	// enabled the rates/weights vectors track the live connection set, so
+	// their length can change between ticks.
 	OnSample func(now time.Duration, rates []float64, weights []int)
 	// SocketBufferBytes sizes the kernel send buffer of each worker
 	// connection (default DefaultSocketBuffer). The blocking-time signal
@@ -51,28 +71,105 @@ type SplitterConfig struct {
 	// with gigantic buffers the kernel absorbs everything and no send ever
 	// blocks — the paper's "numerous system buffers" caveat (Section 4.4).
 	SocketBufferBytes int
+
+	// ControlAddr, when set, enables recovery: the splitter opens a side
+	// connection to the merger at this address, receives released
+	// watermarks, retains unreleased tuples, and on a connection failure
+	// replays the dead connection's unreleased tuples to survivors
+	// instead of failing the region.
+	ControlAddr string
+	// RetainCap bounds the replay buffer in tuples (default
+	// DefaultRetainCap). When it fills, the splitter blocks until the
+	// watermark advances — back pressure against a lagging merger.
+	RetainCap int
+	// Redial, when non-nil, re-establishes failed worker connections with
+	// exponential backoff and jitter; a reconnected worker rejoins the
+	// schedule (and the balancer, which re-learns its capacity). Only
+	// meaningful with ControlAddr set.
+	Redial *transport.RedialPolicy
+	// OnConnEvent observes recovery events. Optional; called from the
+	// splitter's send loop.
+	OnConnEvent func(ConnEvent)
 }
 
 // DefaultSocketBuffer is the kernel buffer size requested per connection.
 const DefaultSocketBuffer = 64 << 10
 
+// DefaultRetainCap bounds the replay buffer (tuples retained above the
+// released watermark).
+const DefaultRetainCap = 16384
+
+// splitConn is one live worker connection with its stable identity.
+type splitConn struct {
+	id     int // stable worker index; survives rejoin
+	addr   string
+	conn   net.Conn
+	sender *transport.Sender
+}
+
+// retainEntry is one sent-but-unreleased tuple in the replay buffer. conn
+// is the stable id of the connection carrying it, or -1 while a send is in
+// flight.
+type retainEntry struct {
+	seq     uint64
+	conn    int
+	payload []byte
+}
+
+// rejoin carries a successfully redialed connection into the send loop.
+type rejoin struct {
+	id     int
+	addr   string
+	conn   net.Conn
+	sender *transport.Sender
+}
+
 // Splitter distributes tuples across worker connections by smooth weighted
 // round-robin, measuring per-connection blocking, and (optionally) runs the
-// balancing controller.
+// balancing controller. With recovery enabled it also retains unreleased
+// tuples and replays them across surviving connections when a worker dies.
 type Splitter struct {
-	cfg     SplitterConfig
-	senders []*transport.Sender
-	wrr     *schedule.WRR
+	cfg SplitterConfig
+	wrr *schedule.WRR
 
-	weightCh chan []int
+	// mu guards conns, epoch, the balancer and the per-worker aggregates;
+	// membership mutations happen only on the send-loop goroutine.
+	mu          sync.Mutex
+	conns       []*splitConn
+	epoch       int // bumped on every membership change
+	aggSent     []int64
+	aggBlocking []time.Duration
+	started     bool
+	closedIdle  bool
+
+	// Recovery state, owned by the send loop.
+	ctrl     *controlLink
+	retained []retainEntry
+	retHead  int
+	downErrs []error
+
+	deadCh   chan int
+	rejoinCh chan rejoin
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	weightCh chan weightUpdate
 	done     chan struct{}
 	stopCtl  chan struct{}
 	ctlDone  chan struct{}
 	err      error
-	started  time.Time
+	startedT time.Time
 }
 
-// NewSplitter dials every worker.
+// weightUpdate carries a controller decision into the send loop; it is
+// applied only if the membership epoch is unchanged.
+type weightUpdate struct {
+	epoch   int
+	weights []int
+}
+
+// NewSplitter dials every worker (and, in recovery mode, the control
+// channel).
 func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	if len(cfg.WorkerAddrs) == 0 {
 		return nil, errors.New("runtime: splitter needs worker addresses")
@@ -89,34 +186,35 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	if cfg.SocketBufferBytes <= 0 {
 		cfg.SocketBufferBytes = DefaultSocketBuffer
 	}
+	if cfg.RetainCap <= 0 {
+		cfg.RetainCap = DefaultRetainCap
+	}
 	wrr, err := schedule.NewWRR(len(cfg.WorkerAddrs))
 	if err != nil {
 		return nil, err
 	}
 	sp := &Splitter{
-		cfg:      cfg,
-		wrr:      wrr,
-		weightCh: make(chan []int, 1),
-		done:     make(chan struct{}),
-		stopCtl:  make(chan struct{}),
-		ctlDone:  make(chan struct{}),
+		cfg:         cfg,
+		wrr:         wrr,
+		aggSent:     make([]int64, len(cfg.WorkerAddrs)),
+		aggBlocking: make([]time.Duration, len(cfg.WorkerAddrs)),
+		deadCh:      make(chan int, 4*len(cfg.WorkerAddrs)+4),
+		rejoinCh:    make(chan rejoin, len(cfg.WorkerAddrs)+1),
+		stop:        make(chan struct{}),
+		weightCh:    make(chan weightUpdate, 1),
+		done:        make(chan struct{}),
+		stopCtl:     make(chan struct{}),
+		ctlDone:     make(chan struct{}),
 	}
 	initial := core.EvenWeights(len(cfg.WorkerAddrs), core.DefaultUnits)
 	if err := sp.wrr.SetWeights(initial); err != nil {
 		return nil, err
 	}
 	for i, addr := range cfg.WorkerAddrs {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := sp.dialWorker(addr)
 		if err != nil {
 			sp.closeSenders()
 			return nil, fmt.Errorf("runtime: splitter dial worker %d: %w", i, err)
-		}
-		if tc, ok := conn.(*net.TCPConn); ok {
-			if err := tc.SetWriteBuffer(cfg.SocketBufferBytes); err != nil {
-				conn.Close()
-				sp.closeSenders()
-				return nil, fmt.Errorf("runtime: splitter set buffer %d: %w", i, err)
-			}
 		}
 		sender, err := transport.NewSender(conn)
 		if err != nil {
@@ -124,52 +222,453 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 			sp.closeSenders()
 			return nil, fmt.Errorf("runtime: splitter wrap worker %d: %w", i, err)
 		}
-		sp.senders = append(sp.senders, sender)
+		sp.conns = append(sp.conns, &splitConn{id: i, addr: addr, conn: conn, sender: sender})
+	}
+	if cfg.ControlAddr != "" {
+		ctrl, err := dialControl(cfg.ControlAddr)
+		if err != nil {
+			sp.closeSenders()
+			return nil, err
+		}
+		sp.ctrl = ctrl
 	}
 	return sp, nil
 }
 
-func (sp *Splitter) closeSenders() {
-	for _, s := range sp.senders {
-		s.Close()
+// dialWorker dials one worker endpoint and applies the socket buffer size.
+func (sp *Splitter) dialWorker(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
 	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.SetWriteBuffer(sp.cfg.SocketBufferBytes); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("set buffer: %w", err)
+		}
+	}
+	return conn, nil
+}
+
+func (sp *Splitter) closeSenders() {
+	sp.mu.Lock()
+	conns := append([]*splitConn(nil), sp.conns...)
+	sp.mu.Unlock()
+	for _, c := range conns {
+		c.sender.Close()
+	}
+}
+
+// Close releases the connections of a splitter that was constructed but
+// never started. It is a no-op once Start has run (the send loop owns the
+// teardown then).
+func (sp *Splitter) Close() {
+	sp.mu.Lock()
+	if sp.started || sp.closedIdle {
+		sp.mu.Unlock()
+		return
+	}
+	sp.closedIdle = true
+	sp.mu.Unlock()
+	sp.closeSenders()
+	if sp.ctrl != nil {
+		sp.ctrl.Close()
+	}
+	sp.stopOnce.Do(func() { close(sp.stop) })
 }
 
 // Start launches the send loop and, if a balancer is configured, the
 // controller goroutine.
 func (sp *Splitter) Start() {
-	sp.started = time.Now()
+	sp.mu.Lock()
+	sp.started = true
+	conns := append([]*splitConn(nil), sp.conns...)
+	sp.mu.Unlock()
+	sp.startedT = time.Now()
+	if sp.recovery() {
+		for _, c := range conns {
+			go sp.monitor(c)
+		}
+	}
 	go sp.controller()
 	go func() {
 		defer close(sp.done)
 		sp.err = sp.sendLoop()
 		close(sp.stopCtl)
 		<-sp.ctlDone
+		sp.stopOnce.Do(func() { close(sp.stop) })
 		sp.closeSenders()
+		if sp.ctrl != nil {
+			sp.ctrl.Close()
+		}
 	}()
 }
 
-// sendLoop is the splitter's single thread of control.
+func (sp *Splitter) recovery() bool {
+	return sp.ctrl != nil
+}
+
+// monitor watches one connection for a peer close: workers never send data
+// back, so a read returning at all means the connection died. This detects
+// failures even while the splitter is not sending to that connection.
+func (sp *Splitter) monitor(c *splitConn) {
+	buf := make([]byte, 1)
+	c.conn.Read(buf)
+	select {
+	case sp.deadCh <- c.id:
+	case <-sp.stop:
+	}
+}
+
+func (sp *Splitter) event(ev ConnEvent) {
+	if sp.cfg.OnConnEvent != nil {
+		sp.cfg.OnConnEvent(ev)
+	}
+}
+
+// sendLoop is the splitter's single thread of control. All membership
+// changes (failures, replays, rejoins) happen here, between sends.
 func (sp *Splitter) sendLoop() error {
+	recovery := sp.recovery()
 	var seq uint64
 	for {
 		// Apply any weight update the controller published.
 		select {
-		case w := <-sp.weightCh:
-			if err := sp.wrr.SetWeights(w); err != nil {
-				return fmt.Errorf("runtime: apply weights: %w", err)
+		case wu := <-sp.weightCh:
+			if err := sp.applyWeights(wu); err != nil {
+				return err
 			}
 		default:
 		}
+		if recovery {
+			if err := sp.pollEvents(); err != nil {
+				return err
+			}
+		}
 		payload, ok := sp.cfg.Source(seq)
 		if !ok {
-			return nil
+			break
 		}
-		j := sp.wrr.Next()
-		if err := sp.senders[j].Send(transport.Tuple{Seq: seq, Payload: payload}); err != nil {
-			return fmt.Errorf("runtime: send to worker %d: %w", j, err)
+		var entry *retainEntry
+		if recovery {
+			var err error
+			entry, err = sp.admitRetention(seq, payload)
+			if err != nil {
+				return err
+			}
+		}
+		for {
+			c := sp.pickLive()
+			if c == nil {
+				return sp.allDeadErr()
+			}
+			err := c.sender.Send(transport.Tuple{Seq: seq, Payload: payload})
+			if err == nil {
+				if entry != nil {
+					entry.conn = c.id
+				}
+				break
+			}
+			if !recovery {
+				return fmt.Errorf("runtime: send to worker %d: %w", c.id, err)
+			}
+			if ferr := sp.handleConnFailure(c, err); ferr != nil {
+				return ferr
+			}
 		}
 		seq++
+	}
+	if !recovery {
+		return nil
+	}
+	return sp.drain(seq)
+}
+
+// pickLive returns the next connection per the weighted round-robin, or nil
+// when none remain.
+func (sp *Splitter) pickLive() *splitConn {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.conns) == 0 {
+		return nil
+	}
+	return sp.conns[sp.wrr.Next()]
+}
+
+func (sp *Splitter) applyWeights(wu weightUpdate) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if wu.epoch != sp.epoch {
+		return nil // stale: membership changed since the controller sampled
+	}
+	if err := sp.wrr.SetWeights(wu.weights); err != nil {
+		return fmt.Errorf("runtime: apply weights: %w", err)
+	}
+	return nil
+}
+
+// pollEvents drains pending failure and rejoin notifications without
+// blocking.
+func (sp *Splitter) pollEvents() error {
+	for {
+		select {
+		case id := <-sp.deadCh:
+			c := sp.findLive(id)
+			if c == nil {
+				continue
+			}
+			if err := sp.handleConnFailure(c, fmt.Errorf("runtime: worker %d connection closed by peer", id)); err != nil {
+				return err
+			}
+		case rj := <-sp.rejoinCh:
+			sp.admitRejoin(rj)
+		default:
+			return nil
+		}
+	}
+}
+
+func (sp *Splitter) findLive(id int) *splitConn {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, c := range sp.conns {
+		if c.id == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// admitRetention appends the tuple to the replay buffer, blocking while the
+// buffer is full until the merger's watermark frees space.
+func (sp *Splitter) admitRetention(seq uint64, payload []byte) (*retainEntry, error) {
+	sp.pruneRetained()
+	for len(sp.retained)-sp.retHead >= sp.cfg.RetainCap {
+		select {
+		case <-sp.ctrl.wmSignal:
+			sp.pruneRetained()
+		case <-sp.ctrl.dead:
+			return nil, errors.New("runtime: control channel lost with replay buffer full")
+		case id := <-sp.deadCh:
+			c := sp.findLive(id)
+			if c != nil {
+				if err := sp.handleConnFailure(c, fmt.Errorf("runtime: worker %d connection closed by peer", id)); err != nil {
+					return nil, err
+				}
+			}
+		case rj := <-sp.rejoinCh:
+			sp.admitRejoin(rj)
+		}
+	}
+	sp.retained = append(sp.retained, retainEntry{seq: seq, conn: -1, payload: payload})
+	return &sp.retained[len(sp.retained)-1], nil
+}
+
+// pruneRetained drops retained tuples the merger has released.
+func (sp *Splitter) pruneRetained() {
+	wm := sp.ctrl.Watermark()
+	for sp.retHead < len(sp.retained) && sp.retained[sp.retHead].seq < wm {
+		sp.retained[sp.retHead].payload = nil
+		sp.retHead++
+	}
+	if sp.retHead > 0 && sp.retHead*2 >= len(sp.retained) {
+		n := copy(sp.retained, sp.retained[sp.retHead:])
+		for i := n; i < len(sp.retained); i++ {
+			sp.retained[i] = retainEntry{}
+		}
+		sp.retained = sp.retained[:n]
+		sp.retHead = 0
+	}
+}
+
+// removeConn retires a failed connection: folds its counters, drops it from
+// the live set and the schedule, and rebalances the freed weight across
+// survivors. Reports whether the connection was still live.
+func (sp *Splitter) removeConn(c *splitConn, cause error) bool {
+	sp.mu.Lock()
+	pos := -1
+	for i, lc := range sp.conns {
+		if lc == c {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		sp.mu.Unlock()
+		return false
+	}
+	sp.aggSent[c.id] += c.sender.Sent()
+	sp.aggBlocking[c.id] += c.sender.TotalBlocking()
+	sp.conns = append(sp.conns[:pos], sp.conns[pos+1:]...)
+	sp.epoch++
+	var weights []int
+	if sp.cfg.Balancer != nil && sp.cfg.Balancer.Connections() > 1 {
+		// The balancer folds the dead connection's weight back into the
+		// survivors immediately, so the splitter never routes to it.
+		sp.cfg.Balancer.RemoveConnection(pos)
+		weights = sp.cfg.Balancer.Weights()
+	}
+	sp.wrr.Remove(pos)
+	if weights != nil {
+		sp.wrr.SetWeights(weights)
+	}
+	sp.downErrs = append(sp.downErrs, fmt.Errorf("worker %d: %w", c.id, cause))
+	sp.mu.Unlock()
+	c.sender.Close()
+	sp.event(ConnEvent{Kind: "down", Conn: c.id, Err: cause})
+	if sp.cfg.Redial != nil {
+		go sp.redialLoop(c.id, c.addr)
+	}
+	return true
+}
+
+func (sp *Splitter) liveCount() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.conns)
+}
+
+func (sp *Splitter) allDeadErr() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return fmt.Errorf("runtime: all worker connections failed: %w", errors.Join(sp.downErrs...))
+}
+
+// handleConnFailure retires the failed connection and replays every
+// unreleased tuple it carried across the survivors. If a survivor fails
+// during replay it is retired too and its tuples join the worklist.
+func (sp *Splitter) handleConnFailure(c *splitConn, cause error) error {
+	var deadIDs []int
+	if sp.removeConn(c, cause) {
+		deadIDs = append(deadIDs, c.id)
+	}
+	for len(deadIDs) > 0 {
+		if sp.liveCount() == 0 {
+			return sp.allDeadErr()
+		}
+		// No pruning here: compaction would invalidate the retain-entry
+		// pointer the send loop holds across this call. Replaying an
+		// already-released tuple is harmless — the merger dedupes it.
+		id := deadIDs[0]
+		deadIDs = deadIDs[1:]
+		entries := sp.collectRetained(id)
+		for _, e := range entries {
+			for {
+				c2 := sp.pickLive()
+				if c2 == nil {
+					return sp.allDeadErr()
+				}
+				if err := c2.sender.Send(transport.Tuple{Seq: e.seq, Payload: e.payload}); err != nil {
+					if sp.removeConn(c2, err) {
+						deadIDs = append(deadIDs, c2.id)
+					}
+					continue
+				}
+				e.conn = c2.id
+				break
+			}
+		}
+		sp.event(ConnEvent{Kind: "replay", Conn: id, Tuples: len(entries)})
+	}
+	return nil
+}
+
+// collectRetained returns the retained entries currently assigned to the
+// given stable worker id.
+func (sp *Splitter) collectRetained(id int) []*retainEntry {
+	var out []*retainEntry
+	for i := sp.retHead; i < len(sp.retained); i++ {
+		if sp.retained[i].conn == id {
+			out = append(out, &sp.retained[i])
+		}
+	}
+	return out
+}
+
+// redialLoop re-establishes a failed worker connection with backoff and
+// hands it to the send loop.
+func (sp *Splitter) redialLoop(id int, addr string) {
+	rd := transport.NewRedialer(addr, *sp.cfg.Redial)
+	conn, err := rd.Dial(sp.stop)
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(sp.cfg.SocketBufferBytes)
+	}
+	sender, err := transport.NewSender(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	select {
+	case sp.rejoinCh <- rejoin{id: id, addr: addr, conn: conn, sender: sender}:
+	case <-sp.stop:
+		sender.Close()
+	}
+}
+
+// admitRejoin re-admits a redialed worker: it re-enters the schedule and
+// the balancer with zero weight, so the next rebalance explores it and the
+// learning loop re-measures its capacity.
+func (sp *Splitter) admitRejoin(rj rejoin) {
+	c := &splitConn{id: rj.id, addr: rj.addr, conn: rj.conn, sender: rj.sender}
+	sp.mu.Lock()
+	sp.conns = append(sp.conns, c)
+	sp.epoch++
+	if sp.cfg.Balancer != nil {
+		sp.cfg.Balancer.AddConnection()
+		sp.wrr.Add(0)
+		sp.wrr.SetWeights(sp.cfg.Balancer.Weights())
+	} else {
+		// Without a balancer, give the newcomer an even share at once.
+		w := sp.wrr.Weights()
+		share := core.DefaultUnits / (len(w) + 1)
+		if share < 1 {
+			share = 1
+		}
+		sp.wrr.Add(share)
+	}
+	sp.mu.Unlock()
+	go sp.monitor(c)
+	sp.event(ConnEvent{Kind: "rejoin", Conn: rj.id})
+}
+
+// drain holds the splitter open after the source is exhausted until the
+// merger confirms (via the watermark) that every tuple was released —
+// replaying on any late connection failure — so a worker dying with tuples
+// in flight cannot lose data.
+func (sp *Splitter) drain(total uint64) error {
+	if err := sp.ctrl.SendFin(total); err != nil {
+		if sp.ctrl.Watermark() >= total {
+			return nil
+		}
+		return err
+	}
+	for {
+		sp.pruneRetained()
+		if sp.ctrl.Watermark() >= total {
+			return nil
+		}
+		select {
+		case <-sp.ctrl.wmSignal:
+		case <-sp.ctrl.dead:
+			if sp.ctrl.Watermark() >= total {
+				return nil
+			}
+			return fmt.Errorf("runtime: merger lost before releasing all tuples (watermark %d of %d)",
+				sp.ctrl.Watermark(), total)
+		case id := <-sp.deadCh:
+			c := sp.findLive(id)
+			if c == nil {
+				continue
+			}
+			if err := sp.handleConnFailure(c, fmt.Errorf("runtime: worker %d connection closed by peer", id)); err != nil {
+				return err
+			}
+		case rj := <-sp.rejoinCh:
+			sp.admitRejoin(rj)
+		}
 	}
 }
 
@@ -179,7 +678,7 @@ func (sp *Splitter) controller() {
 	defer close(sp.ctlDone)
 	ticker := time.NewTicker(sp.cfg.SampleInterval)
 	defer ticker.Stop()
-	samplers := make([]stats.RateSampler, len(sp.senders))
+	samplers := make(map[*transport.Sender]*stats.RateSampler)
 	lastReset := time.Duration(0)
 	for {
 		select {
@@ -187,23 +686,33 @@ func (sp *Splitter) controller() {
 			return
 		case <-ticker.C:
 		}
-		now := time.Since(sp.started)
-		rates := make([]float64, len(sp.senders))
-		for j, s := range sp.senders {
-			if rate, ok := samplers[j].Sample(now, s.CumulativeBlocking().Seconds()); ok {
+		now := time.Since(sp.startedT)
+
+		sp.mu.Lock()
+		conns := append([]*splitConn(nil), sp.conns...)
+		epoch := sp.epoch
+		rates := make([]float64, len(conns))
+		for j, c := range conns {
+			sampler := samplers[c.sender]
+			if sampler == nil {
+				sampler = &stats.RateSampler{}
+				samplers[c.sender] = sampler
+			}
+			if rate, ok := sampler.Sample(now, c.sender.CumulativeBlocking().Seconds()); ok {
 				rates[j] = rate
 			}
 		}
 		if sp.cfg.ResetInterval > 0 && now-lastReset >= sp.cfg.ResetInterval {
-			for j, s := range sp.senders {
-				s.ResetCumulative()
-				samplers[j].Reset()
-				samplers[j].Sample(now, 0)
+			for _, c := range conns {
+				c.sender.ResetCumulative()
+				samplers[c.sender].Reset()
+				samplers[c.sender].Sample(now, 0)
 			}
 			lastReset = now
 		}
 		weights := sp.wrr.Weights()
-		if sp.cfg.Balancer != nil {
+		var publish []int
+		if sp.cfg.Balancer != nil && sp.cfg.Balancer.Connections() == len(conns) {
 			ok := true
 			for j, r := range rates {
 				if err := sp.cfg.Balancer.Observe(j, r); err != nil {
@@ -214,14 +723,19 @@ func (sp *Splitter) controller() {
 			if ok {
 				if newWeights, err := sp.cfg.Balancer.Rebalance(); err == nil {
 					weights = newWeights
-					// Publish, replacing any unconsumed update.
-					select {
-					case <-sp.weightCh:
-					default:
-					}
-					sp.weightCh <- weights
+					publish = newWeights
 				}
 			}
+		}
+		sp.mu.Unlock()
+
+		if publish != nil {
+			// Publish, replacing any unconsumed update.
+			select {
+			case <-sp.weightCh:
+			default:
+			}
+			sp.weightCh <- weightUpdate{epoch: epoch, weights: publish}
 		}
 		if sp.cfg.OnSample != nil {
 			sp.cfg.OnSample(now, rates, weights)
@@ -229,16 +743,34 @@ func (sp *Splitter) controller() {
 	}
 }
 
-// Wait blocks until the send loop finishes (source exhausted or error) and
-// all connections are closed.
+// Wait blocks until the send loop finishes (source exhausted, and in
+// recovery mode fully released; or error) and all connections are closed.
 func (sp *Splitter) Wait() error {
 	<-sp.done
 	return sp.err
 }
 
-// Senders exposes the per-connection senders (for metrics inspection).
+// Senders exposes the live per-connection senders (for metrics inspection).
 func (sp *Splitter) Senders() []*transport.Sender {
-	out := make([]*transport.Sender, len(sp.senders))
-	copy(out, sp.senders)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	out := make([]*transport.Sender, 0, len(sp.conns))
+	for _, c := range sp.conns {
+		out = append(out, c.sender)
+	}
 	return out
+}
+
+// ConnStats returns per-worker lifetime tuple and blocking totals, indexed
+// by the stable worker id and summed across reconnections.
+func (sp *Splitter) ConnStats() (sent []int64, blocking []time.Duration) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sent = append([]int64(nil), sp.aggSent...)
+	blocking = append([]time.Duration(nil), sp.aggBlocking...)
+	for _, c := range sp.conns {
+		sent[c.id] += c.sender.Sent()
+		blocking[c.id] += c.sender.TotalBlocking()
+	}
+	return sent, blocking
 }

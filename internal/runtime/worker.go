@@ -6,19 +6,33 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"streambalance/internal/transport"
 )
 
-// Worker is one parallel PE: it accepts a single connection from the
-// splitter, applies its operator to every tuple, and forwards results to the
-// merger over its own TCP connection.
+// Worker is one parallel PE: it accepts a connection from the splitter,
+// applies its operator to every tuple, and forwards results to the merger
+// over its own TCP connection.
+//
+// By default a worker serves exactly one splitter connection and exits when
+// it ends — the paper's fixed-pipeline model. In resilient mode (used by
+// recovery-enabled regions) the worker instead keeps accepting: when a
+// splitter connection dies it tears down its merger connection, returns to
+// Accept, and re-handshakes with the merger on the next connection, so a
+// redialing splitter can re-admit it without a process restart.
 type Worker struct {
-	id       int
-	operator Operator
-	ln       net.Listener
-	merger   string // merger address to dial
-	rcvBuf   int
+	id        int
+	operator  Operator
+	ln        net.Listener
+	merger    string // merger address to dial
+	rcvBuf    int
+	resilient bool
+
+	mu       sync.Mutex
+	closed   bool
+	active   net.Conn
+	connErrs []error
 
 	done chan struct{}
 	err  error
@@ -52,13 +66,27 @@ func (w *Worker) SetReceiveBuffer(bytes int) {
 	}
 }
 
+// SetResilient switches the worker to the multi-connection mode described
+// above. Call before Start.
+func (w *Worker) SetResilient(on bool) {
+	w.resilient = on
+}
+
 // Addr returns the address the splitter should dial.
 func (w *Worker) Addr() string {
 	return w.ln.Addr().String()
 }
 
-// Start launches the worker loop; it runs until the splitter closes its
-// connection or an error occurs. Wait for completion with Wait.
+// ConnErrors returns the per-connection errors a resilient worker absorbed.
+func (w *Worker) ConnErrors() []error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]error(nil), w.connErrs...)
+}
+
+// Start launches the worker loop. In one-shot mode it runs until the
+// splitter closes its connection or an error occurs; in resilient mode it
+// runs until Close. Wait for completion with Wait.
 func (w *Worker) Start() {
 	go func() {
 		defer close(w.done)
@@ -66,15 +94,57 @@ func (w *Worker) Start() {
 	}()
 }
 
-// run accepts the splitter connection and processes tuples until EOF.
 func (w *Worker) run() error {
-	in, err := w.ln.Accept()
-	if err != nil {
-		return fmt.Errorf("runtime: worker %d accept: %w", w.id, err)
+	if !w.resilient {
+		in, err := w.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("runtime: worker %d accept: %w", w.id, err)
+		}
+		// Once the splitter is connected no further connections are
+		// expected.
+		w.ln.Close()
+		return w.serve(in)
 	}
+	for {
+		in, err := w.ln.Accept()
+		if err != nil {
+			if w.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("runtime: worker %d accept: %w", w.id, err)
+		}
+		if err := w.serve(in); err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			if !closed {
+				w.connErrs = append(w.connErrs, err)
+			}
+			w.mu.Unlock()
+		}
+		if w.isClosed() {
+			return nil
+		}
+	}
+}
+
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+func (w *Worker) setActive(conn net.Conn) {
+	w.mu.Lock()
+	w.active = conn
+	w.mu.Unlock()
+}
+
+// serve processes one splitter connection until EOF or error, forwarding
+// results to the merger over a fresh identified connection.
+func (w *Worker) serve(in net.Conn) error {
 	defer in.Close()
-	// Once the splitter is connected no further connections are expected.
-	w.ln.Close()
+	w.setActive(in)
+	defer w.setActive(nil)
 	if tc, ok := in.(*net.TCPConn); ok {
 		if err := tc.SetReadBuffer(w.rcvBuf); err != nil {
 			return fmt.Errorf("runtime: worker %d set read buffer: %w", w.id, err)
@@ -120,7 +190,16 @@ func (w *Worker) Wait() error {
 	return w.err
 }
 
-// Close shuts the worker's listener; pending Accept calls fail.
+// Close shuts the worker down: the listener closes (pending Accepts fail)
+// and any in-flight connection is severed so a resilient worker exits
+// promptly.
 func (w *Worker) Close() {
+	w.mu.Lock()
+	w.closed = true
+	active := w.active
+	w.mu.Unlock()
 	w.ln.Close()
+	if active != nil {
+		active.Close()
+	}
 }

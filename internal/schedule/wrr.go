@@ -107,6 +107,40 @@ func (w *WRR) Next() int {
 	return best
 }
 
+// Add appends a new connection slot with the given weight and returns its
+// index. The new slot's accumulator starts at zero, so it is woven into the
+// ongoing frame without causing a burst. Used when a restarted worker
+// rejoins a region.
+func (w *WRR) Add(weight int) (int, error) {
+	if weight < 0 {
+		return 0, fmt.Errorf("schedule: negative weight %d for new connection", weight)
+	}
+	w.weights = append(w.weights, weight)
+	w.current = append(w.current, 0)
+	w.total += weight
+	return len(w.weights) - 1, nil
+}
+
+// Remove drops connection slot j (a failed worker); indices above j shift
+// down by one, matching the caller's renumbering of its connection slice.
+// The survivors keep their weights and accumulators, so traffic continues
+// in proportion without a rebalance.
+func (w *WRR) Remove(j int) error {
+	if j < 0 || j >= len(w.weights) {
+		return fmt.Errorf("schedule: connection %d out of range [0,%d)", j, len(w.weights))
+	}
+	if len(w.weights) == 1 {
+		return errors.New("schedule: cannot remove the last connection")
+	}
+	w.total -= w.weights[j]
+	w.weights = append(w.weights[:j], w.weights[j+1:]...)
+	w.current = append(w.current[:j], w.current[j+1:]...)
+	if w.fallback >= len(w.weights) {
+		w.fallback = 0
+	}
+	return nil
+}
+
 // Reset zeroes the smooth-WRR accumulators so the next frame starts fresh.
 func (w *WRR) Reset() {
 	for i := range w.current {

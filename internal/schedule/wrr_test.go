@@ -192,3 +192,104 @@ func TestWRRWeightsCopy(t *testing.T) {
 		t.Fatal("Weights returned internal slice")
 	}
 }
+
+func TestWRRAdd(t *testing.T) {
+	w, err := NewWRR(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := w.Add(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 || w.N() != 3 {
+		t.Fatalf("Add returned %d (n=%d), want 2 (n=3)", idx, w.N())
+	}
+	// Over one full frame (total weight 8) the new slot gets its share.
+	counts := make([]int, 3)
+	for i := 0; i < 8; i++ {
+		counts[w.Next()]++
+	}
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 4 {
+		t.Fatalf("frame counts = %v, want [2 2 4]", counts)
+	}
+	if _, err := w.Add(-1); err == nil {
+		t.Fatal("Add accepted a negative weight")
+	}
+}
+
+func TestWRRAddZeroWeightNeverPicked(t *testing.T) {
+	w, err := NewWRR(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := w.Next(); got == 2 {
+			t.Fatal("zero-weight slot was picked")
+		}
+	}
+}
+
+func TestWRRRemove(t *testing.T) {
+	w, err := NewWRR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Weights(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("weights after Remove = %v, want [1 3]", got)
+	}
+	// Survivors keep serving in proportion: frame of total weight 4.
+	counts := make([]int, 2)
+	for i := 0; i < 4; i++ {
+		counts[w.Next()]++
+	}
+	if counts[0] != 1 || counts[1] != 3 {
+		t.Fatalf("frame counts = %v, want [1 3]", counts)
+	}
+	if err := w.Remove(5); err == nil {
+		t.Fatal("Remove accepted an out-of-range index")
+	}
+	if err := w.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Remove(0); err == nil {
+		t.Fatal("Remove dropped the last connection")
+	}
+}
+
+func TestWRRRemoveResetsFallback(t *testing.T) {
+	w, err := NewWRR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the fallback cursor to the last slot, then remove a slot so
+	// the cursor would point past the end.
+	w.Next()
+	w.Next()
+	if err := w.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got := w.Next(); got < 0 || got >= w.N() {
+			t.Fatalf("fallback pick %d out of range", got)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// RedialPolicy shapes the exponential backoff a Redialer applies between
+// connection attempts. The zero value selects the defaults below, so a
+// caller can write transport.Redialer{...} with only the address filled in.
+type RedialPolicy struct {
+	// Base is the delay before the second attempt (default 20ms). The
+	// first attempt is immediate.
+	Base time.Duration
+	// Max caps the grown delay (default 2s).
+	Max time.Duration
+	// Multiplier grows the delay after every failure (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly in [d*(1-J), d*(1+J)] so that a
+	// fleet of reconnecting splitters does not thunder in lockstep
+	// (default 0.2; 0 keeps the deterministic schedule, negative disables).
+	Jitter float64
+	// MaxAttempts bounds the total number of dial attempts; 0 means
+	// unlimited (the caller stops the redialer through the stop channel).
+	MaxAttempts int
+	// DialTimeout bounds each individual dial (default 2s).
+	DialTimeout time.Duration
+}
+
+func (p RedialPolicy) withDefaults() RedialPolicy {
+	if p.Base <= 0 {
+		p.Base = 20 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 2 * time.Second
+	}
+	return p
+}
+
+// Redialer re-establishes a TCP connection with exponential backoff and
+// jitter. It is how a splitter lets a restarted worker rejoin a region: the
+// paper assumes long-lived connections to a fixed worker set (Section 4.4),
+// while production deployments treat worker churn as the normal case.
+type Redialer struct {
+	addr     string
+	pol      RedialPolicy
+	attempts int
+}
+
+// NewRedialer prepares a redialer for addr under the given policy.
+func NewRedialer(addr string, pol RedialPolicy) *Redialer {
+	return &Redialer{addr: addr, pol: pol.withDefaults()}
+}
+
+// Attempts returns how many dials have been made so far.
+func (r *Redialer) Attempts() int {
+	return r.attempts
+}
+
+// Dial attempts to connect until it succeeds, the policy's attempt budget is
+// exhausted, or stop is closed. stop may be nil.
+func (r *Redialer) Dial(stop <-chan struct{}) (net.Conn, error) {
+	delay := r.pol.Base
+	var lastErr error
+	for {
+		if r.pol.MaxAttempts > 0 && r.attempts >= r.pol.MaxAttempts {
+			return nil, fmt.Errorf("transport: redial %s: %d attempts exhausted: %w", r.addr, r.attempts, lastErr)
+		}
+		r.attempts++
+		conn, err := net.DialTimeout("tcp", r.addr, r.pol.DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		wait := delay
+		if r.pol.Jitter > 0 {
+			f := 1 + r.pol.Jitter*(2*rand.Float64()-1)
+			wait = time.Duration(float64(wait) * f)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-stop:
+			timer.Stop()
+			return nil, fmt.Errorf("transport: redial %s: stopped after %d attempts: %w", r.addr, r.attempts, lastErr)
+		case <-timer.C:
+		}
+		delay = time.Duration(float64(delay) * r.pol.Multiplier)
+		if delay > r.pol.Max {
+			delay = r.pol.Max
+		}
+	}
+}
