@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race vet bench figures figures-csv examples quick-bench
+.PHONY: test test-race vet bench bench-json figures figures-csv examples quick-bench
 
 test:
 	go test ./...
@@ -19,6 +19,11 @@ quick-bench:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Single-iteration benchmark sweep encoded as JSON (what the CI
+# bench-regression job archives per commit).
+bench-json:
+	go test -bench=. -benchmem -benchtime=1x -run '^$$' ./... | go run ./cmd/benchjson
 
 figures:
 	go run ./cmd/sbench -fig all

@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` text output into a stable JSON
+// document, so CI can archive one BENCH_<sha>.json per commit and a later
+// job (or a human with jq) can diff benchmark metrics across commits without
+// re-parsing the free-form text.
+//
+//	go test -bench=. -benchmem -benchtime=1x -run '^$' ./... | benchjson > BENCH_abc123.json
+//
+// Every metric on a benchmark line is kept, including the custom ones the
+// figure reproductions report (blockrate, lb-norm-exec, tuples/s, ...), keyed
+// by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole run.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse consumes `go test -bench` output. Lines it does not recognize
+// (PASS, ok, test logs) are skipped; malformed Benchmark lines are an error.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// name iterations {value unit}... — metrics come in pairs.
+		if len(fields) < 2 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchjson: malformed benchmark line: %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		res := Result{
+			Pkg:        pkg,
+			Name:       fields[0],
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric value in %q: %w", line, err)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func main() {
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: streambalance
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig02BlockingRate            	       1	   4230463 ns/op	         0.9750 blockrate	  918464 B/op	   24363 allocs/op
+BenchmarkFig09Static                  	       1	 346121859 ns/op	         1.254 lb-norm-exec	         5.304 rr-norm-exec	97114464 B/op	 3134769 allocs/op
+PASS
+ok  	streambalance	4.000s
+PASS
+ok  	streambalance/cmd/sbench	0.004s
+pkg: streambalance/internal/core
+BenchmarkSolveFox16                   	     100	    266322 ns/op	   48792 B/op	    2005 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("context not captured: goos=%q goarch=%q", rep.Goos, rep.Goarch)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu not captured: %q", rep.CPU)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	}
+
+	fig2 := rep.Results[0]
+	if fig2.Name != "BenchmarkFig02BlockingRate" || fig2.Pkg != "streambalance" {
+		t.Fatalf("first result mislabeled: %+v", fig2)
+	}
+	if fig2.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", fig2.Iterations)
+	}
+	if got := fig2.Metrics["blockrate"]; got != 0.9750 {
+		t.Fatalf("custom metric lost: blockrate=%v", got)
+	}
+	if got := fig2.Metrics["ns/op"]; got != 4230463 {
+		t.Fatalf("ns/op=%v", got)
+	}
+
+	fig9 := rep.Results[1]
+	if len(fig9.Metrics) != 5 {
+		t.Fatalf("Fig09 metrics = %v, want 5 entries", fig9.Metrics)
+	}
+
+	fox := rep.Results[2]
+	if fox.Pkg != "streambalance/internal/core" {
+		t.Fatalf("pkg context not switched: %q", fox.Pkg)
+	}
+	if fox.Iterations != 100 {
+		t.Fatalf("iterations = %d, want 100", fox.Iterations)
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	cases := []string{
+		"BenchmarkOdd 1 42\n",          // dangling value without a unit
+		"BenchmarkNoIters notanint\n",  // iteration count not an int
+		"BenchmarkBadVal 1 xx ns/op\n", // metric value not a float
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed input accepted: %q", in)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok \tx\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("results = %v, want none", rep.Results)
+	}
+}

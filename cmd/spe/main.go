@@ -16,6 +16,10 @@
 // launcher (spe run, a script, or an operator) can wire the pipeline. All
 // tuple traffic flows over real TCP with the blocking-time instrumentation
 // of internal/transport.
+//
+// Passing -metrics-addr to splitter, merger, or run serves the component's
+// Prometheus /metrics and JSON /trace endpoints on that address and prints
+// "METRICS host:port" once listening (use :0 for an ephemeral port).
 package main
 
 import (
@@ -30,9 +34,29 @@ import (
 	"time"
 
 	"streambalance/internal/core"
+	"streambalance/internal/metrics"
 	"streambalance/internal/runtime"
 	"streambalance/internal/transport"
 )
+
+// serveMetrics starts the opt-in observability endpoint and returns the
+// instrumented RegionMetrics to wire into the component. addr=="" disables
+// it. The announced "METRICS host:port" line lets launchers (and tests)
+// discover the port when addr ends in :0.
+func serveMetrics(w io.Writer, addr string) (*runtime.RegionMetrics, *metrics.Server, error) {
+	if addr == "" {
+		return nil, nil, nil
+	}
+	reg := metrics.New()
+	tr := metrics.NewTrace(metrics.DefaultTraceCap)
+	rm := runtime.NewRegionMetrics(reg, tr)
+	srv, err := metrics.Serve(addr, reg, tr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics: %w", err)
+	}
+	fmt.Fprintf(w, "METRICS %s\n", srv.Addr())
+	return rm, srv, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -63,6 +87,7 @@ func runMerger(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("spe merger", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "number of worker connections to accept")
 	queue := fs.Int("queue", 0, "reorder queue capacity per worker (0 = default)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /trace on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +106,14 @@ func runMerger(w io.Writer, args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	rm, msrv, err := serveMetrics(w, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	if msrv != nil {
+		defer msrv.Close()
+		m.SetMetrics(rm)
 	}
 	fmt.Fprintf(w, "ADDR %s\n", m.Addr())
 	m.Start()
@@ -142,6 +175,7 @@ func runSplitter(w io.Writer, args []string) error {
 	control := fs.String("control", "", "merger address for the recovery control channel (enables replay on worker failure)")
 	retain := fs.Int("retain", 0, "replay buffer capacity in tuples (0 = default; needs -control)")
 	noRedial := fs.Bool("no-redial", false, "do not reconnect to failed workers (needs -control)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /trace on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -182,6 +216,14 @@ func runSplitter(w io.Writer, args []string) error {
 			scfg.Redial = &policy
 		}
 	}
+	rm, msrv, err := serveMetrics(w, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	if msrv != nil {
+		defer msrv.Close()
+		scfg.Metrics = rm
+	}
 	sp, err := runtime.NewSplitter(scfg)
 	if err != nil {
 		return err
@@ -208,6 +250,7 @@ func runAll(w io.Writer, args []string) error {
 	slowDelay := fs.Duration("slow-delay", time.Millisecond, "per-tuple delay of the loaded worker")
 	baseDelay := fs.Duration("base-delay", 50*time.Microsecond, "per-tuple delay of unloaded workers")
 	recover := fs.Bool("recover", false, "enable worker-failure recovery (resilient workers + control channel)")
+	metricsAddr := fs.String("metrics-addr", "", "serve the splitter's /metrics and /trace on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,6 +299,9 @@ func runAll(w io.Writer, args []string) error {
 	}
 	if *recover {
 		sargs = append(sargs, "-control", mergerAddr)
+	}
+	if *metricsAddr != "" {
+		sargs = append(sargs, "-metrics-addr", *metricsAddr)
 	}
 	if err := runSplitter(w, sargs); err != nil {
 		return fmt.Errorf("run: splitter: %w", err)

@@ -3,12 +3,15 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // speBinary is built once for the process-level integration tests.
@@ -157,5 +160,109 @@ func TestMultiProcessRoundTripOrdered(t *testing.T) {
 	}
 	if !strings.Contains(splitterOut.String(), "DONE sent=") {
 		t.Fatalf("splitter report:\n%s", splitterOut.String())
+	}
+}
+
+func TestMetricsEndpointOnRunningRegion(t *testing.T) {
+	// The acceptance check for the observability layer: while a region is
+	// streaming, GET /metrics must return Prometheus text carrying the
+	// per-connection blocking-rate and weight gauges, and /trace must
+	// return the balancer's decision log.
+	merger := startChild(t, "merger", "-workers", "2")
+	w0 := startChild(t, "worker", "-id", "0", "-merger", merger.addr, "-delay", "100us")
+	w1 := startChild(t, "worker", "-id", "1", "-merger", merger.addr, "-delay", "100us")
+
+	pr, pw := io.Pipe()
+	splitterErr := make(chan error, 1)
+	go func() {
+		err := runSplitter(pw, []string{
+			"-workers", w0.addr + "," + w1.addr,
+			"-tuples", "30000",
+			"-interval", "25ms",
+			"-metrics-addr", "127.0.0.1:0",
+		})
+		splitterErr <- err
+		pw.CloseWithError(err)
+	}()
+	scanner := bufio.NewScanner(pr)
+	var metricsAddr string
+	for scanner.Scan() {
+		if a, ok := strings.CutPrefix(scanner.Text(), "METRICS "); ok {
+			metricsAddr = a
+			break
+		}
+	}
+	if metricsAddr == "" {
+		t.Fatalf("splitter never announced METRICS: %v", <-splitterErr)
+	}
+	// Keep draining the pipe so the splitter never blocks on stdout.
+	go func() {
+		for scanner.Scan() {
+		}
+	}()
+
+	// The gauges appear after the first controller tick, so poll while the
+	// region streams.
+	deadline := time.Now().Add(10 * time.Second)
+	var body string
+	for {
+		resp, err := http.Get("http://" + metricsAddr + "/metrics")
+		if err == nil {
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+				t.Fatalf("metrics content type %q", ct)
+			}
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				body = string(b)
+				if strings.Contains(body, `spe_splitter_blocking_rate{conn="0"}`) &&
+					strings.Contains(body, `spe_splitter_blocking_rate{conn="1"}`) &&
+					strings.Contains(body, `spe_balancer_weight_units{conn="0"}`) &&
+					strings.Contains(body, `spe_balancer_weight_units{conn="1"}`) {
+					break
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gauges never appeared on /metrics; last scrape:\n%s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Every sample line must be well formed enough for a scraper: a
+	// metric name, optional labels, and a float value.
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	if !strings.Contains(body, "# TYPE spe_splitter_blocking_seconds_total counter") {
+		t.Fatalf("missing TYPE header for blocking counter:\n%s", body)
+	}
+
+	// The trace endpoint serves the decision ring as JSON while running.
+	resp, err := http.Get("http://" + metricsAddr + "/trace")
+	if err == nil {
+		tb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+			t.Fatalf("trace content type %q", resp.Header.Get("Content-Type"))
+		}
+		if !strings.Contains(string(tb), `"events"`) {
+			t.Fatalf("trace dump missing events envelope: %s", tb)
+		}
+	}
+
+	if err := <-splitterErr; err != nil {
+		t.Fatalf("splitter: %v", err)
+	}
+	w0.wait(t)
+	w1.wait(t)
+	report := merger.wait(t)
+	if !strings.Contains(report, "released=30000 ordered=true") {
+		t.Fatalf("merger report: %q", report)
 	}
 }

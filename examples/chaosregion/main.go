@@ -7,7 +7,9 @@
 //
 // The example prints the recovery timeline (down / replay / rejoin events)
 // and the final accounting, including how many replayed duplicates the
-// merger dropped to keep the exactly-once guarantee.
+// merger dropped to keep the exactly-once guarantee. It also serves the
+// region's observability endpoints on an ephemeral port — scrape
+// /metrics or /trace while it runs to watch recovery counters move.
 //
 //	go run ./examples/chaosregion
 package main
@@ -20,6 +22,7 @@ import (
 
 	"streambalance/internal/chaos"
 	"streambalance/internal/core"
+	"streambalance/internal/metrics"
 	"streambalance/internal/runtime"
 	"streambalance/internal/transport"
 )
@@ -59,7 +62,18 @@ func run() error {
 	stamp := func() string { return time.Since(start).Truncate(time.Millisecond).String() }
 	var released atomic.Uint64
 
+	reg := metrics.New()
+	trace := metrics.NewTrace(metrics.DefaultTraceCap)
+	rm := runtime.NewRegionMetrics(reg, trace)
+	msrv, err := metrics.Serve("127.0.0.1:0", reg, trace)
+	if err != nil {
+		return err
+	}
+	defer msrv.Close()
+	fmt.Printf("observability: curl http://%s/metrics (or /trace)\n", msrv.Addr())
+
 	region, err := runtime.NewRegion(runtime.RegionConfig{
+		Metrics:        rm,
 		Operators:      ops,
 		Source:         runtime.ConstantSource(make([]byte, 128), tuples),
 		Balancer:       balancer,
@@ -138,6 +152,16 @@ func run() error {
 	fmt.Printf("per-worker sent %v (includes replays)\n", res.PerConnSent)
 	fmt.Printf("final weights   %v\n", balancer.Weights())
 	fmt.Printf("elapsed         %v\n", res.Elapsed.Truncate(time.Millisecond))
+	sum := func(name string) float64 {
+		v, _ := reg.SumAcross(name)
+		return v
+	}
+	fmt.Printf("metrics         released=%.0f deduped=%.0f replays=%.0f rebalances=%.0f (trace %d events)\n",
+		sum("spe_merger_tuples_released_total"),
+		sum("spe_merger_deduped_total"),
+		sum("spe_recovery_replays_total"),
+		sum("spe_balancer_rebalances_total"),
+		trace.Len())
 	if res.Released != tuples || !res.OrderPreserved {
 		return fmt.Errorf("exactly-once in-order release violated: released=%d order=%v",
 			res.Released, res.OrderPreserved)

@@ -104,12 +104,13 @@ func (c Config) withDefaults() Config {
 // summing exactly to Units. Balancer is not safe for concurrent use; the
 // controller that samples the transport owns it.
 type Balancer struct {
-	cfg      Config
-	funcs    []*RateFunc
-	weights  []int
-	clusters [][]int // partition used by the last rebalance (nil if unclustered)
-	lastObj  float64
-	rounds   int
+	cfg       Config
+	funcs     []*RateFunc
+	weights   []int
+	clusters  [][]int // partition used by the last rebalance (nil if unclustered)
+	lastObj   float64
+	lastIters int
+	rounds    int
 }
 
 // NewBalancer validates the config and returns a balancer with an even
@@ -209,6 +210,13 @@ func (b *Balancer) LastObjective() float64 {
 	return b.lastObj
 }
 
+// LastIterations returns how many optimizer iterations the most recent
+// rebalance took — the metrics layer exports it so solver cost is visible
+// alongside the decisions it produces.
+func (b *Balancer) LastIterations() int {
+	return b.lastIters
+}
+
 // LastClusters returns the partition used by the most recent rebalance, or
 // nil if clustering was not applied. The outer slice is ordered by smallest
 // member index; experiment heat maps key on it.
@@ -254,6 +262,7 @@ func (b *Balancer) Rebalance() ([]int, error) {
 	}
 	copy(b.weights, sol.Weights)
 	b.lastObj = sol.Objective
+	b.lastIters = sol.Iterations
 	return b.Weights(), nil
 }
 

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzPromEncoder throws hostile label values, help strings and float
+// values (including NaN and the infinities) at the text encoder: whatever
+// goes in, the output must parse as valid Prometheus exposition and the
+// label-value escaping must round-trip.
+func FuzzPromEncoder(f *testing.F) {
+	f.Add("plain", "help text", 1.5, uint8(0))
+	f.Add(`back\slash`, `multi
+line`, math.Inf(+1), uint8(1))
+	f.Add(`quo"te`, "", math.NaN(), uint8(2))
+	f.Add("\n\"\\", "h\\elp\n", -0.0, uint8(3))
+	f.Add(strings.Repeat(`\"`, 50), "x", 1e308, uint8(4))
+	f.Fuzz(func(t *testing.T, labelVal, help string, value float64, kindSel uint8) {
+		r := New()
+		switch kindSel % 3 {
+		case 0:
+			r.CounterVec("fuzz_total", help, "lv").With(labelVal).Add(value)
+		case 1:
+			r.GaugeVec("fuzz_gauge", help, "lv").With(labelVal).Set(value)
+		case 2:
+			h := r.HistogramVec("fuzz_seconds", help, []float64{0.1, 1, value}, "lv")
+			// Bucket bounds built from the fuzzed value exercise the le
+			// formatting; observations exercise bucket search with NaN/Inf.
+			h.With(labelVal).Observe(value)
+			h.With(labelVal).Observe(0.5)
+		}
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		text := sb.String()
+		if _, err := parseExposition(text); err != nil {
+			t.Fatalf("encoder emitted invalid exposition: %v\ninput label=%q help=%q value=%v\n%s",
+				err, labelVal, help, value, text)
+		}
+		// Escaping must round-trip: unescaping the emitted label value
+		// recovers the original bytes.
+		if got, ok := extractFirstLabelValue(text); ok {
+			if un := unescapeLabel(got); un != labelVal {
+				t.Fatalf("label escaping not reversible: %q -> %q -> %q", labelVal, got, un)
+			}
+		} else if labelVal != "" || !strings.Contains(text, "{") {
+			// Every fuzz case registers exactly one labelled family, so a
+			// label must appear.
+			if !strings.Contains(text, `lv="`) {
+				t.Fatalf("no label emitted:\n%s", text)
+			}
+		}
+	})
+}
+
+// extractFirstLabelValue pulls the raw (still-escaped) bytes of the first
+// lv="..." occurrence.
+func extractFirstLabelValue(text string) (string, bool) {
+	i := strings.Index(text, `lv="`)
+	if i < 0 {
+		return "", false
+	}
+	rest := text[i+len(`lv="`):]
+	for j := 0; j < len(rest); j++ {
+		switch rest[j] {
+		case '\\':
+			j++
+		case '"':
+			return rest[:j], true
+		}
+	}
+	return "", false
+}
+
+// unescapeLabel inverts escapeLabel.
+func unescapeLabel(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// FuzzTraceRing drives the ring buffer with arbitrary capacities and event
+// scripts: Len+Dropped must always equal the number of adds, and Events
+// must come back oldest-first with contiguous sequence numbers.
+func FuzzTraceRing(f *testing.F) {
+	f.Add(uint8(4), uint8(10))
+	f.Add(uint8(0), uint8(3))
+	f.Add(uint8(1), uint8(255))
+	f.Fuzz(func(t *testing.T, capSel, adds uint8) {
+		tr := NewTrace(int(capSel))
+		for i := 0; i < int(adds); i++ {
+			tr.Add(Event{Kind: "e", Seq: uint64(i)})
+		}
+		if got := tr.Len() + int(tr.Dropped()); got != int(adds) {
+			t.Fatalf("retained %d + dropped %d != adds %d", tr.Len(), tr.Dropped(), adds)
+		}
+		evs := tr.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq != evs[i-1].Seq+1 {
+				t.Fatalf("events not contiguous oldest-first: %d then %d", evs[i-1].Seq, evs[i].Seq)
+			}
+		}
+		if len(evs) > 0 && evs[len(evs)-1].Seq != uint64(adds)-1 {
+			t.Fatalf("newest event seq %d, want %d", evs[len(evs)-1].Seq, adds-1)
+		}
+	})
+}

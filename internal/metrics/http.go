@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler serves the registry at /metrics (Prometheus text format) and,
+// when tr is non-nil, the decision trace at /trace (JSON).
+func Handler(r *Registry, tr *Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	if tr != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			tr.WriteJSON(w)
+		})
+	}
+	return mux
+}
+
+// Server is an opt-in HTTP endpoint for one process's metrics.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:9090"; ":0" picks a free port) and
+// serves Handler(r, tr) until Close.
+func Serve(addr string, r *Registry, tr *Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r, tr), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeMetricsAndTrace(t *testing.T) {
+	r := New()
+	r.CounterVec("spe_splitter_tuples_sent_total", "sent", "conn").With("0").Add(12)
+	tr := NewTrace(16)
+	tr.Add(Event{Kind: "rebalance", Conn: -1, Detail: "[1000]"})
+
+	srv, err := Serve("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	if _, err := parseExposition(body); err != nil {
+		t.Fatalf("/metrics not valid exposition: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, `spe_splitter_tuples_sent_total{conn="0"} 12`) {
+		t.Fatalf("/metrics missing sample:\n%s", body)
+	}
+
+	body, ctype = get("/trace")
+	if ctype != "application/json" {
+		t.Fatalf("/trace content type %q", ctype)
+	}
+	if !strings.Contains(body, `"kind":"rebalance"`) {
+		t.Fatalf("/trace missing event:\n%s", body)
+	}
+}
+
+func TestServeWithoutTraceOmitsEndpoint(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", New(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/trace without a trace returned %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeRejectsBusyPort(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", New(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := Serve(srv.Addr(), New(), nil); err == nil {
+		t.Fatal("second server on the same port did not fail")
+	}
+}

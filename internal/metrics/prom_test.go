@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a strict mini-parser for the Prometheus text format,
+// shared with the fuzz target: it returns an error for any line a real
+// scraper would reject. It returns the parsed sample lines as name ->
+// occurrence count for assertions.
+func parseExposition(text string) (map[string]int, error) {
+	samples := make(map[string]int)
+	if text != "" && !strings.HasSuffix(text, "\n") {
+		return nil, fmt.Errorf("exposition does not end in newline")
+	}
+	for ln, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if text == "" {
+			break
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# HELP "):]
+			sp := strings.IndexByte(rest, ' ')
+			name := rest
+			if sp >= 0 {
+				name = rest[:sp]
+			}
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: bad name in comment %q", ln+1, line)
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				switch rest[sp+1:] {
+				case "counter", "gauge", "histogram":
+				default:
+					return nil, fmt.Errorf("line %d: bad type %q", ln+1, rest[sp+1:])
+				}
+			}
+			continue
+		}
+		name, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w (%q)", ln+1, err, line)
+		}
+		samples[name]++
+	}
+	return samples, nil
+}
+
+// parseSampleLine validates `name{l="v",...} value` and returns the name.
+func parseSampleLine(line string) (string, error) {
+	i := 0
+	for i < len(line) && (isNameRune(line[i], i == 0)) {
+		i++
+	}
+	if i == 0 {
+		return "", fmt.Errorf("no metric name")
+	}
+	name := line[:i]
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			j := i
+			for j < len(line) && isLabelRune(line[j], j == i) {
+				j++
+			}
+			if j == i {
+				return "", fmt.Errorf("empty label name")
+			}
+			if j+1 >= len(line) || line[j] != '=' || line[j+1] != '"' {
+				return "", fmt.Errorf("label %q not followed by =\"", line[i:j])
+			}
+			k := j + 2
+			for {
+				if k >= len(line) {
+					return "", fmt.Errorf("unterminated label value")
+				}
+				if line[k] == '\\' {
+					if k+1 >= len(line) {
+						return "", fmt.Errorf("dangling escape")
+					}
+					switch line[k+1] {
+					case '\\', '"', 'n':
+					default:
+						return "", fmt.Errorf("bad escape \\%c", line[k+1])
+					}
+					k += 2
+					continue
+				}
+				if line[k] == '"' {
+					break
+				}
+				k++
+			}
+			i = k + 1
+			if i < len(line) && line[i] == ',' {
+				i++
+				continue
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			return "", fmt.Errorf("label list not closed")
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", fmt.Errorf("no space before value")
+	}
+	val := line[i+1:]
+	if _, err := strconv.ParseFloat(val, 64); err != nil {
+		return "", fmt.Errorf("bad value %q", val)
+	}
+	return name, nil
+}
+
+func isNameRune(c byte, first bool) bool {
+	alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+	return alpha || (!first && c >= '0' && c <= '9')
+}
+
+func isLabelRune(c byte, first bool) bool {
+	alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+	return alpha || (!first && c >= '0' && c <= '9')
+}
+
+func TestWritePrometheusRoundTrips(t *testing.T) {
+	r := New()
+	r.Counter("plain_total", "a plain counter").Add(3)
+	v := r.CounterVec("conn_total", "per-connection", "conn")
+	v.With("0").Add(1)
+	v.With("1").Add(2)
+	g := r.GaugeVec("weird_values", "gauge with hostile values", "what")
+	g.With(`quote"back\slash`).Set(math.NaN())
+	g.With("new\nline").Set(math.Inf(-1))
+	g.With("plain").Set(math.Inf(+1))
+	h := r.Histogram("lat_seconds", "latency\nwith newline help \\ and slash", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	names, err := parseExposition(text)
+	if err != nil {
+		t.Fatalf("exposition rejected: %v\n%s", err, text)
+	}
+	for name, want := range map[string]int{
+		"plain_total":        1,
+		"conn_total":         2,
+		"weird_values":       3,
+		"lat_seconds_bucket": 3, // 0.5, 1, +Inf
+		"lat_seconds_sum":    1,
+		"lat_seconds_count":  1,
+	} {
+		if names[name] != want {
+			t.Fatalf("%s: %d sample lines, want %d\n%s", name, names[name], want, text)
+		}
+	}
+	for _, must := range []string{
+		`weird_values{what="quote\"back\\slash"} NaN`,
+		`weird_values{what="new\nline"} -Inf`,
+		`weird_values{what="plain"} +Inf`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"# TYPE lat_seconds histogram",
+		`# HELP lat_seconds latency\nwith newline help \\ and slash`,
+	} {
+		if !strings.Contains(text, must) {
+			t.Fatalf("exposition missing %q:\n%s", must, text)
+		}
+	}
+}
+
+func TestEmptyRegistryWritesNothing(t *testing.T) {
+	var sb strings.Builder
+	if err := New().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", sb.String())
+	}
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("tuples_total", "tuples")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %v, want 5", got)
+	}
+	c.Add(-3) // ignored: counters are monotone
+	c.Add(math.NaN())
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter after bad deltas = %v, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestVecChildrenAreDistinctAndStable(t *testing.T) {
+	r := New()
+	v := r.CounterVec("sent_total", "per conn", "conn")
+	v.With("0").Add(3)
+	v.With("1").Add(5)
+	v.With("0").Add(1)
+	if got, ok := r.Value("sent_total", "conn", "0"); !ok || got != 4 {
+		t.Fatalf("conn 0 = %v (ok=%v), want 4", got, ok)
+	}
+	if got, ok := r.Value("sent_total", "conn", "1"); !ok || got != 5 {
+		t.Fatalf("conn 1 = %v (ok=%v), want 5", got, ok)
+	}
+	if sum, ok := r.SumAcross("sent_total"); !ok || sum != 9 {
+		t.Fatalf("sum = %v (ok=%v), want 9", sum, ok)
+	}
+	if _, ok := r.Value("sent_total", "conn", "9"); ok {
+		t.Fatal("missing series reported present")
+	}
+	if _, ok := r.Value("nope"); ok {
+		t.Fatal("unknown family reported present")
+	}
+}
+
+func TestRegistrationIsIdempotentAndCheckskind(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Fatalf("re-registered counter diverged: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := New()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad label name accepted")
+			}
+		}()
+		r.CounterVec("ok_total", "", "le:gal")
+	}()
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	// Cumulative buckets: le=0.1 -> 2, le=1 -> 3, le=10 -> 4, +Inf -> 6.
+	want := map[string]float64{"0.1": 2, "1": 3, "10": 4, "+Inf": 6}
+	for _, s := range r.Samples() {
+		if s.Name != "lat_seconds_bucket" {
+			continue
+		}
+		le := s.LabelValues[len(s.LabelValues)-1]
+		if w, ok := want[le]; ok && s.Value != w {
+			t.Fatalf("bucket le=%s = %v, want %v", le, s.Value, w)
+		}
+	}
+}
+
+func TestConcurrentHotPath(t *testing.T) {
+	r := New()
+	v := r.CounterVec("hits_total", "", "conn")
+	g := r.Gauge("level", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := v.With("0")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, _ := r.Value("hits_total", "conn", "0"); got != 8000 {
+		t.Fatalf("concurrent adds lost: %v, want 8000", got)
+	}
+}

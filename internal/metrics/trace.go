@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry in the balancer decision trace: a rebalance, a counter
+// reset, a worker failure, a replay, a rejoin. Conn is the stable worker id
+// the event concerns, or -1 for region-wide events.
+type Event struct {
+	Wall   time.Time `json:"wall"`
+	Kind   string    `json:"kind"`
+	Conn   int       `json:"conn"`
+	Seq    uint64    `json:"seq,omitempty"`
+	Value  float64   `json:"value,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Trace is a fixed-capacity ring buffer of events. Appends never block and
+// never allocate once the ring is warm; when full, the oldest event is
+// overwritten and counted as dropped. Safe for concurrent use.
+type Trace struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int // index of the oldest event
+	n       int // events currently held
+	dropped uint64
+}
+
+// DefaultTraceCap is the ring capacity used when none is given.
+const DefaultTraceCap = 4096
+
+// NewTrace returns a ring holding up to capacity events (<= 0 selects
+// DefaultTraceCap).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Add appends an event, stamping Wall with the current time when zero.
+func (t *Trace) Add(ev Event) {
+	if ev.Wall.IsZero() {
+		ev.Wall = time.Now()
+	}
+	t.mu.Lock()
+	if t.n == len(t.buf) {
+		t.buf[t.head] = ev
+		t.head = (t.head + 1) % len(t.buf)
+		t.dropped++
+	} else {
+		t.buf[(t.head+t.n)%len(t.buf)] = ev
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.head+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Len returns how many events are retained.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many events were overwritten because the ring was
+// full.
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// traceDump is the JSON envelope /trace serves.
+type traceDump struct {
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// WriteJSON dumps the retained events (oldest first) with the drop count.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	dump := traceDump{Dropped: t.dropped, Events: make([]Event, t.n)}
+	for i := 0; i < t.n; i++ {
+		dump.Events[i] = t.buf[(t.head+i)%len(t.buf)]
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(dump)
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceKeepsNewestWhenFull(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Add(Event{Kind: "rebalance", Seq: uint64(i), Conn: -1})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(6+i) {
+			t.Fatalf("position %d holds seq %d, want %d (oldest-first)", i, ev.Seq, 6+i)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+}
+
+func TestTraceStampsWallTime(t *testing.T) {
+	tr := NewTrace(0) // default capacity
+	before := time.Now()
+	tr.Add(Event{Kind: "down", Conn: 2})
+	ev := tr.Events()[0]
+	if ev.Wall.Before(before) || time.Since(ev.Wall) > time.Minute {
+		t.Fatalf("wall time not stamped: %v", ev.Wall)
+	}
+}
+
+func TestTraceJSONDump(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Add(Event{Kind: "rebalance", Conn: -1, Value: 0.25, Detail: "[500 500]"})
+	tr.Add(Event{Kind: "replay", Conn: 1, Seq: 42})
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &dump); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(dump.Events) != 2 || dump.Events[0].Kind != "rebalance" || dump.Events[1].Seq != 42 {
+		t.Fatalf("dump round-trip mangled events: %+v", dump.Events)
+	}
+}
+
+func TestTraceConcurrentAdds(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Add(Event{Kind: "tick"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != 800 {
+		t.Fatalf("retained+dropped = %d, want 800", got)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"streambalance/internal/metrics"
 	"streambalance/internal/transport"
 )
 
@@ -40,28 +42,36 @@ type Merger struct {
 	sink       func(transport.Tuple, int)
 	wmInterval time.Duration
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   [][]transport.Tuple // per worker id, ascending by Seq
-	live     []bool              // worker id currently attached
-	attached int                 // distinct worker ids ever attached
-	seen     []bool
-	next     uint64
-	finKnown bool
-	finTotal uint64
-	ctrlSeen bool // a control connection has ever attached
-	ctrlLive int  // control connections currently open
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queues     [][]transport.Tuple // per worker id, ascending by Seq
+	live       []bool              // worker id currently attached
+	attached   int                 // distinct worker ids ever attached
+	seen       []bool
+	next       uint64
+	finKnown   bool
+	finTotal   uint64
+	ctrlSeen   bool // a control connection has ever attached
+	ctrlLive   int  // control connections currently open
 	fatal      error
 	closed     bool
 	deduped    uint64
 	dupRejects uint64
 	strmErrs   []error
-	conns    map[net.Conn]struct{} // attached worker conns, for teardown
+	conns      map[net.Conn]struct{} // attached worker conns, for teardown
 
 	wmStop chan struct{} // tells watermark writers to flush and exit
 	done   chan struct{}
 	err    error
 	wg     sync.WaitGroup
+
+	// Metrics handles, pre-resolved per worker id; nil when the merger is
+	// uninstrumented. Set before Start.
+	mReleased   *metrics.Counter
+	mWatermark  *metrics.Gauge
+	mDeduped    *metrics.Counter
+	mDupRejects *metrics.Counter
+	mQueue      []*metrics.Gauge
 }
 
 // NewMerger listens for worker connections. sink receives every tuple, in
@@ -103,6 +113,31 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 func (m *Merger) SetWatermarkInterval(d time.Duration) {
 	if d > 0 {
 		m.wmInterval = d
+	}
+}
+
+// SetMetrics instruments the merger: release counter, watermark gauge,
+// per-connection reorder-queue occupancy and dedupe counters. Call before
+// Start; nil is a no-op.
+func (m *Merger) SetMetrics(rm *RegionMetrics) {
+	if rm == nil {
+		return
+	}
+	m.mReleased = rm.released
+	m.mWatermark = rm.watermark
+	m.mDeduped = rm.deduped
+	m.mDupRejects = rm.dupRejects
+	m.mQueue = make([]*metrics.Gauge, m.workers)
+	for id := 0; id < m.workers; id++ {
+		m.mQueue[id] = rm.queueDepth.With(strconv.Itoa(id))
+	}
+}
+
+// noteDedup counts one dropped duplicate. Callers hold m.mu.
+func (m *Merger) noteDedup() {
+	m.deduped++
+	if m.mDeduped != nil {
+		m.mDeduped.Inc()
 	}
 }
 
@@ -228,6 +263,9 @@ func (m *Merger) handshake(conn net.Conn) {
 		// and will retry after backoff. Rejection is the correct
 		// handling, so it does not count as a stream error.
 		m.dupRejects++
+		if m.mDupRejects != nil {
+			m.mDupRejects.Inc()
+		}
 		m.mu.Unlock()
 		conn.Close()
 		return
@@ -371,14 +409,17 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 		if t.Seq < m.next {
 			// Replay of a sequence already released: exactly-once means
 			// dropping it here.
-			m.deduped++
+			m.noteDedup()
 			m.mu.Unlock()
 			continue
 		}
 		if q, ok := insertSorted(m.queues[id], t); ok {
 			m.queues[id] = q
+			if m.mQueue != nil {
+				m.mQueue[id].Set(float64(len(q)))
+			}
 		} else {
-			m.deduped++
+			m.noteDedup()
 		}
 		m.cond.Broadcast()
 		m.mu.Unlock()
@@ -433,7 +474,10 @@ func (m *Merger) mergeLoop() error {
 			// any reader parked on the full queue.
 			for len(m.queues[id]) > 0 && m.queues[id][0].Seq < m.next {
 				m.queues[id] = m.queues[id][1:]
-				m.deduped++
+				m.noteDedup()
+				if m.mQueue != nil {
+					m.mQueue[id].Set(float64(len(m.queues[id])))
+				}
 				m.cond.Broadcast()
 			}
 			if len(m.queues[id]) == 0 || m.queues[id][0].Seq != m.next {
@@ -443,6 +487,11 @@ func (m *Merger) mergeLoop() error {
 			m.queues[id] = m.queues[id][1:]
 			m.next++
 			released = true
+			if m.mReleased != nil {
+				m.mReleased.Inc()
+				m.mWatermark.Set(float64(m.next))
+				m.mQueue[id].Set(float64(len(m.queues[id])))
+			}
 			m.mu.Unlock()
 			m.sink(head, id)
 			m.mu.Lock()

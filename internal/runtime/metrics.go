@@ -1,0 +1,196 @@
+package runtime
+
+import (
+	"fmt"
+	"strconv"
+
+	"streambalance/internal/metrics"
+)
+
+// RegionMetrics bundles every instrument one region exports: the splitter's
+// per-connection blocking signal (the paper's Section 3 input), the
+// balancer's decisions (Section 3.4 weight vectors, solver cost, cluster
+// count), the merger's release progress, and the recovery protocol's
+// events. Construct it once per region from a metrics.Registry and pass it
+// through RegionConfig (or SplitterConfig plus Merger.SetMetrics when the
+// components run as separate processes); nil disables instrumentation with
+// zero hot-path cost.
+//
+// The trace ring records the balancer's decision history — every rebalance
+// with its weight vector and objective, counter resets, and worker
+// down/replay/rejoin events — so a live region's behaviour can be
+// reconstructed from /trace after the fact.
+type RegionMetrics struct {
+	reg   *metrics.Registry
+	trace *metrics.Trace
+
+	// Splitter / transport.
+	tuplesSent      *metrics.CounterVec
+	blockingSeconds *metrics.CounterVec
+	wouldBlock      *metrics.CounterVec
+	blockingRate    *metrics.GaugeVec
+	connUp          *metrics.GaugeVec
+	connLifetime    *metrics.Histogram
+	replayDepth     *metrics.Gauge
+	schedulePicks   *metrics.Counter
+	redialAttempts  *metrics.CounterVec
+
+	// Balancer / controller.
+	weight        *metrics.GaugeVec
+	rebalances    *metrics.Counter
+	optIterations *metrics.Counter
+	objective     *metrics.Gauge
+	clusterCount  *metrics.Gauge
+	counterResets *metrics.Counter
+
+	// Merger.
+	released   *metrics.Counter
+	watermark  *metrics.Gauge
+	queueDepth *metrics.GaugeVec
+	deduped    *metrics.Counter
+	dupRejects *metrics.Counter
+
+	// Recovery.
+	workerDown     *metrics.CounterVec
+	replays        *metrics.CounterVec
+	replayedTuples *metrics.CounterVec
+	rejoins        *metrics.CounterVec
+}
+
+// NewRegionMetrics registers the region's instrument set on reg. tr may be
+// nil to disable decision tracing while keeping metrics.
+func NewRegionMetrics(reg *metrics.Registry, tr *metrics.Trace) *RegionMetrics {
+	lifetimeBuckets := []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
+	return &RegionMetrics{
+		reg:   reg,
+		trace: tr,
+
+		tuplesSent: reg.CounterVec("spe_splitter_tuples_sent_total",
+			"Tuples sent per worker connection, including replays.", "conn"),
+		blockingSeconds: reg.CounterVec("spe_splitter_blocking_seconds_total",
+			"Lifetime time the splitter spent blocked in send per connection (Section 3 cumulative blocking).", "conn"),
+		wouldBlock: reg.CounterVec("spe_splitter_send_would_block_total",
+			"Sends that found the socket buffer full and elected to block, per connection.", "conn"),
+		blockingRate: reg.GaugeVec("spe_splitter_blocking_rate",
+			"Latest sampled blocking rate per connection (seconds blocked per second, the balancer's input signal).", "conn"),
+		connUp: reg.GaugeVec("spe_splitter_conn_up",
+			"1 while the worker connection is live, 0 after a failure.", "conn"),
+		connLifetime: reg.Histogram("spe_splitter_conn_lifetime_seconds",
+			"Lifetimes of worker connections that ended (dial to failure).", lifetimeBuckets),
+		replayDepth: reg.Gauge("spe_splitter_replay_buffer_tuples",
+			"Sent-but-unreleased tuples currently retained for replay."),
+		schedulePicks: reg.Counter("spe_schedule_picks_total",
+			"Scheduling decisions made by the weighted round-robin."),
+		redialAttempts: reg.CounterVec("spe_transport_redial_attempts_total",
+			"Dial attempts made while reconnecting to a failed worker, per connection.", "conn"),
+
+		weight: reg.GaugeVec("spe_balancer_weight_units",
+			"Current allocation weight per connection, in units summing to the balancer's R (Section 3.4).", "conn"),
+		rebalances: reg.Counter("spe_balancer_rebalances_total",
+			"Rebalance rounds the controller has run."),
+		optIterations: reg.Counter("spe_balancer_optimizer_iterations_total",
+			"Cumulative RAP-solver iterations across rebalances."),
+		objective: reg.Gauge("spe_balancer_objective_blocking_rate",
+			"Objective value (max predicted blocking rate) of the last rebalance."),
+		clusterCount: reg.Gauge("spe_balancer_clusters",
+			"Clusters used by the last rebalance (0 when unclustered)."),
+		counterResets: reg.Counter("spe_controller_counter_resets_total",
+			"Periodic cumulative-counter resets (the paper's transport reset, Figure 2)."),
+
+		released: reg.Counter("spe_merger_tuples_released_total",
+			"Tuples released downstream in strict sequence order."),
+		watermark: reg.Gauge("spe_merger_watermark",
+			"Lowest unreleased sequence number (count of contiguously released tuples)."),
+		queueDepth: reg.GaugeVec("spe_merger_queue_tuples",
+			"Reorder-queue occupancy per worker connection.", "conn"),
+		deduped: reg.Counter("spe_merger_deduped_total",
+			"Replayed duplicates dropped to keep the exactly-once release guarantee."),
+		dupRejects: reg.Counter("spe_merger_dup_rejects_total",
+			"Connections rejected for claiming a worker id whose stream was still live."),
+
+		workerDown: reg.CounterVec("spe_recovery_worker_down_total",
+			"Worker connection failures observed by the splitter, per connection.", "conn"),
+		replays: reg.CounterVec("spe_recovery_replays_total",
+			"Replay rounds run after a worker failure, per failed connection.", "conn"),
+		replayedTuples: reg.CounterVec("spe_recovery_replayed_tuples_total",
+			"Tuples re-sent to survivors after worker failures, per failed connection.", "conn"),
+		rejoins: reg.CounterVec("spe_recovery_rejoins_total",
+			"Redialed workers re-admitted into the schedule, per connection.", "conn"),
+	}
+}
+
+// Registry returns the registry the instruments live on (for /metrics).
+func (m *RegionMetrics) Registry() *metrics.Registry { return m.reg }
+
+// Trace returns the decision-trace ring, or nil when tracing is disabled.
+func (m *RegionMetrics) Trace() *metrics.Trace { return m.trace }
+
+// connInstruments caches one stable worker id's child handles so the hot
+// paths touch pre-resolved atomics instead of label maps.
+type connInstruments struct {
+	sent       *metrics.Counter
+	blocking   *metrics.Counter
+	wouldBlock *metrics.Counter
+	rate       *metrics.Gauge
+	up         *metrics.Gauge
+	weight     *metrics.Gauge
+	redials    *metrics.Counter
+}
+
+// conn resolves the per-connection handles for one stable worker id.
+func (m *RegionMetrics) conn(id int) connInstruments {
+	l := strconv.Itoa(id)
+	return connInstruments{
+		sent:       m.tuplesSent.With(l),
+		blocking:   m.blockingSeconds.With(l),
+		wouldBlock: m.wouldBlock.With(l),
+		rate:       m.blockingRate.With(l),
+		up:         m.connUp.With(l),
+		weight:     m.weight.With(l),
+		redials:    m.redialAttempts.With(l),
+	}
+}
+
+// traceEvent appends to the decision trace when tracing is enabled.
+func (m *RegionMetrics) traceEvent(ev metrics.Event) {
+	if m.trace != nil {
+		m.trace.Add(ev)
+	}
+}
+
+// connEvent records a splitter recovery event on counters and the trace.
+func (m *RegionMetrics) connEvent(ev ConnEvent) {
+	l := strconv.Itoa(ev.Conn)
+	tev := metrics.Event{Kind: ev.Kind, Conn: ev.Conn}
+	switch ev.Kind {
+	case "down":
+		m.workerDown.With(l).Inc()
+		m.connUp.With(l).Set(0)
+		if ev.Err != nil {
+			tev.Detail = ev.Err.Error()
+		}
+	case "replay":
+		m.replays.With(l).Inc()
+		m.replayedTuples.With(l).Add(float64(ev.Tuples))
+		tev.Value = float64(ev.Tuples)
+	case "rejoin":
+		m.rejoins.With(l).Inc()
+		m.connUp.With(l).Set(1)
+	}
+	m.traceEvent(tev)
+}
+
+// rebalance records one controller decision: the counters, the decision
+// gauges, and a trace event carrying the full weight vector.
+func (m *RegionMetrics) rebalance(weights []int, objective float64, iterations, clusters int) {
+	m.rebalances.Inc()
+	m.optIterations.Add(float64(iterations))
+	m.objective.Set(objective)
+	m.clusterCount.Set(float64(clusters))
+	m.traceEvent(metrics.Event{
+		Kind:   "rebalance",
+		Conn:   -1,
+		Value:  objective,
+		Detail: fmt.Sprint(weights),
+	})
+}

@@ -67,6 +67,10 @@ type RegionConfig struct {
 	// address the splitter should dial instead — the hook fault-injecting
 	// proxies (internal/chaos) use to interpose on worker links.
 	WrapWorkerAddr func(worker int, addr string) string
+	// Metrics, when set, instruments the whole region (splitter, balancer,
+	// merger, recovery) on the RegionMetrics' registry and trace ring. Nil
+	// disables instrumentation with zero hot-path cost.
+	Metrics *RegionMetrics
 }
 
 // Region owns the processes of one parallel region: N workers, the merger
@@ -138,6 +142,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 	if cfg.Recovery.WatermarkInterval > 0 {
 		merger.SetWatermarkInterval(cfg.Recovery.WatermarkInterval)
 	}
+	merger.SetMetrics(cfg.Metrics)
 	r.merger = merger
 
 	addrs := make([]string, len(cfg.Operators))
@@ -177,6 +182,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		OnSample:          cfg.OnSample,
 		OnConnEvent:       cfg.OnConnEvent,
 		SocketBufferBytes: cfg.SocketBufferBytes,
+		Metrics:           cfg.Metrics,
 	}
 	if r.recovery {
 		scfg.ControlAddr = merger.Addr()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"streambalance/internal/core"
+	"streambalance/internal/metrics"
 	"streambalance/internal/schedule"
 	"streambalance/internal/stats"
 	"streambalance/internal/transport"
@@ -90,6 +91,10 @@ type SplitterConfig struct {
 	// OnConnEvent observes recovery events. Optional; called from the
 	// splitter's send loop.
 	OnConnEvent func(ConnEvent)
+	// Metrics, when set, exports the splitter's blocking signal, the
+	// balancer's decisions and recovery events through the observability
+	// layer. Nil disables instrumentation.
+	Metrics *RegionMetrics
 }
 
 // DefaultSocketBuffer is the kernel buffer size requested per connection.
@@ -101,10 +106,11 @@ const DefaultRetainCap = 16384
 
 // splitConn is one live worker connection with its stable identity.
 type splitConn struct {
-	id     int // stable worker index; survives rejoin
-	addr   string
-	conn   net.Conn
-	sender *transport.Sender
+	id       int // stable worker index; survives rejoin
+	addr     string
+	conn     net.Conn
+	sender   *transport.Sender
+	dialedAt time.Time
 }
 
 // retainEntry is one sent-but-unreleased tuple in the replay buffer. conn
@@ -139,8 +145,19 @@ type Splitter struct {
 	epoch       int // bumped on every membership change
 	aggSent     []int64
 	aggBlocking []time.Duration
+	aggBlocked  []int64
 	started     bool
 	closedIdle  bool
+
+	// Metrics state: per-stable-id pre-resolved handles, and the last
+	// published totals so counter deltas stay monotone across the
+	// aggregate/live split. Guarded by mu.
+	mtr      *RegionMetrics
+	cm       []connInstruments
+	pubSent  []int64
+	pubBlock []time.Duration
+	pubEvts  []int64
+	pubPicks int64
 
 	// Recovery state, owned by the send loop.
 	ctrl     *controlLink
@@ -198,6 +215,7 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 		wrr:         wrr,
 		aggSent:     make([]int64, len(cfg.WorkerAddrs)),
 		aggBlocking: make([]time.Duration, len(cfg.WorkerAddrs)),
+		aggBlocked:  make([]int64, len(cfg.WorkerAddrs)),
 		deadCh:      make(chan int, 4*len(cfg.WorkerAddrs)+4),
 		rejoinCh:    make(chan rejoin, len(cfg.WorkerAddrs)+1),
 		stop:        make(chan struct{}),
@@ -209,6 +227,19 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	initial := core.EvenWeights(len(cfg.WorkerAddrs), core.DefaultUnits)
 	if err := sp.wrr.SetWeights(initial); err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		n := len(cfg.WorkerAddrs)
+		sp.mtr = cfg.Metrics
+		sp.cm = make([]connInstruments, n)
+		sp.pubSent = make([]int64, n)
+		sp.pubBlock = make([]time.Duration, n)
+		sp.pubEvts = make([]int64, n)
+		for i := 0; i < n; i++ {
+			sp.cm[i] = cfg.Metrics.conn(i)
+			sp.cm[i].up.Set(1)
+			sp.cm[i].weight.Set(float64(initial[i]))
+		}
 	}
 	for i, addr := range cfg.WorkerAddrs {
 		conn, err := sp.dialWorker(addr)
@@ -222,7 +253,7 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 			sp.closeSenders()
 			return nil, fmt.Errorf("runtime: splitter wrap worker %d: %w", i, err)
 		}
-		sp.conns = append(sp.conns, &splitConn{id: i, addr: addr, conn: conn, sender: sender})
+		sp.conns = append(sp.conns, &splitConn{id: i, addr: addr, conn: conn, sender: sender, dialedAt: time.Now()})
 	}
 	if cfg.ControlAddr != "" {
 		ctrl, err := dialControl(cfg.ControlAddr)
@@ -296,6 +327,14 @@ func (sp *Splitter) Start() {
 		sp.err = sp.sendLoop()
 		close(sp.stopCtl)
 		<-sp.ctlDone
+		if sp.mtr != nil {
+			// Final flush so scrape-after-completion sees exact totals
+			// even when the run ended between controller ticks.
+			sp.mu.Lock()
+			sp.publishTransportLocked()
+			sp.mu.Unlock()
+			sp.mtr.replayDepth.Set(float64(len(sp.retained) - sp.retHead))
+		}
 		sp.stopOnce.Do(func() { close(sp.stop) })
 		sp.closeSenders()
 		if sp.ctrl != nil {
@@ -321,6 +360,9 @@ func (sp *Splitter) monitor(c *splitConn) {
 }
 
 func (sp *Splitter) event(ev ConnEvent) {
+	if sp.mtr != nil {
+		sp.mtr.connEvent(ev)
+	}
 	if sp.cfg.OnConnEvent != nil {
 		sp.cfg.OnConnEvent(ev)
 	}
@@ -461,6 +503,9 @@ func (sp *Splitter) admitRetention(seq uint64, payload []byte) (*retainEntry, er
 		}
 	}
 	sp.retained = append(sp.retained, retainEntry{seq: seq, conn: -1, payload: payload})
+	if sp.mtr != nil {
+		sp.mtr.replayDepth.Set(float64(len(sp.retained) - sp.retHead))
+	}
 	return &sp.retained[len(sp.retained)-1], nil
 }
 
@@ -478,6 +523,9 @@ func (sp *Splitter) pruneRetained() {
 		}
 		sp.retained = sp.retained[:n]
 		sp.retHead = 0
+	}
+	if sp.mtr != nil {
+		sp.mtr.replayDepth.Set(float64(len(sp.retained) - sp.retHead))
 	}
 }
 
@@ -499,6 +547,7 @@ func (sp *Splitter) removeConn(c *splitConn, cause error) bool {
 	}
 	sp.aggSent[c.id] += c.sender.Sent()
 	sp.aggBlocking[c.id] += c.sender.TotalBlocking()
+	sp.aggBlocked[c.id] += c.sender.BlockEvents()
 	sp.conns = append(sp.conns[:pos], sp.conns[pos+1:]...)
 	sp.epoch++
 	var weights []int
@@ -513,6 +562,10 @@ func (sp *Splitter) removeConn(c *splitConn, cause error) bool {
 		sp.wrr.SetWeights(weights)
 	}
 	sp.downErrs = append(sp.downErrs, fmt.Errorf("worker %d: %w", c.id, cause))
+	if sp.mtr != nil {
+		sp.mtr.connLifetime.Observe(time.Since(c.dialedAt).Seconds())
+		sp.publishTransportLocked()
+	}
 	sp.mu.Unlock()
 	c.sender.Close()
 	sp.event(ConnEvent{Kind: "down", Conn: c.id, Err: cause})
@@ -588,7 +641,18 @@ func (sp *Splitter) collectRetained(id int) []*retainEntry {
 // redialLoop re-establishes a failed worker connection with backoff and
 // hands it to the send loop.
 func (sp *Splitter) redialLoop(id int, addr string) {
-	rd := transport.NewRedialer(addr, *sp.cfg.Redial)
+	pol := *sp.cfg.Redial
+	if sp.mtr != nil {
+		ctr := sp.cm[id].redials
+		prev := pol.OnAttempt
+		pol.OnAttempt = func(attempt int, err error) {
+			ctr.Inc()
+			if prev != nil {
+				prev(attempt, err)
+			}
+		}
+	}
+	rd := transport.NewRedialer(addr, pol)
 	conn, err := rd.Dial(sp.stop)
 	if err != nil {
 		return
@@ -612,7 +676,7 @@ func (sp *Splitter) redialLoop(id int, addr string) {
 // the balancer with zero weight, so the next rebalance explores it and the
 // learning loop re-measures its capacity.
 func (sp *Splitter) admitRejoin(rj rejoin) {
-	c := &splitConn{id: rj.id, addr: rj.addr, conn: rj.conn, sender: rj.sender}
+	c := &splitConn{id: rj.id, addr: rj.addr, conn: rj.conn, sender: rj.sender, dialedAt: time.Now()}
 	sp.mu.Lock()
 	sp.conns = append(sp.conns, c)
 	sp.epoch++
@@ -709,6 +773,10 @@ func (sp *Splitter) controller() {
 				samplers[c.sender].Sample(now, 0)
 			}
 			lastReset = now
+			if sp.mtr != nil {
+				sp.mtr.counterResets.Inc()
+				sp.mtr.traceEvent(metrics.Event{Kind: "counter-reset", Conn: -1})
+			}
 		}
 		weights := sp.wrr.Weights()
 		var publish []int
@@ -726,6 +794,23 @@ func (sp *Splitter) controller() {
 					publish = newWeights
 				}
 			}
+		}
+		if sp.mtr != nil {
+			for j, c := range conns {
+				sp.cm[c.id].rate.Set(rates[j])
+				if j < len(weights) {
+					sp.cm[c.id].weight.Set(float64(weights[j]))
+				}
+			}
+			if publish != nil {
+				b := sp.cfg.Balancer
+				clusters := 0
+				if cl := b.LastClusters(); cl != nil {
+					clusters = len(cl)
+				}
+				sp.mtr.rebalance(publish, b.LastObjective(), b.LastIterations(), clusters)
+			}
+			sp.publishTransportLocked()
 		}
 		sp.mu.Unlock()
 
@@ -759,6 +844,46 @@ func (sp *Splitter) Senders() []*transport.Sender {
 		out = append(out, c.sender)
 	}
 	return out
+}
+
+// publishTransportLocked pushes the transport counters' growth since the
+// last publish onto the metrics layer. Lifetime totals per stable id are
+// monotone (aggregates fold in on connection death), so the exported
+// counters are monotone too. Callers hold sp.mu.
+func (sp *Splitter) publishTransportLocked() {
+	if sp.mtr == nil {
+		return
+	}
+	n := len(sp.pubSent)
+	sent := make([]int64, n)
+	blocking := make([]time.Duration, n)
+	blocked := make([]int64, n)
+	copy(sent, sp.aggSent)
+	copy(blocking, sp.aggBlocking)
+	copy(blocked, sp.aggBlocked)
+	for _, c := range sp.conns {
+		sent[c.id] += c.sender.Sent()
+		blocking[c.id] += c.sender.TotalBlocking()
+		blocked[c.id] += c.sender.BlockEvents()
+	}
+	for id := 0; id < n; id++ {
+		if d := sent[id] - sp.pubSent[id]; d > 0 {
+			sp.cm[id].sent.Add(float64(d))
+			sp.pubSent[id] = sent[id]
+		}
+		if d := blocking[id] - sp.pubBlock[id]; d > 0 {
+			sp.cm[id].blocking.Add(d.Seconds())
+			sp.pubBlock[id] = blocking[id]
+		}
+		if d := blocked[id] - sp.pubEvts[id]; d > 0 {
+			sp.cm[id].wouldBlock.Add(float64(d))
+			sp.pubEvts[id] = blocked[id]
+		}
+	}
+	if d := sp.wrr.Picks() - sp.pubPicks; d > 0 {
+		sp.mtr.schedulePicks.Add(float64(d))
+		sp.pubPicks = sp.wrr.Picks()
+	}
 }
 
 // ConnStats returns per-worker lifetime tuple and blocking totals, indexed

@@ -30,6 +30,7 @@ type WRR struct {
 	// fallback cycles plainly over all connections when every weight is
 	// zero, so the splitter never deadlocks on a degenerate weight vector.
 	fallback int
+	picks    int64
 }
 
 // NewWRR returns a scheduler over n connections with equal initial weights.
@@ -86,8 +87,15 @@ func (w *WRR) Weights() []int {
 	return out
 }
 
+// Picks returns how many scheduling decisions Next has made over the
+// lifetime of this schedule (across weight updates and membership edits).
+func (w *WRR) Picks() int64 {
+	return w.picks
+}
+
 // Next returns the connection index that should receive the next tuple.
 func (w *WRR) Next() int {
+	w.picks++
 	if w.total == 0 {
 		idx := w.fallback
 		w.fallback = (w.fallback + 1) % len(w.weights)

@@ -27,6 +27,10 @@ type RedialPolicy struct {
 	MaxAttempts int
 	// DialTimeout bounds each individual dial (default 2s).
 	DialTimeout time.Duration
+	// OnAttempt, when set, observes every dial attempt (err == nil on
+	// success). The metrics layer hangs redial counters off it; it runs on
+	// the redialer's goroutine and must not block.
+	OnAttempt func(attempt int, err error)
 }
 
 func (p RedialPolicy) withDefaults() RedialPolicy {
@@ -82,6 +86,9 @@ func (r *Redialer) Dial(stop <-chan struct{}) (net.Conn, error) {
 		}
 		r.attempts++
 		conn, err := net.DialTimeout("tcp", r.addr, r.pol.DialTimeout)
+		if r.pol.OnAttempt != nil {
+			r.pol.OnAttempt(r.attempts, err)
+		}
 		if err == nil {
 			return conn, nil
 		}
