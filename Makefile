@@ -17,8 +17,13 @@ vet:
 quick-bench:
 	go test -bench=. -benchmem -benchtime=1x -run '^$$' .
 
+# Full benchmark sweep, archived as BENCH_<short-sha>.json (same format the
+# CI bench-regression job uploads), plus the raw text on stdout.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem -run '^$$' ./... | tee /tmp/bench.$$$$.txt \
+		&& go run ./cmd/benchjson < /tmp/bench.$$$$.txt > "BENCH_$$(git rev-parse --short HEAD).json" \
+		&& rm -f /tmp/bench.$$$$.txt \
+		&& echo "wrote BENCH_$$(git rev-parse --short HEAD).json"
 
 # Single-iteration benchmark sweep encoded as JSON (what the CI
 # bench-regression job archives per commit).

@@ -172,6 +172,7 @@ func runSplitter(w io.Writer, args []string) error {
 	interval := fs.Duration("interval", 100*time.Millisecond, "controller sampling interval")
 	noBalance := fs.Bool("no-balance", false, "disable balancing")
 	sockbuf := fs.Int("sockbuf", 8<<10, "socket buffer bytes per connection")
+	batch := fs.Int("batch", 1, "tuples per vectored-write batch (1 = per-tuple sends)")
 	control := fs.String("control", "", "merger address for the recovery control channel (enables replay on worker failure)")
 	retain := fs.Int("retain", 0, "replay buffer capacity in tuples (0 = default; needs -control)")
 	noRedial := fs.Bool("no-redial", false, "do not reconnect to failed workers (needs -control)")
@@ -197,6 +198,7 @@ func runSplitter(w io.Writer, args []string) error {
 		Balancer:          balancer,
 		SampleInterval:    *interval,
 		SocketBufferBytes: *sockbuf,
+		BatchSize:         *batch,
 		OnConnEvent: func(ev runtime.ConnEvent) {
 			switch ev.Kind {
 			case "down":
@@ -250,6 +252,7 @@ func runAll(w io.Writer, args []string) error {
 	slowDelay := fs.Duration("slow-delay", time.Millisecond, "per-tuple delay of the loaded worker")
 	baseDelay := fs.Duration("base-delay", 50*time.Microsecond, "per-tuple delay of unloaded workers")
 	recover := fs.Bool("recover", false, "enable worker-failure recovery (resilient workers + control channel)")
+	batch := fs.Int("batch", 1, "tuples per vectored-write batch (1 = per-tuple sends)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the splitter's /metrics and /trace on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -296,6 +299,7 @@ func runAll(w io.Writer, args []string) error {
 	sargs := []string{
 		"-workers", strings.Join(addrs, ","),
 		"-tuples", fmt.Sprint(*tuples),
+		"-batch", fmt.Sprint(*batch),
 	}
 	if *recover {
 		sargs = append(sargs, "-control", mergerAddr)

@@ -25,6 +25,7 @@ type Proxy struct {
 	backend   string
 	delay     time.Duration
 	throttle  int // bytes per second; 0 = unlimited
+	chunk     int // max bytes forwarded per read; 0 = chunkSize
 	blackhole bool
 	reject    bool // refuse new connections (backend "down")
 	links     map[*link]struct{}
@@ -93,6 +94,16 @@ func (p *Proxy) SetDelay(d time.Duration) {
 func (p *Proxy) SetThrottle(bytesPerSec int) {
 	p.mu.Lock()
 	p.throttle = bytesPerSec
+	p.mu.Unlock()
+}
+
+// SetChunk caps how many bytes the proxy forwards per read (0 restores the
+// default chunkSize). Tiny values split the stream at arbitrary byte
+// boundaries — mid-header, mid-payload — which is how the transport tests
+// exercise partial-write and partial-read resumption.
+func (p *Proxy) SetChunk(n int) {
+	p.mu.Lock()
+	p.chunk = n
 	p.mu.Unlock()
 }
 
@@ -280,7 +291,13 @@ func (p *Proxy) pump(l *link, from, to net.Conn) {
 	defer p.unlink(l)
 	buf := make([]byte, chunkSize)
 	for {
-		n, err := from.Read(buf)
+		p.mu.Lock()
+		rd := buf
+		if p.chunk > 0 && p.chunk < len(buf) {
+			rd = buf[:p.chunk]
+		}
+		p.mu.Unlock()
+		n, err := from.Read(rd)
 		if n > 0 {
 			p.mu.Lock()
 			delay := p.delay

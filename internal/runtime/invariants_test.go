@@ -39,6 +39,10 @@ func TestInvariantOrderedReleaseUnderRandomChaos(t *testing.T) {
 			victim := rng.Intn(workers)
 			permanent := rng.Intn(2) == 0
 			killAt := tuples/5 + uint64(rng.Int63n(int64(tuples/2)))
+			// Randomize the splitter's batch size too: ordered release must
+			// hold whether tuples leave one write at a time or in vectored
+			// batches, including across mid-batch connection kills.
+			batchSize := 1 + rng.Intn(64)
 
 			balancer, err := core.NewBalancer(core.Config{
 				Connections: workers, DecayEnabled: true,
@@ -93,6 +97,7 @@ func TestInvariantOrderedReleaseUnderRandomChaos(t *testing.T) {
 				},
 				Balancer:       balancer,
 				SampleInterval: 20 * time.Millisecond,
+				BatchSize:      batchSize,
 				Sink: func(tp transport.Tuple, conn int) {
 					mu.Lock()
 					seqs = append(seqs, tp.Seq)
@@ -131,8 +136,8 @@ func TestInvariantOrderedReleaseUnderRandomChaos(t *testing.T) {
 			}
 			res, err := region.Run()
 			if err != nil {
-				t.Fatalf("workers=%d victim=%d permanent=%v killAt=%d: region failed: %v",
-					workers, victim, permanent, killAt, err)
+				t.Fatalf("workers=%d victim=%d permanent=%v killAt=%d batch=%d: region failed: %v",
+					workers, victim, permanent, killAt, batchSize, err)
 			}
 			if res.Released != tuples || !res.OrderPreserved {
 				t.Fatalf("released=%d order=%v, want %d true", res.Released, res.OrderPreserved, tuples)
@@ -239,6 +244,121 @@ func TestInvariantMergerExactlyOnceRandomInterleavings(t *testing.T) {
 			for i, s := range seqs {
 				if s != uint64(i) {
 					t.Fatalf("release %d carried seq %d", i, s)
+				}
+			}
+			if got := m.Deduped(); got != uint64(dups) {
+				t.Fatalf("deduped %d replays, injected %d", got, dups)
+			}
+		})
+	}
+}
+
+// TestInvariantBatchedSingleInterleavingsOrdered sends each worker's stream
+// through a real transport.Sender using a random interleaving of Send,
+// SendBatch, and Queue/Flush — the three ways tuples reach the wire — with
+// cross-stream replay duplicates mixed in. Whatever the interleaving, the
+// merger must release a gapless, duplicate-free, strictly increasing
+// sequence: batching is a wire-level optimization that must be invisible to
+// ordering semantics.
+func TestInvariantBatchedSingleInterleavingsOrdered(t *testing.T) {
+	for _, seed := range []int64{21, 22, 23, 24} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			k := 2 + rng.Intn(3) // 2..4 workers
+			n := uint64(2000 + rng.Intn(2000))
+			streams := make([][]uint64, k)
+			dups := 0
+			for seq := uint64(0); seq < n; seq++ {
+				w := rng.Intn(k)
+				streams[w] = append(streams[w], seq)
+				if rng.Intn(20) == 0 {
+					d := (w + 1 + rng.Intn(k-1)) % k
+					streams[d] = append(streams[d], seq)
+					dups++
+				}
+			}
+
+			var mu sync.Mutex
+			var seqs []uint64
+			m, err := NewMerger(k, 0, func(tp transport.Tuple, conn int) {
+				mu.Lock()
+				seqs = append(seqs, tp.Seq)
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Start()
+			errCh := make(chan error, k)
+			for w := 0; w < k; w++ {
+				go func(w int) {
+					conn := dialWorkerConnErr(m.Addr(), uint32(w))
+					if conn == nil {
+						errCh <- fmt.Errorf("worker %d: dial failed", w)
+						return
+					}
+					defer conn.Close()
+					sender, err := transport.NewSender(conn)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					wrng := rand.New(rand.NewSource(seed*1000 + int64(w)))
+					stream := streams[w]
+					payload := []byte("interleave")
+					for i := 0; i < len(stream); {
+						switch wrng.Intn(3) {
+						case 0: // per-tuple send
+							if err := sender.Send(transport.Tuple{Seq: stream[i], Payload: payload}); err != nil {
+								errCh <- err
+								return
+							}
+							i++
+						case 1: // one-shot batch
+							size := 1 + wrng.Intn(32)
+							batch := make([]transport.Tuple, 0, size)
+							for j := 0; j < size && i < len(stream); j++ {
+								batch = append(batch, transport.Tuple{Seq: stream[i], Payload: payload})
+								i++
+							}
+							if err := sender.SendBatch(batch); err != nil {
+								errCh <- err
+								return
+							}
+						default: // staged queue + explicit flush
+							size := 1 + wrng.Intn(16)
+							for j := 0; j < size && i < len(stream); j++ {
+								if err := sender.Queue(transport.Tuple{Seq: stream[i], Payload: payload}); err != nil {
+									errCh <- err
+									return
+								}
+								i++
+							}
+							if err := sender.Flush(); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}
+					errCh <- nil
+				}(w)
+			}
+			for w := 0; w < k; w++ {
+				if err := <-errCh; err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.Wait(); err != nil {
+				t.Fatalf("merge failed: %v", err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if uint64(len(seqs)) != n {
+				t.Fatalf("released %d tuples, want %d (exactly once)", len(seqs), n)
+			}
+			for i, s := range seqs {
+				if s != uint64(i) {
+					t.Fatalf("release %d carried seq %d (duplicate, gap, or reorder)", i, s)
 				}
 			}
 			if got := m.Deduped(); got != uint64(dups) {

@@ -44,7 +44,7 @@ type Merger struct {
 
 	mu         sync.Mutex
 	cond       *sync.Cond
-	queues     [][]transport.Tuple // per worker id, ascending by Seq
+	queues     []seqHeap // per worker id, min-heap by Seq
 	live       []bool              // worker id currently attached
 	attached   int                 // distinct worker ids ever attached
 	seen       []bool
@@ -97,7 +97,7 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 		queueCap:   queueCap,
 		sink:       sink,
 		wmInterval: DefaultWatermarkInterval,
-		queues:     make([][]transport.Tuple, workers),
+		queues:     make([]seqHeap, workers),
 		live:       make([]bool, workers),
 		seen:       make([]bool, workers),
 		conns:      make(map[net.Conn]struct{}),
@@ -413,13 +413,14 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 			m.mu.Unlock()
 			continue
 		}
-		if q, ok := insertSorted(m.queues[id], t); ok {
-			m.queues[id] = q
-			if m.mQueue != nil {
-				m.mQueue[id].Set(float64(len(q)))
-			}
-		} else {
-			m.noteDedup()
+		// Duplicates of still-queued sequences are admitted and dropped
+		// lazily by the merge loop's stale-head sweep once the watermark
+		// passes them — exactly one copy releases, every surplus copy is
+		// counted, matching the old eager insertSorted accounting (see
+		// seqHeap's doc comment and merger_equiv_test.go).
+		m.queues[id].push(t)
+		if m.mQueue != nil {
+			m.mQueue[id].Set(float64(len(m.queues[id])))
 		}
 		m.cond.Broadcast()
 		m.mu.Unlock()
@@ -431,29 +432,11 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 // next-needed sequence. Callers hold m.mu.
 func (m *Merger) progressPossible() bool {
 	for id := range m.queues {
-		if len(m.queues[id]) > 0 && m.queues[id][0].Seq <= m.next {
+		if h, ok := m.queues[id].head(); ok && h.Seq <= m.next {
 			return true
 		}
 	}
 	return false
-}
-
-// insertSorted places t into q keeping ascending sequence order, reporting
-// ok=false when the sequence is already queued. A worker's own stream is
-// in order, so the common case appends at the tail; replayed tuples carry
-// older sequence numbers and insert near the front.
-func insertSorted(q []transport.Tuple, t transport.Tuple) ([]transport.Tuple, bool) {
-	i := len(q)
-	for i > 0 && q[i-1].Seq > t.Seq {
-		i--
-	}
-	if i > 0 && q[i-1].Seq == t.Seq {
-		return q, false
-	}
-	q = append(q, transport.Tuple{})
-	copy(q[i+1:], q[i:])
-	q[i] = t
-	return q, true
 }
 
 // mergeLoop releases tuples in strict sequence order.
@@ -469,22 +452,27 @@ func (m *Merger) mergeLoop() error {
 		}
 		released := false
 		for id := range m.queues {
-			// Drop heads the merge has already released (cross-queue
-			// duplicates from replay). Dropping frees queue space, so wake
-			// any reader parked on the full queue.
-			for len(m.queues[id]) > 0 && m.queues[id][0].Seq < m.next {
-				m.queues[id] = m.queues[id][1:]
+			// Drop heads the merge has already released: cross-queue
+			// duplicates from replay, and same-queue duplicates the heap
+			// admitted lazily. Dropping frees queue space, so wake any
+			// reader parked on the full queue.
+			for {
+				h, ok := m.queues[id].head()
+				if !ok || h.Seq >= m.next {
+					break
+				}
+				m.queues[id].popMin()
 				m.noteDedup()
 				if m.mQueue != nil {
 					m.mQueue[id].Set(float64(len(m.queues[id])))
 				}
 				m.cond.Broadcast()
 			}
-			if len(m.queues[id]) == 0 || m.queues[id][0].Seq != m.next {
+			h, ok := m.queues[id].head()
+			if !ok || h.Seq != m.next {
 				continue
 			}
-			head := m.queues[id][0]
-			m.queues[id] = m.queues[id][1:]
+			head := m.queues[id].popMin()
 			m.next++
 			released = true
 			if m.mReleased != nil {

@@ -1,0 +1,75 @@
+package runtime
+
+import "streambalance/internal/transport"
+
+// seqHeap is a binary min-heap of tuples ordered by sequence number — the
+// merger's per-connection reorder queue. The previous implementation kept a
+// sorted slice with O(n) insertion: cheap in the in-order common case, but a
+// replay burst after a worker failure inserts old sequence numbers near the
+// front of queues up to queueCap deep, and Prasaad et al. ("Scaling Ordered
+// Stream Processing on Shared-Memory Multicores") observe the ordered merge
+// structure itself becoming the bottleneck at scale — exactly where that
+// O(n) shuffle sat, inside the merger lock. The heap makes every enqueue
+// O(log n) worst case and O(1) on the in-order fast path (a new maximum
+// never swaps with its parent), with O(log n) release.
+//
+// Unlike the sorted slice, the heap admits duplicate sequence numbers
+// (membership testing would tax the fast path). Duplicates are dropped
+// lazily: exactly one copy of each sequence is released, and every surplus
+// copy is counted at read time (if it arrives below the released watermark)
+// or by the merge loop's stale-head sweep (once the watermark passes it), so
+// the dedup accounting matches the eager implementation — the equivalence
+// test in merger_equiv_test.go pins this against the old insertSorted.
+type seqHeap []transport.Tuple
+
+// head returns the minimum-sequence tuple without removing it.
+func (h seqHeap) head() (transport.Tuple, bool) {
+	if len(h) == 0 {
+		return transport.Tuple{}, false
+	}
+	return h[0], true
+}
+
+// push adds a tuple: O(1) when t.Seq is a new maximum (a worker's own
+// stream arrives in order), O(log n) otherwise.
+func (h *seqHeap) push(t transport.Tuple) {
+	q := append(*h, t)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].Seq <= q[i].Seq {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	*h = q
+}
+
+// popMin removes and returns the minimum-sequence tuple. The vacated slot is
+// zeroed so the heap does not pin released payloads.
+func (h *seqHeap) popMin() transport.Tuple {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = transport.Tuple{}
+	q = q[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(q) && q[l].Seq < q[min].Seq {
+			min = l
+		}
+		if r < len(q) && q[r].Seq < q[min].Seq {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	*h = q
+	return top
+}

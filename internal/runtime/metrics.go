@@ -34,6 +34,8 @@ type RegionMetrics struct {
 	replayDepth     *metrics.Gauge
 	schedulePicks   *metrics.Counter
 	redialAttempts  *metrics.CounterVec
+	batchFlushes    *metrics.Counter
+	batchTuples     *metrics.Histogram
 
 	// Balancer / controller.
 	weight        *metrics.GaugeVec
@@ -83,6 +85,10 @@ func NewRegionMetrics(reg *metrics.Registry, tr *metrics.Trace) *RegionMetrics {
 			"Scheduling decisions made by the weighted round-robin."),
 		redialAttempts: reg.CounterVec("spe_transport_redial_attempts_total",
 			"Dial attempts made while reconnecting to a failed worker, per connection.", "conn"),
+		batchFlushes: reg.Counter("spe_splitter_batch_flushes_total",
+			"Batched vectored writes the splitter flushed (BatchSize > 1 only)."),
+		batchTuples: reg.Histogram("spe_splitter_batch_tuples",
+			"Tuples per flushed batch.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 
 		weight: reg.GaugeVec("spe_balancer_weight_units",
 			"Current allocation weight per connection, in units summing to the balancer's R (Section 3.4).", "conn"),

@@ -61,6 +61,10 @@ type RegionConfig struct {
 	// SocketBufferBytes sizes the kernel buffers between splitter and
 	// workers (default DefaultSocketBuffer).
 	SocketBufferBytes int
+	// BatchSize is how many tuples the splitter drains from the schedule
+	// per vectored-write round (<= 1 sends per tuple). See
+	// SplitterConfig.BatchSize for the throughput/signal tradeoff.
+	BatchSize int
 	// Recovery opts the region into worker-failure recovery.
 	Recovery RecoveryConfig
 	// WrapWorkerAddr, when set, maps each worker's listen address to the
@@ -182,6 +186,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		OnSample:          cfg.OnSample,
 		OnConnEvent:       cfg.OnConnEvent,
 		SocketBufferBytes: cfg.SocketBufferBytes,
+		BatchSize:         cfg.BatchSize,
 		Metrics:           cfg.Metrics,
 	}
 	if r.recovery {

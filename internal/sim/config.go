@@ -73,6 +73,12 @@ type Config struct {
 	// standing in for the sender- and receiver-side TCP socket buffers
 	// (default DefaultInflightCap).
 	InflightCap int
+	// BatchSize is how many tuples the splitter drains from the schedule
+	// per send event, mirroring the real runtime's batched vectored
+	// writes: each tuple still picks its connection individually, but the
+	// batch is delivered at one virtual instant and a full connection
+	// blocks the splitter mid-batch. <= 1 (the default) sends per tuple.
+	BatchSize int
 	// MergerCap bounds each connection's reorder queue at the merger. The
 	// default absorbs routine out-of-order skew (the "boxes on the edges"
 	// of Figure 3) so that back pressure reaches the splitter through the
@@ -148,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InflightCap <= 0 {
 		c.InflightCap = DefaultInflightCap
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
 	}
 	if c.MergerCap <= 0 {
 		c.MergerCap = DefaultMergerCap

@@ -255,39 +255,58 @@ func (s *Sim) accrueBlocking(now time.Duration) {
 	s.blockStart = now
 }
 
-// handleSplitterSend attempts to send the next tuple.
+// handleSplitterSend drains up to BatchSize tuples from the schedule — the
+// simulated counterpart of the real splitter's batched vectored write. Each
+// tuple still picks its connection individually; the whole batch lands at
+// one virtual instant and the next send event is deferred by the batch's
+// combined per-tuple work. A full connection blocks the splitter mid-batch
+// (one blocking episode covers the rest of the batch, mirroring the
+// combined-write accounting). At BatchSize 1 this is exactly the original
+// per-tuple behaviour.
 func (s *Sim) handleSplitterSend() {
 	if s.splitterDone || s.splitterBlock {
 		return
 	}
-	if s.cfg.TotalTuples > 0 && s.nextSeq >= s.cfg.TotalTuples {
-		s.splitterDone = true
-		return
-	}
-	j := s.wrr.Next()
-	if s.inflight[j].Full() {
-		if s.cfg.RerouteOnBlock {
-			// Section 4.4: try the other connections before electing to
-			// block. The scan order follows the round-robin schedule.
-			for k := 1; k < s.Connections(); k++ {
-				alt := (j + k) % s.Connections()
-				if !s.inflight[alt].Full() {
-					s.rerouted++
-					s.deliverToConnection(alt)
-					s.sched.schedule(s.clock+s.sendInterval(), evSplitterSend, -1)
-					return
+	delivered := 0
+	for delivered < s.cfg.BatchSize {
+		if s.cfg.TotalTuples > 0 && s.nextSeq >= s.cfg.TotalTuples {
+			s.splitterDone = true
+			break
+		}
+		j := s.wrr.Next()
+		if s.inflight[j].Full() {
+			if s.cfg.RerouteOnBlock {
+				// Section 4.4: try the other connections before electing to
+				// block. The scan order follows the round-robin schedule.
+				rerouted := false
+				for k := 1; k < s.Connections(); k++ {
+					alt := (j + k) % s.Connections()
+					if !s.inflight[alt].Full() {
+						s.rerouted++
+						s.deliverToConnection(alt)
+						delivered++
+						rerouted = true
+						break
+					}
+				}
+				if rerouted {
+					continue
 				}
 			}
+			// Elect to block on j, recording how long (Section 3). The
+			// remainder of the batch waits behind the blocked tuple.
+			s.splitterBlock = true
+			s.blockedOn = j
+			s.pendingConn = j
+			s.blockStart = s.clock
+			return
 		}
-		// Elect to block on j, recording how long (Section 3).
-		s.splitterBlock = true
-		s.blockedOn = j
-		s.pendingConn = j
-		s.blockStart = s.clock
-		return
+		s.deliverToConnection(j)
+		delivered++
 	}
-	s.deliverToConnection(j)
-	s.sched.schedule(s.clock+s.sendInterval(), evSplitterSend, -1)
+	if !s.splitterDone && delivered > 0 {
+		s.sched.schedule(s.clock+time.Duration(delivered)*s.sendInterval(), evSplitterSend, -1)
+	}
 }
 
 // deliverToConnection enqueues the next tuple on connection j's in-flight

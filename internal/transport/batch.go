@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Batching amortizes the per-send syscall: the splitter stages the frames of
+// several tuples on a connection and flushes them with one vectored write.
+// The wire format is unchanged — a batch is just concatenated frames — so
+// the receiver is oblivious and batched and per-tuple senders mix freely on
+// one connection.
+//
+// Blocking semantics are preserved on the combined write: if the socket
+// buffer fills anywhere inside the batch, the sender elects to block there
+// and the parked time is accounted to this connection's cumulative counter
+// (Section 3), exactly as a per-tuple send would account it. What changes is
+// granularity: one blocking sample now covers up to BatchSize tuples, so
+// batch size trades per-tuple signal resolution for throughput (see the
+// README's "Batched sends" section).
+
+const (
+	// zeroCopyThreshold is the payload size at which Queue stops copying
+	// the payload into the coalesce buffer and instead passes it to writev
+	// as its own iovec. Below it, copying into one contiguous buffer is
+	// cheaper than growing the iovec list.
+	zeroCopyThreshold = 1 << 10
+
+	// frameBufCap seeds pooled coalesce buffers; buffers grow to fit a
+	// whole batch and return to the pool with their grown capacity.
+	frameBufCap = 16 << 10
+)
+
+// frameBuf is a pooled frame buffer. The pool stores pointers so that
+// Get/Put never allocate on the hot path (a bare slice would escape into
+// the interface on every Put).
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, frameBufCap)} },
+}
+
+// Queue stages one tuple in the pending batch without writing. Small
+// payloads are coalesced (copied) into a pooled frame buffer; payloads of
+// zeroCopyThreshold bytes or more are referenced zero-copy, so the caller
+// must not mutate them until Flush returns. An error (only an oversized
+// frame) leaves the batch as it was, without the offending tuple.
+func (s *Sender) Queue(t Tuple) error {
+	if s.coalesce == nil {
+		s.coalesce = framePool.Get().(*frameBuf)
+	}
+	if len(t.Payload) >= zeroCopyThreshold {
+		b, err := AppendFrameHeader(s.coalesce.b, t.Seq, len(t.Payload))
+		if err != nil {
+			return err
+		}
+		s.coalesce.b = b
+		s.cutCoalesce()
+		s.pending = append(s.pending, t.Payload)
+	} else {
+		b, err := AppendFrame(s.coalesce.b, t)
+		if err != nil {
+			return err
+		}
+		s.coalesce.b = b
+	}
+	s.queued++
+	return nil
+}
+
+// cutCoalesce seals the current coalesce buffer into the pending iovec list.
+func (s *Sender) cutCoalesce() {
+	if s.coalesce == nil || len(s.coalesce.b) == 0 {
+		return
+	}
+	s.pending = append(s.pending, s.coalesce.b)
+	s.pooled = append(s.pooled, s.coalesce)
+	s.coalesce = nil
+}
+
+// Pending returns how many tuples are staged and not yet flushed.
+func (s *Sender) Pending() int {
+	return s.queued
+}
+
+// Flush writes every staged tuple with one vectored write (chunked at
+// iovMax), electing to block — and accounting the blocked time — when the
+// socket buffer fills anywhere in the batch. On error the batch is
+// discarded: the connection is in an undefined mid-frame state and the
+// caller must treat it as failed (under recovery, the retained tuples are
+// replayed elsewhere and the merger dedupes any partial deliveries).
+func (s *Sender) Flush() error {
+	s.cutCoalesce()
+	if len(s.pending) == 0 {
+		return nil
+	}
+	n := s.queued
+	s.wq = append(s.wq[:0], s.pending...)
+	s.wqHead = 0
+	err := s.flushWrite()
+	s.releasePending()
+	if err != nil {
+		return fmt.Errorf("transport: flush batch of %d: %w", n, err)
+	}
+	s.sent.Add(int64(n))
+	s.flushes.Add(1)
+	s.flushedTuples.Add(int64(n))
+	return nil
+}
+
+// releasePending drops payload references and returns pooled buffers.
+func (s *Sender) releasePending() {
+	for i := range s.pending {
+		s.pending[i] = nil
+	}
+	s.pending = s.pending[:0]
+	for _, fb := range s.pooled {
+		fb.b = fb.b[:0]
+		framePool.Put(fb)
+	}
+	s.pooled = s.pooled[:0]
+	s.queued = 0
+}
+
+// SendBatch stages and flushes ts as one batch. It fails atomically on an
+// unencodable tuple: nothing from ts (or a previously staged partial batch)
+// is sent. Payloads of zeroCopyThreshold bytes or more must not be mutated
+// until SendBatch returns.
+func (s *Sender) SendBatch(ts []Tuple) error {
+	for i := range ts {
+		if err := s.Queue(ts[i]); err != nil {
+			s.releasePending()
+			if s.coalesce != nil {
+				s.coalesce.b = s.coalesce.b[:0]
+			}
+			return fmt.Errorf("transport: batch tuple seq %d: %w", ts[i].Seq, err)
+		}
+	}
+	return s.Flush()
+}

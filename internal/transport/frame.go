@@ -31,13 +31,39 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
 // wire format is little-endian: uint32 length (seq + payload bytes), uint64
 // sequence number, payload.
 func AppendFrame(dst []byte, t Tuple) ([]byte, error) {
-	body := 8 + len(t.Payload)
-	if body > MaxFrameSize {
+	dst, err := AppendFrameHeader(dst, t.Seq, len(t.Payload))
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, t.Payload...), nil
+}
+
+// AppendFrameHeader appends only the frame header (length prefix and
+// sequence number) for a tuple whose payload travels separately — the
+// zero-copy batch encode path, where a large payload is handed to writev as
+// its own iovec instead of being copied into the frame buffer.
+func AppendFrameHeader(dst []byte, seq uint64, payloadLen int) ([]byte, error) {
+	body := 8 + payloadLen
+	if payloadLen < 0 || body > MaxFrameSize {
 		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
-	dst = binary.LittleEndian.AppendUint64(dst, t.Seq)
-	dst = append(dst, t.Payload...)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	return dst, nil
+}
+
+// AppendBatch encodes the tuples onto dst in order. A batch is simply the
+// concatenation of its tuples' frames — there is no batch header on the
+// wire — so receivers need no batch awareness and batched and per-tuple
+// senders interoperate on one connection.
+func AppendBatch(dst []byte, ts []Tuple) ([]byte, error) {
+	for i := range ts {
+		var err error
+		dst, err = AppendFrame(dst, ts[i])
+		if err != nil {
+			return dst, err
+		}
+	}
 	return dst, nil
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -25,6 +26,97 @@ func FuzzReceive(f *testing.F) {
 					return
 				}
 				return // any clean error ends the stream
+			}
+		}
+	})
+}
+
+// FuzzBatchRoundTrip checks that a batch — concatenated frames from
+// AppendBatch — decodes back to exactly the tuples that went in, for any
+// split of fuzz bytes into payloads. A batch has no wire header of its own,
+// so this also pins the invariant that batched and per-tuple senders are
+// indistinguishable to the receiver.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), uint8(2))
+	f.Add([]byte{}, uint8(0))
+	f.Add(bytes.Repeat([]byte{7}, 300), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, k uint8) {
+		// Carve data into k payloads of varying lengths.
+		n := int(k%16) + 1
+		ts := make([]Tuple, n)
+		for i := range ts {
+			lo := len(data) * i / n
+			hi := len(data) * (i + 1) / n
+			ts[i] = Tuple{Seq: uint64(i) * 3, Payload: data[lo:hi]}
+		}
+		batch, err := AppendBatch(nil, ts)
+		if err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+		rc := NewReceiver(bytes.NewReader(batch))
+		for i := range ts {
+			got, err := rc.Receive()
+			if err != nil {
+				t.Fatalf("Receive %d: %v", i, err)
+			}
+			if got.Seq != ts[i].Seq || !bytes.Equal(got.Payload, ts[i].Payload) {
+				t.Fatalf("tuple %d changed in batch round trip", i)
+			}
+		}
+		if _, err := rc.Receive(); !errors.Is(err, io.EOF) {
+			t.Fatalf("batch left trailing bytes: %v", err)
+		}
+	})
+}
+
+// FuzzReceiveTruncatedBatch feeds the decoder batches cut off at arbitrary
+// byte offsets, with an optionally corrupted length prefix (the oversized
+// case): it must never panic, must return every complete leading frame
+// intact, and must fail cleanly at the damage.
+func FuzzReceiveTruncatedBatch(f *testing.F) {
+	f.Add(uint16(10), uint16(3), uint32(0))
+	f.Add(uint16(100), uint16(0), uint32(0xffffffff))
+	f.Add(uint16(5000), uint16(1), uint32(1))
+	f.Fuzz(func(t *testing.T, cut uint16, nTuples uint16, poison uint32) {
+		n := int(nTuples%8) + 1
+		ts := make([]Tuple, n)
+		for i := range ts {
+			ts[i] = Tuple{Seq: uint64(i), Payload: bytes.Repeat([]byte{byte(i)}, (i*37)%256)}
+		}
+		batch, err := AppendBatch(nil, ts)
+		if err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+		if poison != 0 {
+			// Overwrite the final frame's length prefix: oversized or
+			// undersized prefixes must be rejected, not trusted.
+			off := len(batch) - FrameLen(ts[n-1])
+			binary.LittleEndian.PutUint32(batch[off:], poison)
+		}
+		if int(cut) < len(batch) {
+			batch = batch[:cut]
+		}
+		rc := NewReceiver(bytes.NewReader(batch))
+		decoded := 0
+		for {
+			got, err := rc.Receive()
+			if err != nil {
+				break // clean error or EOF at the damage — both fine
+			}
+			if decoded < n && poison == 0 {
+				if got.Seq != ts[decoded].Seq || !bytes.Equal(got.Payload, ts[decoded].Payload) {
+					t.Fatalf("leading frame %d corrupted by truncation", decoded)
+				}
+			}
+			decoded++
+			// A poisoned prefix may legally re-frame the trailing bytes, but
+			// an undamaged (merely truncated) batch can never yield more
+			// tuples than were encoded.
+			if poison == 0 && decoded > n {
+				t.Fatalf("decoded %d tuples from a %d-tuple batch", decoded, n)
+			}
+			if decoded > 2*n+8 {
+				t.Fatalf("decoder runaway: %d tuples from %d-tuple batch", decoded, n)
 			}
 		}
 	})

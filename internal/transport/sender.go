@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+	"unsafe"
 )
 
 // rawConner is satisfied by net.TCPConn, net.UnixConn and any other net.Conn
@@ -15,22 +16,59 @@ type rawConner interface {
 	SyscallConn() (syscall.RawConn, error)
 }
 
+// iovMax bounds the iovec count per writev(2) call (IOV_MAX is 1024 on
+// Linux); larger batches are written in successive calls.
+const iovMax = 1024
+
+var errWroteZero = errors.New("write returned 0 without error")
+
 // Sender frames and sends tuples on one connection, accumulating the
 // cumulative blocking time of Section 3: each send is attempted without
 // blocking, and when the kernel reports the socket buffer full the sender
 // elects to block in the runtime poller anyway, timing the wait.
 //
-// Send may be called from only one goroutine at a time (the splitter has a
-// single thread of control); the counters may be read concurrently.
+// Send, Queue, Flush and SendBatch may be called from only one goroutine at
+// a time (the splitter has a single thread of control); the counters may be
+// read concurrently.
+//
+// The send path runs once per tuple and its overhead both caps region
+// throughput and perturbs the blocking-time signal the balancer reads, so it
+// must not allocate in steady state: the poller callbacks are bound once at
+// construction (a per-call closure escapes), frame buffers are reused or
+// pooled, and the write-in-progress cursor lives on the Sender.
 type Sender struct {
 	conn net.Conn
 	raw  syscall.RawConn
 	buf  []byte
 
+	// Write-in-progress state, owned by the sending goroutine. wq[wqHead:]
+	// holds the buffers not yet fully written; the callbacks advance the
+	// cursor across poller parks so a partial write — at any byte
+	// boundary, mid-header or mid-payload, within or across batch buffers
+	// — always resumes exactly where the kernel stopped.
+	wq         [][]byte
+	wqHead     int
+	iov        []syscall.Iovec // scratch, reused across writev calls
+	writeFn    func(fd uintptr) bool
+	probeFn    func(fd uintptr) bool
+	wErr       error
+	blocked    bool
+	blockedAt  time.Time
+	probeBuf   []byte
+	probeWrote bool
+
+	// Batch staging (Queue/Flush), see batch.go.
+	pending  net.Buffers
+	coalesce *frameBuf
+	pooled   []*frameBuf
+	queued   int
+
 	cumBlockingNS   atomic.Int64 // sampled counter, reset by the controller
 	totalBlockingNS atomic.Int64 // lifetime counter
 	blockEvents     atomic.Int64
 	sent            atomic.Int64
+	flushes         atomic.Int64
+	flushedTuples   atomic.Int64
 
 	// now is replaceable for tests.
 	now func() time.Time
@@ -47,12 +85,15 @@ func NewSender(conn net.Conn) (*Sender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: raw conn: %w", err)
 	}
-	return &Sender{
+	s := &Sender{
 		conn: conn,
 		raw:  raw,
 		buf:  make([]byte, 0, 4096),
 		now:  time.Now,
-	}, nil
+	}
+	s.writeFn = s.rawWrite
+	s.probeFn = s.probeWrite
+	return s, nil
 }
 
 // Send frames the tuple and writes it, electing to block (and timing the
@@ -82,44 +123,23 @@ func (s *Sender) TrySend(t Tuple) (bool, error) {
 		return false, err
 	}
 	s.buf = buf[:0]
-	wrote := false
-	var probeErr error
-	err = s.raw.Write(func(fd uintptr) bool {
-		for {
-			n, errno := syscall.Write(int(fd), buf)
-			if n > 0 {
-				wrote = true
-				buf = buf[n:]
-				if len(buf) == 0 {
-					return true
-				}
-				continue
-			}
-			switch {
-			case errors.Is(errno, syscall.EAGAIN):
-				return true // never park during the probe
-			case errors.Is(errno, syscall.EINTR):
-				continue
-			case errno != nil:
-				probeErr = errno
-				return true
-			default:
-				probeErr = errors.New("write returned 0 without error")
-				return true
-			}
-		}
-	})
+	s.probeBuf = buf
+	s.probeWrote = false
+	s.wErr = nil
+	err = s.raw.Write(s.probeFn)
 	if err == nil {
-		err = probeErr
+		err = s.wErr
 	}
+	rest := s.probeBuf
+	s.probeBuf = nil
 	if err != nil {
 		return false, fmt.Errorf("transport: try send seq %d: %w", t.Seq, err)
 	}
-	if !wrote {
+	if !s.probeWrote {
 		return false, nil
 	}
-	if len(buf) > 0 {
-		if err := s.writeAll(buf); err != nil {
+	if len(rest) > 0 {
+		if err := s.writeAll(rest); err != nil {
 			return true, fmt.Errorf("transport: complete partial send seq %d: %w", t.Seq, err)
 		}
 	}
@@ -127,62 +147,163 @@ func (s *Sender) TrySend(t Tuple) (bool, error) {
 	return true, nil
 }
 
-// writeAll writes p using non-blocking write(2) calls, parking in the
-// runtime poller on EAGAIN and accounting the parked time.
-func (s *Sender) writeAll(p []byte) error {
-	var blockedAt time.Time
-	blocked := false
-	var writeErr error
-	account := func() {
-		if !blocked {
+// probeWrite is the non-parking poller callback behind TrySend: it never
+// returns false (which would park the goroutine), treating EAGAIN as the
+// would-block verdict instead.
+func (s *Sender) probeWrite(fd uintptr) bool {
+	for {
+		n, errno := syscall.Write(int(fd), s.probeBuf)
+		if n > 0 {
+			s.probeWrote = true
+			s.probeBuf = s.probeBuf[n:]
+			if len(s.probeBuf) == 0 {
+				return true
+			}
+			continue
+		}
+		switch {
+		case errors.Is(errno, syscall.EAGAIN):
+			return true // never park during the probe
+		case errors.Is(errno, syscall.EINTR):
+			continue
+		case errno != nil:
+			s.wErr = errno
+			return true
+		default:
+			s.wErr = errWroteZero
+			return true
+		}
+	}
+}
+
+// account closes out an in-progress blocking episode: the time since the
+// park started is added to the cumulative counters, exactly as the paper's
+// transport adds the select(2) wait to the per-connection counter.
+func (s *Sender) account() {
+	if !s.blocked {
+		return
+	}
+	if d := s.now().Sub(s.blockedAt); d > 0 {
+		s.cumBlockingNS.Add(int64(d))
+		s.totalBlockingNS.Add(int64(d))
+	}
+	s.blocked = false
+}
+
+// rawWrite is the parking poller callback behind writeAll and Flush. It
+// writes wq[wqHead:] with write(2) for the final buffer and writev(2) when
+// several remain, parking on EAGAIN (electing to block) and accounting the
+// parked time on re-entry. Partial writes advance the cursor by exact byte
+// count, so accounting stays attached to this connection no matter where
+// the kernel splits the write.
+func (s *Sender) rawWrite(fd uintptr) bool {
+	// Re-entry after a park: the socket became writable; record how long
+	// the "select" lasted.
+	s.account()
+	for s.wqHead < len(s.wq) {
+		var n int
+		var errno error
+		if s.wqHead == len(s.wq)-1 {
+			n, errno = syscall.Write(int(fd), s.wq[s.wqHead])
+		} else {
+			n, errno = s.writev(fd)
+		}
+		if n > 0 {
+			s.consume(n)
+			continue
+		}
+		switch {
+		case errors.Is(errno, syscall.EAGAIN):
+			// The send would have blocked (MSG_DONTWAIT semantics).
+			// Record the event and elect to block: returning false
+			// parks this goroutine until the descriptor is writable.
+			s.blocked = true
+			s.blockedAt = s.now()
+			s.blockEvents.Add(1)
+			return false
+		case errors.Is(errno, syscall.EINTR):
+			continue
+		case errno != nil:
+			s.wErr = errno
+			return true
+		default:
+			s.wErr = errWroteZero
+			return true
+		}
+	}
+	return true
+}
+
+// writev issues one vectored write over the unwritten buffers (at most
+// iovMax of them; the loop in rawWrite picks up the rest).
+func (s *Sender) writev(fd uintptr) (int, error) {
+	iov := s.iov[:0]
+	for _, b := range s.wq[s.wqHead:] {
+		if len(b) == 0 {
+			continue
+		}
+		if len(iov) == iovMax {
+			break
+		}
+		iov = append(iov, syscall.Iovec{Base: &b[0]})
+		iov[len(iov)-1].SetLen(len(b))
+	}
+	s.iov = iov[:0] // keep grown capacity for the next call
+	if len(iov) == 0 {
+		return 0, nil
+	}
+	n, _, errno := syscall.Syscall(syscall.SYS_WRITEV, fd,
+		uintptr(unsafe.Pointer(&iov[0])), uintptr(len(iov)))
+	if errno != 0 {
+		return int(n), errno
+	}
+	return int(n), nil
+}
+
+// consume advances the write cursor by n written bytes, across buffer
+// boundaries. Fully written buffers are released immediately so a parked
+// batch does not pin payload memory it no longer needs.
+func (s *Sender) consume(n int) {
+	for n > 0 && s.wqHead < len(s.wq) {
+		b := s.wq[s.wqHead]
+		if n < len(b) {
+			s.wq[s.wqHead] = b[n:]
 			return
 		}
-		d := s.now().Sub(blockedAt)
-		if d > 0 {
-			s.cumBlockingNS.Add(int64(d))
-			s.totalBlockingNS.Add(int64(d))
-		}
-		blocked = false
+		n -= len(b)
+		s.wq[s.wqHead] = nil
+		s.wqHead++
 	}
-	err := s.raw.Write(func(fd uintptr) bool {
-		// Re-entry after a park: the socket became writable; record how
-		// long the "select" lasted, exactly as the paper's transport adds
-		// the select(2) wait to the cumulative counter.
-		account()
-		for len(p) > 0 {
-			n, errno := syscall.Write(int(fd), p)
-			if n > 0 {
-				p = p[n:]
-				continue
-			}
-			switch {
-			case errors.Is(errno, syscall.EAGAIN):
-				// The send would have blocked (MSG_DONTWAIT semantics).
-				// Record the event and elect to block: returning false
-				// parks this goroutine until the descriptor is writable.
-				blocked = true
-				blockedAt = s.now()
-				s.blockEvents.Add(1)
-				return false
-			case errors.Is(errno, syscall.EINTR):
-				continue
-			case errno != nil:
-				writeErr = errno
-				return true
-			default:
-				writeErr = errors.New("write returned 0 without error")
-				return true
-			}
-		}
-		return true
-	})
-	// If the poller wait ended in a connection error the callback never
-	// re-ran; close out the accounting so the wait is not lost.
-	account()
+}
+
+// flushWrite drives wq through the poller callback and resets the cursor.
+// If the poller wait ended in a connection error the callback never re-ran,
+// so accounting is closed out here too: the wait is not lost.
+func (s *Sender) flushWrite() error {
+	s.wErr = nil
+	s.blocked = false
+	err := s.raw.Write(s.writeFn)
+	s.account()
+	for i := range s.wq {
+		s.wq[i] = nil
+	}
+	s.wq = s.wq[:0]
+	s.wqHead = 0
 	if err != nil {
 		return err
 	}
-	return writeErr
+	return s.wErr
+}
+
+// writeAll writes p using non-blocking write(2) calls, parking in the
+// runtime poller on EAGAIN and accounting the parked time.
+func (s *Sender) writeAll(p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	s.wq = append(s.wq[:0], p)
+	s.wqHead = 0
+	return s.flushWrite()
 }
 
 // CumulativeBlocking returns the sampled blocking-time counter. The
@@ -210,6 +331,16 @@ func (s *Sender) BlockEvents() int64 {
 // Sent returns how many tuples have been sent.
 func (s *Sender) Sent() int64 {
 	return s.sent.Load()
+}
+
+// Flushes returns how many batch flushes have completed.
+func (s *Sender) Flushes() int64 {
+	return s.flushes.Load()
+}
+
+// FlushedTuples returns how many tuples left through batch flushes.
+func (s *Sender) FlushedTuples() int64 {
+	return s.flushedTuples.Load()
 }
 
 // Close closes the underlying connection.
