@@ -475,17 +475,20 @@ func BenchmarkDataflowRegionThroughput(b *testing.B) {
 }
 
 // BenchmarkRegionThroughputBatched pushes tuples through a real 4-worker TCP
-// region end to end — splitter, workers, merger — at batch sizes 1 and 32.
-// The batch=1 row is the per-tuple baseline the ISSUE's >=1.5x batched
-// speedup is measured against.
+// region end to end — splitter, workers, merger — across send batch sizes 1
+// and 32 crossed with receive batch sizes 1 and 64. The batch=1/recv=1 row is
+// the fully per-tuple baseline the ISSUE's >=1.5x batched speedup is measured
+// against; recv=1 vs recv=64 at fixed send batch isolates the receive side.
 func BenchmarkRegionThroughputBatched(b *testing.B) {
 	const (
 		n       = 30_000
 		workers = 4
 	)
 	payload := make([]byte, 64)
-	for _, batch := range []int{1, 32} {
-		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+	for _, cfg := range []struct{ batch, recv int }{
+		{1, 1}, {1, 64}, {32, 1}, {32, 64},
+	} {
+		b.Run(fmt.Sprintf("batch=%d/recv=%d", cfg.batch, cfg.recv), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				bal, err := core.NewBalancer(core.Config{Connections: workers})
 				if err != nil {
@@ -505,7 +508,8 @@ func BenchmarkRegionThroughputBatched(b *testing.B) {
 					},
 					Balancer:       bal,
 					SampleInterval: 50 * time.Millisecond,
-					BatchSize:      batch,
+					BatchSize:      cfg.batch,
+					RecvBatchSize:  cfg.recv,
 					Sink:           func(transport.Tuple, int) {},
 				})
 				if err != nil {

@@ -87,6 +87,7 @@ func runMerger(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("spe merger", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "number of worker connections to accept")
 	queue := fs.Int("queue", 0, "reorder queue capacity per worker (0 = default)")
+	recvBatch := fs.Int("recv-batch", 0, "tuples ingested per lock acquisition (0 = default, 1 = per-tuple)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /trace on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +107,9 @@ func runMerger(w io.Writer, args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *recvBatch > 0 {
+		m.SetRecvBatch(*recvBatch)
 	}
 	rm, msrv, err := serveMetrics(w, *metricsAddr)
 	if err != nil {
@@ -131,6 +135,7 @@ func runWorker(w io.Writer, args []string) error {
 	merger := fs.String("merger", "", "merger address to forward to")
 	delay := fs.Duration("delay", 0, "artificial per-tuple delay (emulated load)")
 	spin := fs.Int64("spin", 0, "integer multiplies per tuple (CPU load)")
+	recvBatch := fs.Int("recv-batch", 0, "tuples received/processed/forwarded per pass (0 = default, 1 = per-tuple)")
 	resilient := fs.Bool("resilient", false, "serve reconnecting splitters until killed (recovery mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,6 +155,9 @@ func runWorker(w io.Writer, args []string) error {
 	worker, err := runtime.NewWorker(*id, op, *merger)
 	if err != nil {
 		return err
+	}
+	if *recvBatch > 0 {
+		worker.SetRecvBatch(*recvBatch)
 	}
 	if *resilient {
 		worker.SetResilient(true)
@@ -253,6 +261,7 @@ func runAll(w io.Writer, args []string) error {
 	baseDelay := fs.Duration("base-delay", 50*time.Microsecond, "per-tuple delay of unloaded workers")
 	recover := fs.Bool("recover", false, "enable worker-failure recovery (resilient workers + control channel)")
 	batch := fs.Int("batch", 1, "tuples per vectored-write batch (1 = per-tuple sends)")
+	recvBatch := fs.Int("recv-batch", 0, "tuples per receive pass in workers and merger (0 = default, 1 = per-tuple)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the splitter's /metrics and /trace on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -266,7 +275,11 @@ func runAll(w io.Writer, args []string) error {
 	}
 
 	// Merger first: workers dial it.
-	mergerCmd, mergerAddr, err := spawn(self, "merger", "-workers", fmt.Sprint(*workers))
+	margs := []string{"-workers", fmt.Sprint(*workers)}
+	if *recvBatch > 0 {
+		margs = append(margs, "-recv-batch", fmt.Sprint(*recvBatch))
+	}
+	mergerCmd, mergerAddr, err := spawn(self, "merger", margs...)
 	if err != nil {
 		return fmt.Errorf("run: merger: %w", err)
 	}
@@ -283,6 +296,9 @@ func runAll(w io.Writer, args []string) error {
 			"-id", fmt.Sprint(i),
 			"-merger", mergerAddr,
 			"-delay", delay.String(),
+		}
+		if *recvBatch > 0 {
+			wargs = append(wargs, "-recv-batch", fmt.Sprint(*recvBatch))
 		}
 		if *recover {
 			wargs = append(wargs, "-resilient")

@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streambalance/internal/metrics"
@@ -39,26 +40,35 @@ type Merger struct {
 	ln         net.Listener
 	workers    int
 	queueCap   int
+	recvBatch  int // max tuples ingested per lock acquisition
 	sink       func(transport.Tuple, int)
 	wmInterval time.Duration
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	queues     []seqHeap // per worker id, min-heap by Seq
-	live       []bool              // worker id currently attached
-	attached   int                 // distinct worker ids ever attached
-	seen       []bool
-	next       uint64
-	finKnown   bool
-	finTotal   uint64
-	ctrlSeen   bool // a control connection has ever attached
-	ctrlLive   int  // control connections currently open
-	fatal      error
-	closed     bool
-	deduped    uint64
-	dupRejects uint64
-	strmErrs   []error
-	conns      map[net.Conn]struct{} // attached worker conns, for teardown
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   []seqHeap // per worker id, min-heap by Seq
+	live     []bool    // worker id currently attached
+	attached int       // distinct worker ids ever attached
+	seen     []bool
+	finKnown bool
+	finTotal uint64
+	ctrlSeen bool // a control connection has ever attached
+	ctrlLive int  // control connections currently open
+	fatal    error
+	closed   bool
+	strmErrs []error
+	conns    map[net.Conn]struct{} // attached worker conns, for teardown
+
+	// next is the released watermark: the lowest unreleased sequence
+	// number. Mutated only by the merge loop under m.mu, but stored
+	// atomically so the watermark writer and stats accessors read it
+	// without contending with ingest.
+	next atomic.Uint64
+
+	// deduped and dupRejects are atomics for the same reason: /metrics
+	// scrapes read them while readers hold m.mu.
+	deduped    atomic.Uint64
+	dupRejects atomic.Uint64
 
 	wmStop chan struct{} // tells watermark writers to flush and exit
 	done   chan struct{}
@@ -67,11 +77,13 @@ type Merger struct {
 
 	// Metrics handles, pre-resolved per worker id; nil when the merger is
 	// uninstrumented. Set before Start.
-	mReleased   *metrics.Counter
-	mWatermark  *metrics.Gauge
-	mDeduped    *metrics.Counter
-	mDupRejects *metrics.Counter
-	mQueue      []*metrics.Gauge
+	mReleased    *metrics.Counter
+	mWatermark   *metrics.Gauge
+	mDeduped     *metrics.Counter
+	mDupRejects  *metrics.Counter
+	mQueue       []*metrics.Gauge
+	mIngestBatch *metrics.Histogram
+	mIngestLocks *metrics.Counter
 }
 
 // NewMerger listens for worker connections. sink receives every tuple, in
@@ -95,6 +107,7 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 		ln:         ln,
 		workers:    workers,
 		queueCap:   queueCap,
+		recvBatch:  transport.DefaultRecvBatch,
 		sink:       sink,
 		wmInterval: DefaultWatermarkInterval,
 		queues:     make([]seqHeap, workers),
@@ -116,6 +129,15 @@ func (m *Merger) SetWatermarkInterval(d time.Duration) {
 	}
 }
 
+// SetRecvBatch bounds how many tuples one connection reader decodes and
+// ingests per m.mu acquisition (default transport.DefaultRecvBatch; 1
+// restores the per-tuple path). Call before Start.
+func (m *Merger) SetRecvBatch(n int) {
+	if n > 0 {
+		m.recvBatch = n
+	}
+}
+
 // SetMetrics instruments the merger: release counter, watermark gauge,
 // per-connection reorder-queue occupancy and dedupe counters. Call before
 // Start; nil is a no-op.
@@ -131,11 +153,13 @@ func (m *Merger) SetMetrics(rm *RegionMetrics) {
 	for id := 0; id < m.workers; id++ {
 		m.mQueue[id] = rm.queueDepth.With(strconv.Itoa(id))
 	}
+	m.mIngestBatch = rm.ingestBatchTuples
+	m.mIngestLocks = rm.ingestLocks
 }
 
-// noteDedup counts one dropped duplicate. Callers hold m.mu.
+// noteDedup counts one dropped duplicate.
 func (m *Merger) noteDedup() {
-	m.deduped++
+	m.deduped.Add(1)
 	if m.mDeduped != nil {
 		m.mDeduped.Inc()
 	}
@@ -147,19 +171,21 @@ func (m *Merger) Addr() string {
 }
 
 // Deduped returns how many duplicate tuples (replays of already-released or
-// already-queued sequence numbers) were dropped.
+// already-queued sequence numbers) were dropped. Lock-free: scraping stats
+// never contends with ingest.
 func (m *Merger) Deduped() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.deduped
+	return m.deduped.Load()
 }
 
 // DupRejects returns how many connections were rejected for claiming a
-// worker id whose stream was still live.
+// worker id whose stream was still live. Lock-free.
 func (m *Merger) DupRejects() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.dupRejects
+	return m.dupRejects.Load()
+}
+
+// Watermark returns the lowest unreleased sequence number. Lock-free.
+func (m *Merger) Watermark() uint64 {
+	return m.next.Load()
 }
 
 // Start launches the accept loop, per-connection readers and the merge loop.
@@ -200,14 +226,22 @@ func (m *Merger) run() error {
 	return nil
 }
 
-// teardown closes the listener and every attached connection, and wakes all
-// parked goroutines so they observe the shutdown.
+// teardown closes the listener and every attached connection, wakes all
+// parked goroutines so they observe the shutdown, and drains the reorder
+// queues so every still-queued item's block reference is released back to
+// the transport pool.
 func (m *Merger) teardown() {
 	m.ln.Close()
 	m.mu.Lock()
 	m.closed = true
 	for conn := range m.conns {
 		conn.Close()
+	}
+	for id := range m.queues {
+		for len(m.queues[id]) > 0 {
+			m.queues[id].popMin().ref.Release()
+		}
+		m.queues[id] = nil
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -262,7 +296,7 @@ func (m *Merger) handshake(conn net.Conn) {
 		// fatal: a restarting worker can race its predecessor's teardown
 		// and will retry after backoff. Rejection is the correct
 		// handling, so it does not count as a stream error.
-		m.dupRejects++
+		m.dupRejects.Add(1)
 		if m.mDupRejects != nil {
 			m.mDupRejects.Inc()
 		}
@@ -343,9 +377,8 @@ func (m *Merger) watermarkWriter(conn net.Conn) {
 	defer ticker.Stop()
 	var buf [8]byte
 	write := func() error {
-		m.mu.Lock()
-		wm := m.next
-		m.mu.Unlock()
+		// next is atomic, so the periodic report never touches m.mu.
+		wm := m.next.Load()
 		binary.LittleEndian.PutUint64(buf[:], wm)
 		_, err := conn.Write(buf[:])
 		return err
@@ -363,11 +396,13 @@ func (m *Merger) watermarkWriter(conn net.Conn) {
 	}
 }
 
-// readLoop drains one worker connection into its bounded reorder queue. When
-// the queue is full the loop waits — it stops reading from TCP, so the
-// worker's sends eventually block: back pressure. The one exception is the
-// exact tuple the merge needs next, which is always admitted so a replay
-// arriving behind a full queue cannot wedge the region.
+// readLoop drains one worker connection into its bounded reorder queue,
+// batch by batch: each ReceiveBatch decodes every complete frame already in
+// the receive buffer (up to recvBatch) and the whole batch is ingested
+// under a single m.mu acquisition — at 32–64 connections the per-tuple
+// lock hand-off was where ingest serialized. Back pressure is unchanged:
+// when the queue is full the ingest waits mid-batch, the reader stops
+// reading TCP, and the worker's sends eventually block.
 func (m *Merger) readLoop(id int, conn net.Conn) {
 	defer func() {
 		m.mu.Lock()
@@ -378,8 +413,11 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 		conn.Close()
 	}()
 	rc := transport.NewReceiver(conn)
+	var batch []transport.Tuple
 	for {
-		t, err := rc.Receive()
+		var ref *transport.BlockRef
+		var err error
+		batch, ref, err = rc.ReceiveBatch(batch, m.recvBatch)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return
@@ -392,25 +430,54 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 			}
 			return
 		}
-		m.mu.Lock()
+		if m.mIngestBatch != nil {
+			m.mIngestBatch.Observe(float64(len(batch)))
+			m.mIngestLocks.Inc()
+		}
+		if !m.ingest(id, batch, ref) {
+			return
+		}
+	}
+}
+
+// ingest pushes one received batch into the connection's reorder queue
+// under a single lock acquisition. Each tuple individually respects the
+// per-tuple admission rules: the full-queue wait (back pressure), the
+// always-admit exception for sequences at or below the watermark, and
+// read-time dedup of already-released sequences — so dedup, watermark and
+// replay accounting are identical to per-tuple ingest, just amortized.
+// Returns false when the merger closed mid-batch (the reader should exit);
+// the block references of tuples not handed to the queue are released here.
+func (m *Merger) ingest(id int, batch []transport.Tuple, ref *transport.BlockRef) bool {
+	m.mu.Lock()
+	pushed := false
+	for i, t := range batch {
 		// Block on a full queue only while the merge can progress without
 		// this reader. If no queue holds the next-needed sequence, the
 		// tuple carrying it may be *behind* the one in hand in this very
 		// stream (a replay queued after a survivor's backlog), so the
 		// reader must overflow the cap and keep reading or the region
 		// wedges on head-of-line blocking.
-		for len(m.queues[id]) >= m.queueCap && t.Seq > m.next && !m.closed && m.progressPossible() {
+		for len(m.queues[id]) >= m.queueCap && t.Seq > m.next.Load() && !m.closed && m.progressPossible() {
+			if pushed {
+				// Earlier tuples in this batch may include the sequence the
+				// merge loop is parked waiting for — wake it before parking
+				// ourselves, or both sides wait forever.
+				m.cond.Broadcast()
+				pushed = false
+			}
 			m.cond.Wait()
 		}
 		if m.closed {
 			m.mu.Unlock()
-			return
+			ref.ReleaseN(len(batch) - i)
+			return false
 		}
-		if t.Seq < m.next {
+		if t.Seq < m.next.Load() {
 			// Replay of a sequence already released: exactly-once means
 			// dropping it here.
 			m.noteDedup()
-			m.mu.Unlock()
+			ref.Release()
 			continue
 		}
 		// Duplicates of still-queued sequences are admitted and dropped
@@ -418,21 +485,24 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 		// passes them — exactly one copy releases, every surplus copy is
 		// counted, matching the old eager insertSorted accounting (see
 		// seqHeap's doc comment and merger_equiv_test.go).
-		m.queues[id].push(t)
-		if m.mQueue != nil {
-			m.mQueue[id].Set(float64(len(m.queues[id])))
-		}
-		m.cond.Broadcast()
-		m.mu.Unlock()
+		m.queues[id].push(mergeItem{t: t, ref: ref})
+		pushed = true
 	}
+	if m.mQueue != nil {
+		m.mQueue[id].Set(float64(len(m.queues[id])))
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return true
 }
 
 // progressPossible reports whether the merge loop can release or drop at
 // least one queued tuple right now: some queue's head is at or below the
 // next-needed sequence. Callers hold m.mu.
 func (m *Merger) progressPossible() bool {
+	next := m.next.Load()
 	for id := range m.queues {
-		if h, ok := m.queues[id].head(); ok && h.Seq <= m.next {
+		if h, ok := m.queues[id].head(); ok && h.t.Seq <= next {
 			return true
 		}
 	}
@@ -454,34 +524,43 @@ func (m *Merger) mergeLoop() error {
 		for id := range m.queues {
 			// Drop heads the merge has already released: cross-queue
 			// duplicates from replay, and same-queue duplicates the heap
-			// admitted lazily. Dropping frees queue space, so wake any
-			// reader parked on the full queue.
+			// admitted lazily. The sweep runs once per wakeup — with batch
+			// ingest that is once per ingested batch rather than per tuple.
+			// Dropping frees queue space, so wake any reader parked on the
+			// full queue; dropped items release their block reference here.
+			swept := false
 			for {
 				h, ok := m.queues[id].head()
-				if !ok || h.Seq >= m.next {
+				if !ok || h.t.Seq >= m.next.Load() {
 					break
 				}
-				m.queues[id].popMin()
+				m.queues[id].popMin().ref.Release()
 				m.noteDedup()
+				swept = true
+			}
+			if swept {
 				if m.mQueue != nil {
 					m.mQueue[id].Set(float64(len(m.queues[id])))
 				}
 				m.cond.Broadcast()
 			}
 			h, ok := m.queues[id].head()
-			if !ok || h.Seq != m.next {
+			if !ok || h.t.Seq != m.next.Load() {
 				continue
 			}
 			head := m.queues[id].popMin()
-			m.next++
+			m.next.Add(1)
 			released = true
 			if m.mReleased != nil {
 				m.mReleased.Inc()
-				m.mWatermark.Set(float64(m.next))
+				m.mWatermark.Set(float64(m.next.Load()))
 				m.mQueue[id].Set(float64(len(m.queues[id])))
 			}
 			m.mu.Unlock()
-			m.sink(head, id)
+			m.sink(head.t, id)
+			// The sink has returned: the payload is no longer needed, so
+			// its receive block can recycle.
+			head.ref.Release()
 			m.mu.Lock()
 			m.cond.Broadcast()
 			break
@@ -489,7 +568,7 @@ func (m *Merger) mergeLoop() error {
 		if released {
 			continue
 		}
-		if m.finKnown && m.next >= m.finTotal {
+		if m.finKnown && m.next.Load() >= m.finTotal {
 			return nil
 		}
 		// Nothing matched. Can the tuple we need still arrive? Yes while
@@ -520,7 +599,7 @@ func (m *Merger) mergeLoop() error {
 			if empty && !m.finKnown {
 				return nil
 			}
-			return fmt.Errorf("runtime: merger missing sequence %d at end of streams", m.next)
+			return fmt.Errorf("runtime: merger missing sequence %d at end of streams", m.next.Load())
 		}
 		m.cond.Wait()
 	}

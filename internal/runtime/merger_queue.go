@@ -2,6 +2,18 @@ package runtime
 
 import "streambalance/internal/transport"
 
+// mergeItem is one queued tuple plus the BlockRef of the receive batch its
+// payload was carved from. The ref travels with the tuple through the
+// reorder queue and is released exactly once per item: after the sink
+// returns when the item is released in order, or at the point an item is
+// dropped as a duplicate (read-time dedup, the stale-head sweep, or
+// teardown). A zero ref means the payload is not pool-backed (tests feed
+// the queues directly) and release is a no-op.
+type mergeItem struct {
+	t   transport.Tuple
+	ref *transport.BlockRef
+}
+
 // seqHeap is a binary min-heap of tuples ordered by sequence number — the
 // merger's per-connection reorder queue. The previous implementation kept a
 // sorted slice with O(n) insertion: cheap in the in-order common case, but a
@@ -20,24 +32,24 @@ import "streambalance/internal/transport"
 // or by the merge loop's stale-head sweep (once the watermark passes it), so
 // the dedup accounting matches the eager implementation — the equivalence
 // test in merger_equiv_test.go pins this against the old insertSorted.
-type seqHeap []transport.Tuple
+type seqHeap []mergeItem
 
-// head returns the minimum-sequence tuple without removing it.
-func (h seqHeap) head() (transport.Tuple, bool) {
+// head returns the minimum-sequence item without removing it.
+func (h seqHeap) head() (mergeItem, bool) {
 	if len(h) == 0 {
-		return transport.Tuple{}, false
+		return mergeItem{}, false
 	}
 	return h[0], true
 }
 
-// push adds a tuple: O(1) when t.Seq is a new maximum (a worker's own
+// push adds an item: O(1) when t.Seq is a new maximum (a worker's own
 // stream arrives in order), O(log n) otherwise.
-func (h *seqHeap) push(t transport.Tuple) {
-	q := append(*h, t)
+func (h *seqHeap) push(it mergeItem) {
+	q := append(*h, it)
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if q[parent].Seq <= q[i].Seq {
+		if q[parent].t.Seq <= q[i].t.Seq {
 			break
 		}
 		q[parent], q[i] = q[i], q[parent]
@@ -46,22 +58,22 @@ func (h *seqHeap) push(t transport.Tuple) {
 	*h = q
 }
 
-// popMin removes and returns the minimum-sequence tuple. The vacated slot is
-// zeroed so the heap does not pin released payloads.
-func (h *seqHeap) popMin() transport.Tuple {
+// popMin removes and returns the minimum-sequence item. The vacated slot is
+// zeroed so the heap does not pin released payloads or their block refs.
+func (h *seqHeap) popMin() mergeItem {
 	q := *h
 	top := q[0]
 	last := len(q) - 1
 	q[0] = q[last]
-	q[last] = transport.Tuple{}
+	q[last] = mergeItem{}
 	q = q[:last]
 	for i := 0; ; {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(q) && q[l].Seq < q[min].Seq {
+		if l < len(q) && q[l].t.Seq < q[min].t.Seq {
 			min = l
 		}
-		if r < len(q) && q[r].Seq < q[min].Seq {
+		if r < len(q) && q[r].t.Seq < q[min].t.Seq {
 			min = r
 		}
 		if min == i {

@@ -46,11 +46,13 @@ type RegionMetrics struct {
 	counterResets *metrics.Counter
 
 	// Merger.
-	released   *metrics.Counter
-	watermark  *metrics.Gauge
-	queueDepth *metrics.GaugeVec
-	deduped    *metrics.Counter
-	dupRejects *metrics.Counter
+	released          *metrics.Counter
+	watermark         *metrics.Gauge
+	queueDepth        *metrics.GaugeVec
+	deduped           *metrics.Counter
+	dupRejects        *metrics.Counter
+	ingestBatchTuples *metrics.Histogram
+	ingestLocks       *metrics.Counter
 
 	// Recovery.
 	workerDown     *metrics.CounterVec
@@ -113,6 +115,11 @@ func NewRegionMetrics(reg *metrics.Registry, tr *metrics.Trace) *RegionMetrics {
 			"Replayed duplicates dropped to keep the exactly-once release guarantee."),
 		dupRejects: reg.Counter("spe_merger_dup_rejects_total",
 			"Connections rejected for claiming a worker id whose stream was still live."),
+		ingestBatchTuples: reg.Histogram("spe_merger_ingest_batch_tuples",
+			"Tuples ingested per reorder-queue lock acquisition (receive-batch size).",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		ingestLocks: reg.Counter("spe_merger_ingest_lock_acquisitions_total",
+			"Reorder-queue lock acquisitions by connection readers (batches ingested)."),
 
 		workerDown: reg.CounterVec("spe_recovery_worker_down_total",
 			"Worker connection failures observed by the splitter, per connection.", "conn"),

@@ -65,6 +65,12 @@ type RegionConfig struct {
 	// per vectored-write round (<= 1 sends per tuple). See
 	// SplitterConfig.BatchSize for the throughput/signal tradeoff.
 	BatchSize int
+	// RecvBatchSize is how many tuples workers and merger readers decode
+	// and ingest per receive pass (<= 0 selects
+	// transport.DefaultRecvBatch; 1 restores per-tuple receive). Unlike
+	// BatchSize there is no signal tradeoff — a receive pass only drains
+	// frames already buffered — so the default stays batched.
+	RecvBatchSize int
 	// Recovery opts the region into worker-failure recovery.
 	Recovery RecoveryConfig
 	// WrapWorkerAddr, when set, maps each worker's listen address to the
@@ -146,6 +152,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 	if cfg.Recovery.WatermarkInterval > 0 {
 		merger.SetWatermarkInterval(cfg.Recovery.WatermarkInterval)
 	}
+	merger.SetRecvBatch(cfg.RecvBatchSize)
 	merger.SetMetrics(cfg.Metrics)
 	r.merger = merger
 
@@ -159,6 +166,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		if cfg.SocketBufferBytes > 0 {
 			w.SetReceiveBuffer(cfg.SocketBufferBytes)
 		}
+		w.SetRecvBatch(cfg.RecvBatchSize)
 		if r.recovery {
 			w.SetResilient(true)
 		}

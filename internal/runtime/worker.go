@@ -27,6 +27,7 @@ type Worker struct {
 	ln        net.Listener
 	merger    string // merger address to dial
 	rcvBuf    int
+	recvBatch int
 	resilient bool
 
 	mu       sync.Mutex
@@ -49,12 +50,13 @@ func NewWorker(id int, operator Operator, mergerAddr string) (*Worker, error) {
 		return nil, fmt.Errorf("runtime: worker %d listen: %w", id, err)
 	}
 	return &Worker{
-		id:       id,
-		operator: operator,
-		ln:       ln,
-		merger:   mergerAddr,
-		rcvBuf:   64 << 10,
-		done:     make(chan struct{}),
+		id:        id,
+		operator:  operator,
+		ln:        ln,
+		merger:    mergerAddr,
+		rcvBuf:    64 << 10,
+		recvBatch: transport.DefaultRecvBatch,
+		done:      make(chan struct{}),
 	}, nil
 }
 
@@ -70,6 +72,15 @@ func (w *Worker) SetReceiveBuffer(bytes int) {
 // above. Call before Start.
 func (w *Worker) SetResilient(on bool) {
 	w.resilient = on
+}
+
+// SetRecvBatch bounds how many tuples the worker ingests, processes and
+// forwards per receive pass (default transport.DefaultRecvBatch; 1 restores
+// the per-tuple loop). Call before Start.
+func (w *Worker) SetRecvBatch(n int) {
+	if n > 0 {
+		w.recvBatch = n
+	}
 }
 
 // Addr returns the address the splitter should dial.
@@ -163,22 +174,35 @@ func (w *Worker) serve(in net.Conn) error {
 		return fmt.Errorf("runtime: worker %d send id: %w", w.id, err)
 	}
 
+	// Receive-batch → process → send-batch: each pass ingests every tuple
+	// the splitter already delivered (bounded by recvBatch), processes
+	// them, and forwards the results in one vectored flush — one syscall
+	// pair per batch instead of per tuple on both sides of the operator.
+	sender, err := transport.NewSender(out)
+	if err != nil {
+		return fmt.Errorf("runtime: worker %d sender: %w", w.id, err)
+	}
 	rc := transport.NewReceiver(in)
-	var frame []byte
+	var batch []transport.Tuple
+	results := make([]transport.Tuple, 0, w.recvBatch)
 	for {
-		t, err := rc.Receive()
+		var ref *transport.BlockRef
+		batch, ref, err = rc.ReceiveBatch(batch, w.recvBatch)
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("runtime: worker %d receive: %w", w.id, err)
 		}
-		result := w.operator.Process(t)
-		frame, err = transport.AppendFrame(frame[:0], result)
-		if err != nil {
-			return fmt.Errorf("runtime: worker %d frame: %w", w.id, err)
+		results = results[:0]
+		for i := range batch {
+			results = append(results, w.operator.Process(batch[i]))
 		}
-		if _, err := out.Write(frame); err != nil {
+		err = sender.SendBatch(results)
+		// SendBatch completes its write before returning, so the received
+		// payloads (which results may alias) are done with either way.
+		ref.ReleaseN(len(batch))
+		if err != nil {
 			return fmt.Errorf("runtime: worker %d forward: %w", w.id, err)
 		}
 	}

@@ -163,3 +163,46 @@ func BenchmarkReceiverDecode(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReceiverReceiveBatch is the multi-frame drain against the same
+// stream BenchmarkReceiverDecode walks one frame at a time. The headline
+// numbers are allocs/op (0 in steady state — payloads carve from pooled
+// blocks that ReleaseN returns to the pool) and tuples/s versus per-tuple
+// Receive.
+func BenchmarkReceiverReceiveBatch(b *testing.B) {
+	payload := bytes.Repeat([]byte("p"), 128)
+	const frames = 1024
+	var stream []byte
+	for i := 0; i < frames; i++ {
+		var err error
+		stream, err = AppendFrame(stream, Tuple{Seq: uint64(i), Payload: payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, max := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("max=%d", max), func(b *testing.B) {
+			reader := bytes.NewReader(stream)
+			rc := NewReceiver(reader)
+			var batch []Tuple
+			decoded := 0
+			b.ReportAllocs()
+			b.SetBytes(int64(len(stream) / frames))
+			b.ResetTimer()
+			for decoded < b.N {
+				if decoded%frames == 0 {
+					reader.Seek(0, io.SeekStart)
+					rc = NewReceiver(reader)
+				}
+				tuples, ref, err := rc.ReceiveBatch(batch[:0], max)
+				if err != nil {
+					b.Fatal(err)
+				}
+				decoded += len(tuples)
+				ref.ReleaseN(len(tuples))
+				batch = tuples
+			}
+			b.ReportMetric(float64(decoded)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}

@@ -75,6 +75,24 @@ func FrameLen(t Tuple) int {
 // Receiver decodes tuples from a stream written with AppendFrame.
 type Receiver struct {
 	r *bufio.Reader
+
+	// scratch backs payloads decoded by the unbatched Receive path. It is a
+	// plain amortized arena, not pool-recycled: Receive has no release hook,
+	// so its payloads stay valid until the garbage collector decides the
+	// caller dropped them. Steady-state Receive therefore allocates only when
+	// the arena fills (once per recvBlockCap bytes of payload), which rounds
+	// to 0 allocs/op.
+	scratch []byte
+
+	// err holds a stream error discovered mid-drain by ReceiveBatch/Drain
+	// after complete tuples were already decoded; it is surfaced on the next
+	// receive call instead.
+	err error
+
+	// hdr is the reusable read target for frame headers. A function-local
+	// array would escape through the io.ReadFull interface call and cost a
+	// heap allocation per decoded tuple.
+	hdr [frameHeaderSize]byte
 }
 
 // NewReceiver wraps a stream in a buffered tuple decoder.
@@ -82,30 +100,63 @@ func NewReceiver(r io.Reader) *Receiver {
 	return &Receiver{r: bufio.NewReaderSize(r, 64<<10)}
 }
 
+// scratchCarve reserves n bytes in the receiver's scratch arena, growing it
+// with a fresh block when full. Oversized payloads get a dedicated exact
+// allocation so they do not inflate the arena.
+func (rc *Receiver) scratchCarve(n int) []byte {
+	if n > recvBlockCap {
+		return make([]byte, n)
+	}
+	if cap(rc.scratch)-len(rc.scratch) < n {
+		rc.scratch = make([]byte, 0, recvBlockCap)
+	}
+	off := len(rc.scratch)
+	rc.scratch = rc.scratch[:off+n]
+	return rc.scratch[off : off+n : off+n]
+}
+
 // Receive reads the next tuple. It returns io.EOF at a clean end of stream
-// and io.ErrUnexpectedEOF when the stream ends mid-frame.
+// and io.ErrUnexpectedEOF when the stream ends mid-frame. The payload is
+// carved from an internal arena the caller owns from then on — valid
+// indefinitely, no release required.
 func (rc *Receiver) Receive() (Tuple, error) {
-	var header [4]byte
-	if _, err := io.ReadFull(rc.r, header[:]); err != nil {
+	if rc.err != nil {
+		err := rc.err
+		rc.err = nil
+		return Tuple{}, err
+	}
+	return rc.receive(nil)
+}
+
+// receive decodes one frame, blocking until it is complete. The payload is
+// carved from ref's pooled blocks when ref is non-nil (the batch path) and
+// from the Receive arena otherwise. Dispatching on the pointer rather than a
+// passed-in carve func keeps the hot path closure-free: a method value here
+// would cost one heap allocation per received tuple.
+func (rc *Receiver) receive(ref *BlockRef) (Tuple, error) {
+	if _, err := io.ReadFull(rc.r, rc.hdr[:4]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return Tuple{}, io.EOF
 		}
 		return Tuple{}, fmt.Errorf("transport: read frame length: %w", err)
 	}
-	body := binary.LittleEndian.Uint32(header[:])
+	body := binary.LittleEndian.Uint32(rc.hdr[:4])
 	if body < 8 {
 		return Tuple{}, fmt.Errorf("transport: frame body %d bytes, want >= 8", body)
 	}
 	if body > MaxFrameSize {
 		return Tuple{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
 	}
-	var seqBuf [8]byte
-	if _, err := io.ReadFull(rc.r, seqBuf[:]); err != nil {
+	if _, err := io.ReadFull(rc.r, rc.hdr[4:12]); err != nil {
 		return Tuple{}, fmt.Errorf("transport: read sequence: %w", err)
 	}
-	t := Tuple{Seq: binary.LittleEndian.Uint64(seqBuf[:])}
+	t := Tuple{Seq: binary.LittleEndian.Uint64(rc.hdr[4:12])}
 	if payload := int(body) - 8; payload > 0 {
-		t.Payload = make([]byte, payload)
+		if ref != nil {
+			t.Payload = ref.carve(payload)
+		} else {
+			t.Payload = rc.scratchCarve(payload)
+		}
 		if _, err := io.ReadFull(rc.r, t.Payload); err != nil {
 			return Tuple{}, fmt.Errorf("transport: read payload: %w", err)
 		}

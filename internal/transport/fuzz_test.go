@@ -122,6 +122,74 @@ func FuzzReceiveTruncatedBatch(f *testing.F) {
 	})
 }
 
+// FuzzReceiveBatchTruncated drives the multi-frame drain over batches cut at
+// arbitrary byte offsets, optionally with a poisoned length prefix, and with
+// the stream delivered in reads split at an arbitrary boundary (so complete
+// frames straddle the bufio buffer between passes). The decoder must never
+// panic, must return every complete leading frame intact and in order, and
+// must fail cleanly at the damage — including when the failure is deferred
+// to the call after the one that decoded the leading frames.
+func FuzzReceiveBatchTruncated(f *testing.F) {
+	f.Add(uint16(10), uint16(3), uint32(0), uint16(0), uint8(4))
+	f.Add(uint16(100), uint16(0), uint32(0xffffffff), uint16(7), uint8(1))
+	f.Add(uint16(5000), uint16(5), uint32(1), uint16(60), uint8(16))
+	f.Add(uint16(65535), uint16(7), uint32(0), uint16(13), uint8(0))
+	f.Fuzz(func(t *testing.T, cut uint16, nTuples uint16, poison uint32, split uint16, max uint8) {
+		n := int(nTuples%8) + 1
+		ts := make([]Tuple, n)
+		for i := range ts {
+			ts[i] = Tuple{Seq: uint64(i), Payload: bytes.Repeat([]byte{byte(i)}, (i*37)%256)}
+		}
+		batch, err := AppendBatch(nil, ts)
+		if err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+		if poison != 0 {
+			off := len(batch) - FrameLen(ts[n-1])
+			binary.LittleEndian.PutUint32(batch[off:], poison)
+		}
+		if int(cut) < len(batch) {
+			batch = batch[:cut]
+		}
+		// Deliver the bytes in two reads split at an arbitrary boundary, so
+		// the drain pass sees an incomplete trailing frame that completes on
+		// the next blocking read.
+		at := int(split) % (len(batch) + 1)
+		rc := NewReceiver(io.MultiReader(bytes.NewReader(batch[:at]), bytes.NewReader(batch[at:])))
+		maxBatch := int(max%17) + 1
+		decoded := 0
+		var dst []Tuple
+		for {
+			tuples, ref, err := rc.ReceiveBatch(dst, maxBatch)
+			if err != nil {
+				break // clean error or EOF at the damage — both fine
+			}
+			if len(tuples) == 0 || len(tuples) > maxBatch {
+				t.Fatalf("batch of %d tuples with max %d", len(tuples), maxBatch)
+			}
+			if ref.Refs() != int64(len(tuples)) {
+				t.Fatalf("ref holds %d references for %d tuples", ref.Refs(), len(tuples))
+			}
+			for _, got := range tuples {
+				if decoded < n && poison == 0 {
+					if got.Seq != ts[decoded].Seq || !bytes.Equal(got.Payload, ts[decoded].Payload) {
+						t.Fatalf("leading frame %d corrupted by truncation/split", decoded)
+					}
+				}
+				decoded++
+			}
+			ref.ReleaseN(len(tuples))
+			dst = tuples
+			if poison == 0 && decoded > n {
+				t.Fatalf("decoded %d tuples from a %d-tuple batch", decoded, n)
+			}
+			if decoded > 2*n+8 {
+				t.Fatalf("decoder runaway: %d tuples from %d-tuple batch", decoded, n)
+			}
+		}
+	})
+}
+
 // FuzzRoundTrip checks that encode/decode is the identity for any payload.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add(uint64(0), []byte(nil))
