@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race vet bench bench-json figures figures-csv examples quick-bench
+.PHONY: test test-race vet bench bench-json figures figures-csv examples quick-bench soak soak-smoke
 
 test:
 	go test ./...
@@ -12,6 +12,18 @@ test-race:
 
 vet:
 	go vet ./...
+
+# Minutes-long randomized chaos soak: stall/drip/kill faults against
+# recovery-enabled regions at 16-64 workers, asserting the exactly-once
+# ordered-release invariant. Summaries land in SOAK_<short-sha>.json.
+soak:
+	SOAK_FULL=1 SOAK_OUT="SOAK_$$(git rev-parse --short HEAD).json" \
+		go test -v -timeout 30m -run 'TestSoak' ./internal/soak \
+		&& echo "wrote SOAK_$$(git rev-parse --short HEAD).json"
+
+# The CI-sized soak: one short randomized schedule, same invariants.
+soak-smoke:
+	go test -v -run TestSoakSmoke ./internal/soak
 
 # One benchmark iteration per figure: a fast smoke of every reproduction.
 quick-bench:

@@ -20,6 +20,14 @@
 // Passing -metrics-addr to splitter, merger, or run serves the component's
 // Prometheus /metrics and JSON /trace endpoints on that address and prints
 // "METRICS host:port" once listening (use :0 for an ephemeral port).
+//
+// Straggler defense: -io-timeout and -send-stall bound every control-plane
+// and data-plane I/O (dials, handshakes, probes, control frames, parked
+// sends); -stall-window arms the merger's merge-stall watchdog, which
+// quarantines a worker that accepts tuples but stops delivering results; and
+// -max-readmits caps how many times a quarantined worker may rejoin before
+// the circuit breaker retires it. All four are accepted by run and forwarded
+// to the right components.
 package main
 
 import (
@@ -58,6 +66,23 @@ func serveMetrics(w io.Writer, addr string) (*runtime.RegionMetrics, *metrics.Se
 	return rm, srv, nil
 }
 
+// timeoutFlags registers the shared I/O-deadline flags on fs and returns a
+// builder assembling a runtime.Timeouts from their parsed values. Zero keeps
+// the package defaults; negative disables the corresponding deadline.
+func timeoutFlags(fs *flag.FlagSet) func() runtime.Timeouts {
+	ioTO := fs.Duration("io-timeout", 0, "deadline for dials, handshakes, health probes and control writes (0 = defaults, negative = disabled)")
+	sendStall := fs.Duration("send-stall", 0, "how long a send may stay parked on a full connection before failing (0 = default, negative = disabled)")
+	return func() runtime.Timeouts {
+		return runtime.Timeouts{
+			Dial:         *ioTO,
+			Handshake:    *ioTO,
+			Probe:        *ioTO,
+			ControlWrite: *ioTO,
+			SendStall:    *sendStall,
+		}
+	}
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "spe: need a subcommand: merger, worker, splitter, run")
@@ -88,7 +113,9 @@ func runMerger(w io.Writer, args []string) error {
 	workers := fs.Int("workers", 0, "number of worker connections to accept")
 	queue := fs.Int("queue", 0, "reorder queue capacity per worker (0 = default)")
 	recvBatch := fs.Int("recv-batch", 0, "tuples ingested per lock acquisition (0 = default, 1 = per-tuple)")
+	stallWindow := fs.Duration("stall-window", 0, "merge-stall watchdog window; quarantines stragglers via the control channel (0 = off)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /trace on this address (empty = off)")
+	timeouts := timeoutFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,6 +137,10 @@ func runMerger(w io.Writer, args []string) error {
 	}
 	if *recvBatch > 0 {
 		m.SetRecvBatch(*recvBatch)
+	}
+	m.SetTimeouts(timeouts())
+	if *stallWindow > 0 {
+		m.SetStallWindow(*stallWindow)
 	}
 	rm, msrv, err := serveMetrics(w, *metricsAddr)
 	if err != nil {
@@ -137,6 +168,7 @@ func runWorker(w io.Writer, args []string) error {
 	spin := fs.Int64("spin", 0, "integer multiplies per tuple (CPU load)")
 	recvBatch := fs.Int("recv-batch", 0, "tuples received/processed/forwarded per pass (0 = default, 1 = per-tuple)")
 	resilient := fs.Bool("resilient", false, "serve reconnecting splitters until killed (recovery mode)")
+	timeouts := timeoutFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,6 +194,7 @@ func runWorker(w io.Writer, args []string) error {
 	if *resilient {
 		worker.SetResilient(true)
 	}
+	worker.SetTimeouts(timeouts())
 	fmt.Fprintf(w, "ADDR %s\n", worker.Addr())
 	worker.Start()
 	if err := worker.Wait(); err != nil {
@@ -184,7 +217,9 @@ func runSplitter(w io.Writer, args []string) error {
 	control := fs.String("control", "", "merger address for the recovery control channel (enables replay on worker failure)")
 	retain := fs.Int("retain", 0, "replay buffer capacity in tuples (0 = default; needs -control)")
 	noRedial := fs.Bool("no-redial", false, "do not reconnect to failed workers (needs -control)")
+	maxReadmits := fs.Int("max-readmits", 0, "quarantines one worker may survive before permanent eviction (0 = default, negative = unlimited; needs -control)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /trace on this address (empty = off)")
+	timeouts := timeoutFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,12 +250,20 @@ func runSplitter(w io.Writer, args []string) error {
 				fmt.Fprintf(w, "EVENT worker %d replayed %d tuples\n", ev.Conn, ev.Tuples)
 			case "rejoin":
 				fmt.Fprintf(w, "EVENT worker %d rejoined\n", ev.Conn)
+			case "quarantine":
+				fmt.Fprintf(w, "EVENT worker %d quarantined by merge-stall watchdog\n", ev.Conn)
+			case "evicted":
+				fmt.Fprintf(w, "EVENT worker %d evicted permanently (quarantine limit)\n", ev.Conn)
+			case "redial-exhausted":
+				fmt.Fprintf(w, "EVENT worker %d redial budget exhausted: %v\n", ev.Conn, ev.Err)
 			}
 		},
+		Timeouts: timeouts(),
 	}
 	if *control != "" {
 		scfg.ControlAddr = *control
 		scfg.RetainCap = *retain
+		scfg.MaxReadmits = *maxReadmits
 		if !*noRedial {
 			policy := runtime.DefaultRegionRedial
 			scfg.Redial = &policy
@@ -262,6 +305,10 @@ func runAll(w io.Writer, args []string) error {
 	recover := fs.Bool("recover", false, "enable worker-failure recovery (resilient workers + control channel)")
 	batch := fs.Int("batch", 1, "tuples per vectored-write batch (1 = per-tuple sends)")
 	recvBatch := fs.Int("recv-batch", 0, "tuples per receive pass in workers and merger (0 = default, 1 = per-tuple)")
+	stallWindow := fs.Duration("stall-window", 0, "merge-stall watchdog window (0 = off; needs -recover)")
+	maxReadmits := fs.Int("max-readmits", 0, "quarantines one worker may survive before permanent eviction (0 = default, negative = unlimited)")
+	ioTO := fs.Duration("io-timeout", 0, "deadline for dials, handshakes, probes and control writes in every component (0 = defaults)")
+	sendStall := fs.Duration("send-stall", 0, "parked-send bound in splitter and workers (0 = default)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the splitter's /metrics and /trace on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -278,6 +325,12 @@ func runAll(w io.Writer, args []string) error {
 	margs := []string{"-workers", fmt.Sprint(*workers)}
 	if *recvBatch > 0 {
 		margs = append(margs, "-recv-batch", fmt.Sprint(*recvBatch))
+	}
+	if *ioTO != 0 {
+		margs = append(margs, "-io-timeout", ioTO.String())
+	}
+	if *stallWindow > 0 && *recover {
+		margs = append(margs, "-stall-window", stallWindow.String())
 	}
 	mergerCmd, mergerAddr, err := spawn(self, "merger", margs...)
 	if err != nil {
@@ -303,6 +356,12 @@ func runAll(w io.Writer, args []string) error {
 		if *recover {
 			wargs = append(wargs, "-resilient")
 		}
+		if *ioTO != 0 {
+			wargs = append(wargs, "-io-timeout", ioTO.String())
+		}
+		if *sendStall != 0 {
+			wargs = append(wargs, "-send-stall", sendStall.String())
+		}
 		cmd, addr, err := spawn(self, "worker", wargs...)
 		if err != nil {
 			return fmt.Errorf("run: worker %d: %w", i, err)
@@ -319,6 +378,15 @@ func runAll(w io.Writer, args []string) error {
 	}
 	if *recover {
 		sargs = append(sargs, "-control", mergerAddr)
+		if *maxReadmits != 0 {
+			sargs = append(sargs, "-max-readmits", fmt.Sprint(*maxReadmits))
+		}
+	}
+	if *ioTO != 0 {
+		sargs = append(sargs, "-io-timeout", ioTO.String())
+	}
+	if *sendStall != 0 {
+		sargs = append(sargs, "-send-stall", sendStall.String())
 	}
 	if *metricsAddr != "" {
 		sargs = append(sargs, "-metrics-addr", *metricsAddr)

@@ -27,6 +27,8 @@ type Proxy struct {
 	throttle  int // bytes per second; 0 = unlimited
 	chunk     int // max bytes forwarded per read; 0 = chunkSize
 	blackhole bool
+	stall     bool // stop reading entirely; back-pressure builds upstream
+	drip      int  // forward byte-by-byte at this rate; 0 = off
 	reject    bool // refuse new connections (backend "down")
 	links     map[*link]struct{}
 	closed    bool
@@ -112,6 +114,30 @@ func (p *Proxy) SetChunk(n int) {
 func (p *Proxy) SetBlackhole(on bool) {
 	p.mu.Lock()
 	p.blackhole = on
+	p.mu.Unlock()
+}
+
+// SetStall, when on, freezes every pump before its next read while keeping
+// connections and the listener open. Unread bytes pile up in the proxy's
+// kernel receive buffers until the upstream sender blocks — the straggler
+// failure mode: a worker that accepts but never drains. SetStall(false)
+// resumes forwarding, including everything queued during the stall.
+func (p *Proxy) SetStall(on bool) {
+	p.mu.Lock()
+	p.stall = on
+	p.mu.Unlock()
+}
+
+// SetSlowDrip forwards one byte at a time at the given rate (bytes/second),
+// modelling a worker that is technically alive but uselessly slow — slow
+// enough to stall the merge, yet never slow enough to trip a connection
+// error on its own. 0 disables.
+func (p *Proxy) SetSlowDrip(bytesPerSec int) {
+	p.mu.Lock()
+	if bytesPerSec < 0 {
+		bytesPerSec = 0
+	}
+	p.drip = bytesPerSec
 	p.mu.Unlock()
 }
 
@@ -229,6 +255,12 @@ func Throttle(bytesPerSec int) func(*Proxy) { return func(p *Proxy) { p.SetThrot
 // Blackhole returns a step action toggling the gray-failure mode.
 func Blackhole(on bool) func(*Proxy) { return func(p *Proxy) { p.SetBlackhole(on) } }
 
+// Stall returns a step action toggling the accept-but-never-drain mode.
+func Stall(on bool) func(*Proxy) { return func(p *Proxy) { p.SetStall(on) } }
+
+// SlowDrip returns a step action toggling byte-at-a-time forwarding.
+func SlowDrip(bytesPerSec int) func(*Proxy) { return func(p *Proxy) { p.SetSlowDrip(bytesPerSec) } }
+
 func (p *Proxy) acceptLoop() {
 	defer p.wg.Done()
 	for {
@@ -296,13 +328,28 @@ func (p *Proxy) pump(l *link, from, to net.Conn) {
 		if p.chunk > 0 && p.chunk < len(buf) {
 			rd = buf[:p.chunk]
 		}
+		stalled := p.stall
+		if p.drip > 0 {
+			rd = buf[:1]
+		}
 		p.mu.Unlock()
+		// A stalled pump parks before the read: bytes queue in the kernel
+		// until the sender blocks, and nothing is lost for the resume.
+		for stalled {
+			if !p.sleep(2 * time.Millisecond) {
+				return
+			}
+			p.mu.Lock()
+			stalled = p.stall
+			p.mu.Unlock()
+		}
 		n, err := from.Read(rd)
 		if n > 0 {
 			p.mu.Lock()
 			delay := p.delay
 			throttle := p.throttle
 			blackhole := p.blackhole
+			drip := p.drip
 			p.mu.Unlock()
 			if delay > 0 {
 				if !p.sleep(delay) {
@@ -311,6 +358,12 @@ func (p *Proxy) pump(l *link, from, to net.Conn) {
 			}
 			if throttle > 0 {
 				d := time.Duration(float64(n) / float64(throttle) * float64(time.Second))
+				if !p.sleep(d) {
+					return
+				}
+			}
+			if drip > 0 {
+				d := time.Duration(float64(n) / float64(drip) * float64(time.Second))
 				if !p.sleep(d) {
 					return
 				}

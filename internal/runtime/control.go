@@ -6,18 +6,25 @@ import (
 	"io"
 	"net"
 	"sync/atomic"
+	"time"
 )
 
 // The recovery control channel is a side TCP connection between splitter and
 // merger. It shares the merger's listener: a peer that handshakes with
 // controlConnID instead of a worker id is a control connection. Over it flow
-// two kinds of 8-byte little-endian frames:
+// three kinds of 8-byte little-endian frames:
 //
 //	merger -> splitter: the released watermark — the count of tuples
 //	  released contiguously (i.e. the lowest unreleased sequence number),
 //	  sent periodically and once more when the merge completes. The
 //	  splitter retains every sent tuple at or above the watermark and can
 //	  therefore replay a dead connection's unreleased tuples to survivors.
+//	merger -> splitter: a quarantine frame — bit 63 set, the low 32 bits
+//	  carrying the worker id the merge-stall watchdog nominated. Sequence
+//	  counts never approach 2^63, so the tag bit is unambiguous. The
+//	  splitter cross-checks the nomination against its replay buffer (which
+//	  knows the true owner of the head-of-line sequence) and ejects the
+//	  stalled worker through the ordinary membership-edit path.
 //	splitter -> merger: the FIN total — the number of tuples the source
 //	  produced, sent exactly once when the source is exhausted. It tells
 //	  the merger when the stream is complete even though worker streams
@@ -29,49 +36,79 @@ import (
 // workers are allowed to fail.
 const controlConnID = 0xFFFFFFFF
 
+// quarantineFlag tags a merger→splitter control frame as a quarantine
+// nomination rather than a watermark.
+const quarantineFlag = uint64(1) << 63
+
 // controlLink is the splitter's end of the control channel.
 type controlLink struct {
 	conn      net.Conn
+	readTO    time.Duration // per-frame read deadline; 0 = unbounded
+	writeTO   time.Duration // per-frame write deadline; 0 = unbounded
 	watermark atomic.Uint64
 	// wmSignal is pulsed (coalesced) after every watermark advance.
 	wmSignal chan struct{}
+	// quarCh delivers quarantine nominations to the send loop. Buffered;
+	// overflow is dropped (the watchdog re-nominates while the stall
+	// persists).
+	quarCh chan int
 	// dead is closed when the merger side goes away.
 	dead chan struct{}
 }
 
 // dialControl connects to the merger's listener and identifies the
 // connection as the control channel, then starts the watermark reader.
-func dialControl(addr string) (*controlLink, error) {
-	conn, err := net.Dial("tcp", addr)
+func dialControl(addr string, to Timeouts) (*controlLink, error) {
+	conn, err := net.DialTimeout("tcp", addr, to.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("runtime: splitter dial control channel: %w", err)
 	}
 	var id [4]byte
 	binary.LittleEndian.PutUint32(id[:], controlConnID)
+	if to.Handshake > 0 {
+		conn.SetWriteDeadline(time.Now().Add(to.Handshake))
+	}
 	if _, err := conn.Write(id[:]); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("runtime: splitter control handshake: %w", err)
 	}
+	conn.SetWriteDeadline(time.Time{})
 	c := &controlLink{
 		conn:     conn,
+		readTO:   to.ControlRead,
+		writeTO:  to.ControlWrite,
 		wmSignal: make(chan struct{}, 1),
+		quarCh:   make(chan int, 64),
 		dead:     make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
 }
 
-// readLoop consumes watermark frames until the connection dies.
+// readLoop consumes watermark and quarantine frames until the connection
+// dies. The merger writes a watermark every interval even when the merge is
+// stalled, so a per-frame read deadline distinguishes a dead peer from a
+// quiet one without any extra keepalive traffic.
 func (c *controlLink) readLoop() {
 	defer close(c.dead)
 	var buf [8]byte
 	for {
+		if c.readTO > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.readTO))
+		}
 		if _, err := io.ReadFull(c.conn, buf[:]); err != nil {
 			return
 		}
-		wm := binary.LittleEndian.Uint64(buf[:])
-		if wm > c.watermark.Load() {
-			c.watermark.Store(wm)
+		v := binary.LittleEndian.Uint64(buf[:])
+		if v&quarantineFlag != 0 {
+			select {
+			case c.quarCh <- int(uint32(v)):
+			default:
+			}
+			continue
+		}
+		if v > c.watermark.Load() {
+			c.watermark.Store(v)
 			select {
 			case c.wmSignal <- struct{}{}:
 			default:
@@ -90,6 +127,10 @@ func (c *controlLink) Watermark() uint64 {
 func (c *controlLink) SendFin(total uint64) error {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], total)
+	if c.writeTO > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.writeTO))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
 	if _, err := c.conn.Write(buf[:]); err != nil {
 		return fmt.Errorf("runtime: splitter send fin: %w", err)
 	}

@@ -37,27 +37,36 @@ const DefaultWatermarkInterval = 20 * time.Millisecond
 // the splitter's FIN frame on the control channel; without a control
 // channel it falls back to the original fixed-worker semantics.
 type Merger struct {
-	ln         net.Listener
-	workers    int
-	queueCap   int
-	recvBatch  int // max tuples ingested per lock acquisition
-	sink       func(transport.Tuple, int)
-	wmInterval time.Duration
+	ln          net.Listener
+	workers     int
+	queueCap    int
+	recvBatch   int // max tuples ingested per lock acquisition
+	sink        func(transport.Tuple, int)
+	wmInterval  time.Duration
+	to          Timeouts
+	stallWindow time.Duration // 0 = watchdog disabled
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   []seqHeap // per worker id, min-heap by Seq
-	live     []bool    // worker id currently attached
-	attached int       // distinct worker ids ever attached
-	seen     []bool
-	finKnown bool
-	finTotal uint64
-	ctrlSeen bool // a control connection has ever attached
-	ctrlLive int  // control connections currently open
-	fatal    error
-	closed   bool
-	strmErrs []error
-	conns    map[net.Conn]struct{} // attached worker conns, for teardown
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queues      []seqHeap // per worker id, min-heap by Seq
+	live        []bool    // worker id currently attached
+	attached    int       // distinct worker ids ever attached
+	seen        []bool
+	quarantined []bool // nominated for quarantine, not yet recovered
+	finKnown    bool
+	finTotal    uint64
+	ctrlSeen    bool // a control connection has ever attached
+	ctrlLive    int  // control connections currently open
+	fatal       error
+	closed      bool
+	strmErrs    []error
+	conns       map[net.Conn]struct{} // attached worker conns, for teardown
+	pending     map[net.Conn]struct{} // accepted conns mid-handshake, for teardown
+
+	// lastIngest is the wall time (unix nanos) each worker id last
+	// delivered a batch, stamped lock-free by the connection readers and
+	// read by the watchdog to rank quarantine candidates.
+	lastIngest []atomic.Int64
 
 	// next is the released watermark: the lowest unreleased sequence
 	// number. Mutated only by the merge loop under m.mu, but stored
@@ -71,12 +80,14 @@ type Merger struct {
 	dupRejects atomic.Uint64
 
 	wmStop chan struct{} // tells watermark writers to flush and exit
+	quarCh chan int      // watchdog nominations bound for the control channel
 	done   chan struct{}
 	err    error
 	wg     sync.WaitGroup
 
 	// Metrics handles, pre-resolved per worker id; nil when the merger is
 	// uninstrumented. Set before Start.
+	rm           *RegionMetrics
 	mReleased    *metrics.Counter
 	mWatermark   *metrics.Gauge
 	mDeduped     *metrics.Counter
@@ -84,6 +95,8 @@ type Merger struct {
 	mQueue       []*metrics.Gauge
 	mIngestBatch *metrics.Histogram
 	mIngestLocks *metrics.Counter
+	mStall       *metrics.Histogram
+	mIngestAge   []*metrics.Gauge
 }
 
 // NewMerger listens for worker connections. sink receives every tuple, in
@@ -104,21 +117,44 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 		return nil, fmt.Errorf("runtime: merger listen: %w", err)
 	}
 	m := &Merger{
-		ln:         ln,
-		workers:    workers,
-		queueCap:   queueCap,
-		recvBatch:  transport.DefaultRecvBatch,
-		sink:       sink,
-		wmInterval: DefaultWatermarkInterval,
-		queues:     make([]seqHeap, workers),
-		live:       make([]bool, workers),
-		seen:       make([]bool, workers),
-		conns:      make(map[net.Conn]struct{}),
-		wmStop:     make(chan struct{}),
-		done:       make(chan struct{}),
+		ln:          ln,
+		workers:     workers,
+		queueCap:    queueCap,
+		recvBatch:   transport.DefaultRecvBatch,
+		sink:        sink,
+		wmInterval:  DefaultWatermarkInterval,
+		to:          Timeouts{}.norm(),
+		queues:      make([]seqHeap, workers),
+		live:        make([]bool, workers),
+		seen:        make([]bool, workers),
+		quarantined: make([]bool, workers),
+		conns:       make(map[net.Conn]struct{}),
+		pending:     make(map[net.Conn]struct{}),
+		lastIngest:  make([]atomic.Int64, workers),
+		wmStop:      make(chan struct{}),
+		quarCh:      make(chan int, workers),
+		done:        make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
+}
+
+// SetTimeouts overrides the merger's I/O deadlines (handshake reads,
+// control-channel writes). Call before Start.
+func (m *Merger) SetTimeouts(t Timeouts) {
+	m.to = t.norm()
+}
+
+// SetStallWindow arms the merge-stall watchdog: when the watermark makes no
+// progress for this long while queued tuples are waiting behind the gap, the
+// connection that appears to own the missing sequence range is nominated for
+// quarantine on the control channel. d <= 0 disables the watchdog. Call
+// before Start.
+func (m *Merger) SetStallWindow(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.stallWindow = d
 }
 
 // SetWatermarkInterval tunes how often released watermarks are reported on
@@ -145,16 +181,20 @@ func (m *Merger) SetMetrics(rm *RegionMetrics) {
 	if rm == nil {
 		return
 	}
+	m.rm = rm
 	m.mReleased = rm.released
 	m.mWatermark = rm.watermark
 	m.mDeduped = rm.deduped
 	m.mDupRejects = rm.dupRejects
 	m.mQueue = make([]*metrics.Gauge, m.workers)
+	m.mIngestAge = make([]*metrics.Gauge, m.workers)
 	for id := 0; id < m.workers; id++ {
 		m.mQueue[id] = rm.queueDepth.With(strconv.Itoa(id))
+		m.mIngestAge[id] = rm.ingestAge.With(strconv.Itoa(id))
 	}
 	m.mIngestBatch = rm.ingestBatchTuples
 	m.mIngestLocks = rm.ingestLocks
+	m.mStall = rm.stallSeconds
 }
 
 // noteDedup counts one dropped duplicate.
@@ -200,6 +240,10 @@ func (m *Merger) Start() {
 func (m *Merger) run() error {
 	m.wg.Add(1)
 	go m.acceptLoop()
+	if m.stallWindow > 0 {
+		m.wg.Add(1)
+		go m.watchdog()
+	}
 
 	mergeErr := m.mergeLoop()
 
@@ -237,6 +281,9 @@ func (m *Merger) teardown() {
 	for conn := range m.conns {
 		conn.Close()
 	}
+	for conn := range m.pending {
+		conn.Close()
+	}
 	for id := range m.queues {
 		for len(m.queues[id]) > 0 {
 			m.queues[id].popMin().ref.Release()
@@ -265,14 +312,52 @@ func (m *Merger) acceptLoop() {
 // handshake reads the 4-byte connection id and routes the connection: a
 // worker id attaches a reader, the control sentinel attaches the watermark
 // writer and FIN reader. Every failure path closes the accepted connection.
+//
+// The id read is deadline-bounded and the connection is tracked in the
+// pending set until identified: a peer that connects and goes silent is
+// shed after the handshake timeout (or at teardown) instead of pinning this
+// goroutine — and with it the merger's WaitGroup — forever.
 func (m *Merger) handshake(conn net.Conn) {
 	defer m.wg.Done()
-	var idBuf [4]byte
-	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
 		conn.Close()
-		m.recordStreamErr(fmt.Errorf("runtime: merger read worker id: %w", err))
 		return
 	}
+	m.pending[conn] = struct{}{}
+	m.mu.Unlock()
+	unpend := func() {
+		m.mu.Lock()
+		delete(m.pending, conn)
+		m.mu.Unlock()
+	}
+	if m.to.Handshake > 0 {
+		conn.SetReadDeadline(time.Now().Add(m.to.Handshake))
+	}
+	var idBuf [4]byte
+	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+		unpend()
+		conn.Close()
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			// A silent dialer shed by the deadline is defense, not a
+			// stream failure: record it on the trace only.
+			if m.rm != nil {
+				m.rm.traceEvent(metrics.Event{Kind: "handshake-timeout", Conn: -1, Detail: conn.RemoteAddr().String()})
+			}
+			return
+		}
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if !closed {
+			m.recordStreamErr(fmt.Errorf("runtime: merger read worker id: %w", err))
+		}
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	unpend()
 	raw := binary.LittleEndian.Uint32(idBuf[:])
 	if raw == controlConnID {
 		m.attachControl(conn)
@@ -309,6 +394,10 @@ func (m *Merger) handshake(conn net.Conn) {
 		m.seen[id] = true
 		m.attached++
 	}
+	// A (re)attaching stream is fresh evidence of life: reset the ingest
+	// clock and clear any standing quarantine nomination for this id.
+	m.quarantined[id] = false
+	m.lastIngest[id].Store(time.Now().UnixNano())
 	m.conns[conn] = struct{}{}
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -367,27 +456,38 @@ func (m *Merger) attachControl(conn net.Conn) {
 	m.mu.Unlock()
 }
 
-// watermarkWriter periodically reports the released watermark, and flushes a
-// final report when the merge completes so the splitter's drain observes
-// every release. It owns closing the control connection.
+// watermarkWriter periodically reports the released watermark and forwards
+// the watchdog's quarantine nominations, flushing a final watermark when the
+// merge completes so the splitter's drain observes every release. It owns
+// closing the control connection. Every write carries a deadline: a control
+// peer that stops reading sheds this goroutine instead of pinning it.
 func (m *Merger) watermarkWriter(conn net.Conn) {
 	defer m.wg.Done()
 	defer conn.Close()
 	ticker := time.NewTicker(m.wmInterval)
 	defer ticker.Stop()
 	var buf [8]byte
-	write := func() error {
-		// next is atomic, so the periodic report never touches m.mu.
-		wm := m.next.Load()
-		binary.LittleEndian.PutUint64(buf[:], wm)
+	send := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if m.to.ControlWrite > 0 {
+			conn.SetWriteDeadline(time.Now().Add(m.to.ControlWrite))
+		}
 		_, err := conn.Write(buf[:])
 		return err
+	}
+	write := func() error {
+		// next is atomic, so the periodic report never touches m.mu.
+		return send(m.next.Load())
 	}
 	for {
 		select {
 		case <-m.wmStop:
 			write()
 			return
+		case id := <-m.quarCh:
+			if send(quarantineFlag|uint64(uint32(id))) != nil {
+				return
+			}
 		case <-ticker.C:
 			if write() != nil {
 				return
@@ -434,6 +534,10 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 			m.mIngestBatch.Observe(float64(len(batch)))
 			m.mIngestLocks.Inc()
 		}
+		// Stamp arrival before ingest (which may park on a full queue): the
+		// watchdog must see that this stream is delivering even while the
+		// reorder queue has no room.
+		m.lastIngest[id].Store(time.Now().UnixNano())
 		if !m.ingest(id, batch, ref) {
 			return
 		}
@@ -450,6 +554,9 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 // the block references of tuples not handed to the queue are released here.
 func (m *Merger) ingest(id int, batch []transport.Tuple, ref *transport.BlockRef) bool {
 	m.mu.Lock()
+	// A stream delivering again withdraws any standing quarantine
+	// nomination for it (e.g. the stall healed before the splitter acted).
+	m.quarantined[id] = false
 	pushed := false
 	for i, t := range batch {
 		// Block on a full queue only while the merge can progress without
@@ -494,6 +601,139 @@ func (m *Merger) ingest(id int, batch []transport.Tuple, ref *transport.BlockRef
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	return true
+}
+
+// watchdog detects merge stalls: when the released watermark makes no
+// progress for the stall window while other streams have tuples queued
+// behind the gap, the connection that most plausibly owns the missing
+// sequence range is nominated for quarantine on the control channel. The
+// splitter cross-checks the nomination against its replay buffer (which
+// knows the true owner) and drives the eviction through the ordinary
+// membership-edit path, so the merger never mutates membership itself.
+//
+// The watchdog also maintains the per-connection ingest-age gauges and the
+// stall-episode histogram. It reads the watermark atomically each tick —
+// the merge hot path carries no extra timestamping for it.
+func (m *Merger) watchdog() {
+	defer m.wg.Done()
+	tick := m.stallWindow / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	prevWM := m.next.Load()
+	lastAdvance := time.Now()
+	var lastNominate time.Time
+	inStall := false
+	var stallStart time.Time
+	for {
+		select {
+		case <-m.wmStop:
+			// The merge finished (or the merger closed) with a stall episode
+			// still open: the episode ended with the stream, so close it here
+			// rather than losing it — recovery and completion can both land
+			// inside one tick.
+			if inStall && m.mStall != nil && m.next.Load() != prevWM {
+				m.mStall.Observe(time.Since(stallStart).Seconds())
+			}
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		if m.mIngestAge != nil {
+			for id := range m.mIngestAge {
+				if ts := m.lastIngest[id].Load(); ts > 0 {
+					m.mIngestAge[id].Set(now.Sub(time.Unix(0, ts)).Seconds())
+				}
+			}
+		}
+		wm := m.next.Load()
+		if wm != prevWM {
+			if inStall {
+				if m.mStall != nil {
+					m.mStall.Observe(now.Sub(stallStart).Seconds())
+				}
+				inStall = false
+			}
+			prevWM = wm
+			lastAdvance = now
+			continue
+		}
+		if now.Sub(lastAdvance) < m.stallWindow {
+			continue
+		}
+		victim, evidence := m.nominate(now)
+		if evidence && !inStall {
+			inStall = true
+			stallStart = lastAdvance
+		}
+		if victim < 0 {
+			continue
+		}
+		// Re-nominate at most once per window while the stall persists —
+		// the next candidate differs because nominated ids are excluded
+		// until they deliver again or reattach.
+		if !lastNominate.IsZero() && now.Sub(lastNominate) < m.stallWindow {
+			continue
+		}
+		lastNominate = now
+		select {
+		case m.quarCh <- victim:
+		default:
+		}
+		if m.rm != nil {
+			m.rm.traceEvent(metrics.Event{Kind: "stall-quarantine", Conn: victim,
+				Value: now.Sub(lastAdvance).Seconds()})
+		}
+	}
+}
+
+// nominate picks the quarantine candidate under the stall evidence gates:
+// recovery must be active (a live control channel to deliver the nomination
+// and act on it), the stream must be incomplete, and at least one tuple must
+// be queued behind the gap — an idle source stalls the watermark too, and
+// evicting healthy workers for having nothing to do would churn membership
+// for nothing. Among live, not-already-nominated connections whose last
+// ingest is older than the window, connections with an empty reorder queue
+// are preferred (the stalled link has nothing buffered; the survivors are
+// queued up behind the gap), oldest ingest first. Returns the candidate (or
+// -1) and whether the stall evidence held.
+func (m *Merger) nominate(now time.Time) (victim int, evidence bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.fatal != nil || m.ctrlLive == 0 {
+		return -1, false
+	}
+	if m.finKnown && m.next.Load() >= m.finTotal {
+		return -1, false
+	}
+	queued := 0
+	for id := range m.queues {
+		queued += len(m.queues[id])
+	}
+	if queued == 0 {
+		return -1, false
+	}
+	best, bestEmpty := -1, false
+	var bestAge time.Duration
+	for id := range m.live {
+		if !m.live[id] || m.quarantined[id] {
+			continue
+		}
+		age := now.Sub(time.Unix(0, m.lastIngest[id].Load()))
+		if age < m.stallWindow {
+			continue
+		}
+		empty := len(m.queues[id]) == 0
+		if best < 0 || (empty && !bestEmpty) || (empty == bestEmpty && age > bestAge) {
+			best, bestEmpty, bestAge = id, empty, age
+		}
+	}
+	if best >= 0 {
+		m.quarantined[best] = true
+	}
+	return best, true
 }
 
 // progressPossible reports whether the merge loop can release or drop at

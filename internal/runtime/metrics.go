@@ -53,12 +53,15 @@ type RegionMetrics struct {
 	dupRejects        *metrics.Counter
 	ingestBatchTuples *metrics.Histogram
 	ingestLocks       *metrics.Counter
+	stallSeconds      *metrics.Histogram
+	ingestAge         *metrics.GaugeVec
 
 	// Recovery.
 	workerDown     *metrics.CounterVec
 	replays        *metrics.CounterVec
 	replayedTuples *metrics.CounterVec
 	rejoins        *metrics.CounterVec
+	quarantines    *metrics.Counter
 }
 
 // NewRegionMetrics registers the region's instrument set on reg. tr may be
@@ -120,6 +123,11 @@ func NewRegionMetrics(reg *metrics.Registry, tr *metrics.Trace) *RegionMetrics {
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		ingestLocks: reg.Counter("spe_merger_ingest_lock_acquisitions_total",
 			"Reorder-queue lock acquisitions by connection readers (batches ingested)."),
+		stallSeconds: reg.Histogram("spe_merger_stall_seconds",
+			"Durations of merge-stall episodes (watermark stuck past the stall window until it advanced again).",
+			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60}),
+		ingestAge: reg.GaugeVec("spe_worker_last_ingest_age_seconds",
+			"Seconds since the merger last ingested a batch from each worker connection.", "conn"),
 
 		workerDown: reg.CounterVec("spe_recovery_worker_down_total",
 			"Worker connection failures observed by the splitter, per connection.", "conn"),
@@ -129,6 +137,8 @@ func NewRegionMetrics(reg *metrics.Registry, tr *metrics.Trace) *RegionMetrics {
 			"Tuples re-sent to survivors after worker failures, per failed connection.", "conn"),
 		rejoins: reg.CounterVec("spe_recovery_rejoins_total",
 			"Redialed workers re-admitted into the schedule, per connection.", "conn"),
+		quarantines: reg.Counter("spe_quarantine_events_total",
+			"Workers ejected by the merge-stall watchdog (before the head-owner override, if any)."),
 	}
 }
 
@@ -189,6 +199,12 @@ func (m *RegionMetrics) connEvent(ev ConnEvent) {
 	case "rejoin":
 		m.rejoins.With(l).Inc()
 		m.connUp.With(l).Set(1)
+	case "quarantine":
+		m.quarantines.Inc()
+	case "evicted", "redial-exhausted":
+		if ev.Err != nil {
+			tev.Detail = ev.Err.Error()
+		}
 	}
 	m.traceEvent(tev)
 }

@@ -160,7 +160,7 @@ func TestMergerAllowsWorkerRejoin(t *testing.T) {
 	// A control channel keeps the merger waiting across the death — in
 	// legacy mode (no control channel) the final stream ending ends the
 	// merge, so rejoin is a recovery-mode capability.
-	ctrl, err := dialControl(m.Addr())
+	ctrl, err := dialControl(m.Addr(), Timeouts{}.norm())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,14 +25,22 @@ type RecoveryConfig struct {
 	// WatermarkInterval is how often the merger reports its released
 	// watermark (default DefaultWatermarkInterval).
 	WatermarkInterval time.Duration
-	// Redial governs reconnection to failed workers; nil selects a
-	// default exponential backoff (base 10ms, cap 500ms, jittered,
-	// unlimited attempts until the region ends). Set MaxAttempts to bound
-	// it, or Disabled to never redial.
+	// Redial governs reconnection to failed workers; nil selects
+	// DefaultRegionRedial (exponential backoff, base 10ms, cap 500ms,
+	// jittered, 60 attempts). Set MaxAttempts to rebound it, or
+	// DisableRedial to never redial.
 	Redial *transport.RedialPolicy
 	// DisableRedial turns reconnection off: a dead worker stays dead and
 	// its load shifts permanently to the survivors.
 	DisableRedial bool
+	// StallWindow is how long the merge may make no progress (while work
+	// is queued) before the watchdog quarantines the straggling worker.
+	// Zero selects DefaultStallWindow; negative disables the watchdog.
+	StallWindow time.Duration
+	// MaxReadmits caps how many times one worker may be quarantined and
+	// still redialed before the circuit breaker retires it permanently
+	// (0 selects DefaultMaxReadmits, negative is unlimited).
+	MaxReadmits int
 }
 
 // RegionConfig assembles one ordered data-parallel region.
@@ -81,6 +89,11 @@ type RegionConfig struct {
 	// merger, recovery) on the RegionMetrics' registry and trace ring. Nil
 	// disables instrumentation with zero hot-path cost.
 	Metrics *RegionMetrics
+	// Timeouts bounds every control-plane I/O in the region: dials,
+	// handshakes, health probes, control-channel frames and send stalls.
+	// Zero fields select the defaults; negative fields disable the
+	// corresponding deadline.
+	Timeouts Timeouts
 }
 
 // Region owns the processes of one parallel region: N workers, the merger
@@ -117,11 +130,15 @@ type RegionResult struct {
 }
 
 // DefaultRegionRedial is the redial policy a recovery-enabled region uses
-// when none is configured.
+// when none is configured. MaxAttempts bounds it (~30s of retries at the
+// backoff cap) so a permanently dead worker cannot leak a redial goroutine
+// forever; configure an explicit policy with MaxAttempts 0 for unbounded
+// retries.
 var DefaultRegionRedial = transport.RedialPolicy{
-	Base:   10 * time.Millisecond,
-	Max:    500 * time.Millisecond,
-	Jitter: 0.2,
+	Base:        10 * time.Millisecond,
+	Max:         500 * time.Millisecond,
+	Jitter:      0.2,
+	MaxAttempts: 60,
 }
 
 // NewRegion builds and connects all components; nothing runs until Run.
@@ -153,6 +170,17 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		merger.SetWatermarkInterval(cfg.Recovery.WatermarkInterval)
 	}
 	merger.SetRecvBatch(cfg.RecvBatchSize)
+	merger.SetTimeouts(cfg.Timeouts)
+	if cfg.Recovery.Enabled {
+		// The watchdog is only useful when a quarantine nomination has
+		// somewhere to go (the control channel) and the ejected worker's
+		// tuples can be replayed.
+		window := cfg.Recovery.StallWindow
+		if window == 0 {
+			window = DefaultStallWindow
+		}
+		merger.SetStallWindow(window)
+	}
 	merger.SetMetrics(cfg.Metrics)
 	r.merger = merger
 
@@ -167,6 +195,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 			w.SetReceiveBuffer(cfg.SocketBufferBytes)
 		}
 		w.SetRecvBatch(cfg.RecvBatchSize)
+		w.SetTimeouts(cfg.Timeouts)
 		if r.recovery {
 			w.SetResilient(true)
 		}
@@ -196,10 +225,12 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		SocketBufferBytes: cfg.SocketBufferBytes,
 		BatchSize:         cfg.BatchSize,
 		Metrics:           cfg.Metrics,
+		Timeouts:          cfg.Timeouts,
 	}
 	if r.recovery {
 		scfg.ControlAddr = merger.Addr()
 		scfg.RetainCap = cfg.Recovery.RetainCap
+		scfg.MaxReadmits = cfg.Recovery.MaxReadmits
 		if !cfg.Recovery.DisableRedial {
 			policy := DefaultRegionRedial
 			if cfg.Recovery.Redial != nil {

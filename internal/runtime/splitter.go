@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -35,14 +36,19 @@ func ConstantSource(payload []byte, n uint64) Source {
 // ConnEvent reports a recovery event on one splitter connection.
 type ConnEvent struct {
 	// Kind is "down" (connection failed), "replay" (its unreleased tuples
-	// were re-sent to survivors) or "rejoin" (a redial succeeded and the
-	// worker was re-admitted).
+	// were re-sent to survivors), "rejoin" (a redial succeeded and the
+	// worker was re-admitted), "quarantine" (the merge-stall watchdog
+	// ejected the worker), "evicted" (the quarantine circuit breaker
+	// retired the worker permanently) or "redial-exhausted" (the redial
+	// attempt budget ran out; the worker stays gone). All kinds are emitted
+	// from the splitter's send loop except "redial-exhausted", which is
+	// emitted from the redial goroutine.
 	Kind string
 	// Conn is the stable worker index (position in WorkerAddrs).
 	Conn int
 	// Tuples counts replayed tuples (Kind "replay").
 	Tuples int
-	// Err is the failure cause (Kind "down").
+	// Err is the failure cause (Kinds "down" and "redial-exhausted").
 	Err error
 }
 
@@ -97,12 +103,22 @@ type SplitterConfig struct {
 	// meaningful with ControlAddr set.
 	Redial *transport.RedialPolicy
 	// OnConnEvent observes recovery events. Optional; called from the
-	// splitter's send loop.
+	// splitter's send loop (except "redial-exhausted", see ConnEvent).
 	OnConnEvent func(ConnEvent)
 	// Metrics, when set, exports the splitter's blocking signal, the
 	// balancer's decisions and recovery events through the observability
 	// layer. Nil disables instrumentation.
 	Metrics *RegionMetrics
+	// Timeouts bounds the splitter's I/O: worker and control dials, the
+	// worker ready-ACK probe, control-channel reads/writes and the
+	// per-flush send stall. Zero fields select the defaults; negative
+	// fields disable the corresponding deadline.
+	Timeouts Timeouts
+	// MaxReadmits caps how many times one worker may be quarantined and
+	// still redialed: past the cap the circuit breaker retires it
+	// permanently (0 selects DefaultMaxReadmits, negative is unlimited).
+	// Only meaningful with ControlAddr set.
+	MaxReadmits int
 }
 
 // DefaultSocketBuffer is the kernel buffer size requested per connection.
@@ -145,6 +161,10 @@ type rejoin struct {
 type Splitter struct {
 	cfg SplitterConfig
 	wrr *schedule.WRR
+	to  Timeouts
+	// maxReadmits is the resolved quarantine circuit-breaker budget
+	// (-1 = unlimited).
+	maxReadmits int
 
 	// mu guards conns, epoch, the balancer and the per-worker aggregates;
 	// membership mutations happen only on the send-loop goroutine.
@@ -167,11 +187,14 @@ type Splitter struct {
 	pubEvts  []int64
 	pubPicks int64
 
-	// Recovery state, owned by the send loop.
-	ctrl     *controlLink
-	retained []retainEntry
-	retHead  int
-	downErrs []error
+	// Recovery state, owned by the send loop. quarCount tracks how many
+	// times each stable worker id has been quarantined (circuit-breaker
+	// input); it is touched only on the send loop.
+	ctrl      *controlLink
+	retained  []retainEntry
+	retHead   int
+	downErrs  []error
+	quarCount []int
 
 	deadCh   chan int
 	rejoinCh chan rejoin
@@ -224,6 +247,8 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	sp := &Splitter{
 		cfg:         cfg,
 		wrr:         wrr,
+		to:          cfg.Timeouts.norm(),
+		quarCount:   make([]int, len(cfg.WorkerAddrs)),
 		aggSent:     make([]int64, len(cfg.WorkerAddrs)),
 		aggBlocking: make([]time.Duration, len(cfg.WorkerAddrs)),
 		aggBlocked:  make([]int64, len(cfg.WorkerAddrs)),
@@ -234,6 +259,14 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 		done:        make(chan struct{}),
 		stopCtl:     make(chan struct{}),
 		ctlDone:     make(chan struct{}),
+	}
+	switch {
+	case cfg.MaxReadmits == 0:
+		sp.maxReadmits = DefaultMaxReadmits
+	case cfg.MaxReadmits < 0:
+		sp.maxReadmits = -1
+	default:
+		sp.maxReadmits = cfg.MaxReadmits
 	}
 	initial := core.EvenWeights(len(cfg.WorkerAddrs), core.DefaultUnits)
 	if err := sp.wrr.SetWeights(initial); err != nil {
@@ -264,10 +297,21 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 			sp.closeSenders()
 			return nil, fmt.Errorf("runtime: splitter wrap worker %d: %w", i, err)
 		}
+		sender.SetStallTimeout(sp.to.SendStall)
 		sp.conns = append(sp.conns, &splitConn{id: i, addr: addr, conn: conn, sender: sender, dialedAt: time.Now()})
 	}
 	if cfg.ControlAddr != "" {
-		ctrl, err := dialControl(cfg.ControlAddr)
+		// Consume every worker's ready ACK before the monitors start (a
+		// monitor treats any readable byte as peer death). This doubles as
+		// the admission health check: a worker that cannot reach the merger
+		// within the probe deadline never enters the schedule.
+		for _, c := range sp.conns {
+			if err := sp.probeReady(c.conn); err != nil {
+				sp.closeSenders()
+				return nil, fmt.Errorf("runtime: splitter probe worker %d: %w", c.id, err)
+			}
+		}
+		ctrl, err := dialControl(cfg.ControlAddr, sp.to)
 		if err != nil {
 			sp.closeSenders()
 			return nil, err
@@ -277,9 +321,27 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	return sp, nil
 }
 
+// probeReady waits for the worker's ready ACK byte: the worker writes it once
+// its merger connection is up and identified, so reading it proves the whole
+// forwarding path. Bounded by the Probe timeout.
+func (sp *Splitter) probeReady(conn net.Conn) error {
+	if sp.to.Probe > 0 {
+		conn.SetReadDeadline(time.Now().Add(sp.to.Probe))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	var b [1]byte
+	if _, err := io.ReadFull(conn, b[:]); err != nil {
+		return fmt.Errorf("ready ack: %w", err)
+	}
+	if b[0] != workerReadyAck {
+		return fmt.Errorf("ready ack: unexpected byte %#x", b[0])
+	}
+	return nil
+}
+
 // dialWorker dials one worker endpoint and applies the socket buffer size.
 func (sp *Splitter) dialWorker(addr string) (net.Conn, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, sp.to.dialTimeout())
 	if err != nil {
 		return nil, err
 	}
@@ -578,8 +640,8 @@ func (sp *Splitter) applyWeights(wu weightUpdate) error {
 	return nil
 }
 
-// pollEvents drains pending failure and rejoin notifications without
-// blocking.
+// pollEvents drains pending failure, quarantine and rejoin notifications
+// without blocking.
 func (sp *Splitter) pollEvents() error {
 	for {
 		select {
@@ -591,12 +653,56 @@ func (sp *Splitter) pollEvents() error {
 			if err := sp.handleConnFailure(c, fmt.Errorf("runtime: worker %d connection closed by peer", id)); err != nil {
 				return err
 			}
+		case id := <-sp.ctrl.quarCh:
+			if err := sp.handleQuarantine(id); err != nil {
+				return err
+			}
 		case rj := <-sp.rejoinCh:
 			sp.admitRejoin(rj)
 		default:
 			return nil
 		}
 	}
+}
+
+// handleQuarantine ejects a stalled worker nominated by the merger's
+// merge-stall watchdog. The merger nominates heuristically (oldest silent
+// reader); the splitter holds the authoritative evidence — the replay buffer
+// knows which connection carries the head-of-line sequence — so it overrides
+// a nomination that disagrees with the head owner. The ejection itself rides
+// the ordinary membership-edit path: retire, replay to survivors, redial.
+func (sp *Splitter) handleQuarantine(id int) error {
+	if owner := sp.headOwner(); owner >= 0 && owner != id && sp.findLive(owner) != nil {
+		if sp.mtr != nil {
+			sp.mtr.traceEvent(metrics.Event{
+				Kind:   "quarantine-override",
+				Conn:   owner,
+				Detail: fmt.Sprintf("merger nominated %d, head-of-line owner is %d", id, owner),
+			})
+		}
+		id = owner
+	}
+	c := sp.findLive(id)
+	if c == nil {
+		return nil // already retired (raced with a connection failure)
+	}
+	sp.quarCount[id]++
+	sp.event(ConnEvent{Kind: "quarantine", Conn: id})
+	return sp.handleConnFailure(c, fmt.Errorf("runtime: worker %d quarantined by merge-stall watchdog", id))
+}
+
+// headOwner reports which stable worker id carries the lowest unreleased
+// sequence number, or -1 when unknown (empty buffer, or the head send is
+// still in flight). It must not compact the buffer: the send loop may hold a
+// pointer into it.
+func (sp *Splitter) headOwner() int {
+	wm := sp.ctrl.Watermark()
+	for i := sp.retHead; i < len(sp.retained); i++ {
+		if sp.retained[i].seq >= wm {
+			return sp.retained[i].conn
+		}
+	}
+	return -1
 }
 
 func (sp *Splitter) findLive(id int) *splitConn {
@@ -626,6 +732,10 @@ func (sp *Splitter) admitRetention(seq uint64, payload []byte) (*retainEntry, er
 				if err := sp.handleConnFailure(c, fmt.Errorf("runtime: worker %d connection closed by peer", id)); err != nil {
 					return nil, err
 				}
+			}
+		case id := <-sp.ctrl.quarCh:
+			if err := sp.handleQuarantine(id); err != nil {
+				return nil, err
 			}
 		case rj := <-sp.rejoinCh:
 			sp.admitRejoin(rj)
@@ -699,7 +809,13 @@ func (sp *Splitter) removeConn(c *splitConn, cause error) bool {
 	c.sender.Close()
 	sp.event(ConnEvent{Kind: "down", Conn: c.id, Err: cause})
 	if sp.cfg.Redial != nil {
-		go sp.redialLoop(c.id, c.addr)
+		// Circuit breaker: a worker that keeps getting quarantined is not
+		// worth re-admitting — each readmission costs a replay storm.
+		if sp.maxReadmits >= 0 && sp.quarCount[c.id] > sp.maxReadmits {
+			sp.event(ConnEvent{Kind: "evicted", Conn: c.id})
+		} else {
+			go sp.redialLoop(c.id, c.addr)
+		}
 	}
 	return true
 }
@@ -767,8 +883,10 @@ func (sp *Splitter) collectRetained(id int) []*retainEntry {
 	return out
 }
 
-// redialLoop re-establishes a failed worker connection with backoff and
-// hands it to the send loop.
+// redialLoop re-establishes a failed worker connection with backoff, health
+// probes it, and hands it to the send loop. When the attempt budget runs out
+// (dial failures and probe failures both count) it emits "redial-exhausted"
+// and gives up — the worker stays out of the schedule for good.
 func (sp *Splitter) redialLoop(id int, addr string) {
 	pol := *sp.cfg.Redial
 	if sp.mtr != nil {
@@ -782,22 +900,64 @@ func (sp *Splitter) redialLoop(id int, addr string) {
 		}
 	}
 	rd := transport.NewRedialer(addr, pol)
-	conn, err := rd.Dial(sp.stop)
-	if err != nil {
+	probeFails := 0
+	probeBackoff := pol.Base
+	if probeBackoff <= 0 {
+		probeBackoff = 20 * time.Millisecond
+	}
+	probeMax := pol.Max
+	if probeMax <= 0 {
+		probeMax = 2 * time.Second
+	}
+	for {
+		conn, err := rd.Dial(sp.stop)
+		if err != nil {
+			select {
+			case <-sp.stop: // shutting down, not exhausted
+			default:
+				sp.event(ConnEvent{Kind: "redial-exhausted", Conn: id, Err: err})
+			}
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetWriteBuffer(sp.cfg.SocketBufferBytes)
+		}
+		// Readmission health probe: an accepted TCP connection only proves
+		// the listener is alive. Require the worker's ready ACK (its merger
+		// path re-established) before letting it back into the schedule.
+		if sp.recovery() {
+			if perr := sp.probeReady(conn); perr != nil {
+				conn.Close()
+				probeFails++
+				if pol.MaxAttempts > 0 && rd.Attempts()+probeFails >= pol.MaxAttempts {
+					sp.event(ConnEvent{Kind: "redial-exhausted", Conn: id,
+						Err: fmt.Errorf("health probe: %w", perr)})
+					return
+				}
+				select {
+				case <-sp.stop:
+					return
+				case <-time.After(probeBackoff):
+				}
+				probeBackoff *= 2
+				if probeBackoff > probeMax {
+					probeBackoff = probeMax
+				}
+				continue
+			}
+		}
+		sender, err := transport.NewSender(conn)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		sender.SetStallTimeout(sp.to.SendStall)
+		select {
+		case sp.rejoinCh <- rejoin{id: id, addr: addr, conn: conn, sender: sender}:
+		case <-sp.stop:
+			sender.Close()
+		}
 		return
-	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetWriteBuffer(sp.cfg.SocketBufferBytes)
-	}
-	sender, err := transport.NewSender(conn)
-	if err != nil {
-		conn.Close()
-		return
-	}
-	select {
-	case sp.rejoinCh <- rejoin{id: id, addr: addr, conn: conn, sender: sender}:
-	case <-sp.stop:
-		sender.Close()
 	}
 }
 
@@ -825,6 +985,9 @@ func (sp *Splitter) admitRejoin(rj rejoin) {
 	sp.mu.Unlock()
 	go sp.monitor(c)
 	sp.event(ConnEvent{Kind: "rejoin", Conn: rj.id})
+	if sp.quarCount[rj.id] > 0 && sp.mtr != nil {
+		sp.mtr.traceEvent(metrics.Event{Kind: "readmit", Conn: rj.id})
+	}
 }
 
 // drain holds the splitter open after the source is exhausted until the
@@ -857,6 +1020,10 @@ func (sp *Splitter) drain(total uint64) error {
 				continue
 			}
 			if err := sp.handleConnFailure(c, fmt.Errorf("runtime: worker %d connection closed by peer", id)); err != nil {
+				return err
+			}
+		case id := <-sp.ctrl.quarCh:
+			if err := sp.handleQuarantine(id); err != nil {
 				return err
 			}
 		case rj := <-sp.rejoinCh:

@@ -1,0 +1,106 @@
+package runtime
+
+import "time"
+
+// Default I/O deadlines and stall-detection windows. The values are
+// deliberately generous — they exist to convert "hangs forever" into "fails
+// in bounded time", not to police routine latency. Tests and the soak
+// harness shrink them by orders of magnitude.
+const (
+	// DefaultDialTimeout bounds every connection establishment: splitter to
+	// worker, splitter to control channel, worker to merger.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultHandshakeTimeout bounds the 4-byte id exchange on a fresh
+	// merger connection, in both directions. A peer that connects and goes
+	// silent (slow loris) is shed after this long instead of pinning an
+	// accept-path goroutine forever.
+	DefaultHandshakeTimeout = 5 * time.Second
+	// DefaultProbeTimeout bounds the splitter's wait for a worker's ready
+	// acknowledgement: the byte a resilient worker writes once its merger
+	// connection is up. It is the health re-probe gating re-admission.
+	DefaultProbeTimeout = 5 * time.Second
+	// DefaultControlReadTimeout bounds each watermark-frame read on the
+	// splitter's control channel. The merger writes a frame every watermark
+	// interval (20ms by default) even when the merge is stalled, so a
+	// control channel idle this long is dead, not quiet.
+	DefaultControlReadTimeout = 30 * time.Second
+	// DefaultControlWriteTimeout bounds each control-channel write: the
+	// merger's watermark/quarantine frames and the splitter's FIN.
+	DefaultControlWriteTimeout = 5 * time.Second
+	// DefaultSendStallTimeout bounds how long one sender flush may sit
+	// parked in the poller on a socket that is not draining. Electing to
+	// block is the paper's signal, so this stays far above any plausible
+	// backpressure episode; it exists to unwedge the send loop from a
+	// worker that accepted tuples and then stopped reading entirely.
+	DefaultSendStallTimeout = 30 * time.Second
+	// DefaultStallWindow is how long the merge may make no progress (while
+	// evidence says it should) before the watchdog quarantines the
+	// connection that owns the missing sequence range.
+	DefaultStallWindow = 10 * time.Second
+	// DefaultMaxReadmits caps how many times one worker may be quarantined
+	// and re-admitted before the circuit breaker retires it permanently.
+	DefaultMaxReadmits = 3
+)
+
+// Timeouts carries every I/O deadline a region applies. The zero value
+// selects the defaults above; a negative field disables that deadline
+// (restoring the unbounded pre-straggler-defense behaviour).
+type Timeouts struct {
+	// Dial bounds connection establishment (splitter→worker,
+	// splitter→control, worker→merger).
+	Dial time.Duration
+	// Handshake bounds the 4-byte id exchange on merger connections.
+	Handshake time.Duration
+	// Probe bounds the splitter's wait for a worker's ready ACK before
+	// (re-)admitting it into the schedule.
+	Probe time.Duration
+	// ControlRead bounds each watermark-frame read on the control channel.
+	ControlRead time.Duration
+	// ControlWrite bounds each control-channel write (watermark, FIN,
+	// quarantine frames).
+	ControlWrite time.Duration
+	// SendStall bounds one elect-to-block park on a tuple send. Because the
+	// deadline is re-armed at most once per half-window (to keep the
+	// per-flush syscall cost off the hot path), the effective bound on a
+	// single stalled flush lies in [SendStall/2, SendStall].
+	SendStall time.Duration
+}
+
+// norm resolves the zero/negative encoding: zero fields take the default,
+// negative fields become 0 ("disabled") so call sites can test `> 0`.
+func (t Timeouts) norm() Timeouts {
+	pick := func(v, def time.Duration) time.Duration {
+		if v == 0 {
+			return def
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return Timeouts{
+		Dial:         pick(t.Dial, DefaultDialTimeout),
+		Handshake:    pick(t.Handshake, DefaultHandshakeTimeout),
+		Probe:        pick(t.Probe, DefaultProbeTimeout),
+		ControlRead:  pick(t.ControlRead, DefaultControlReadTimeout),
+		ControlWrite: pick(t.ControlWrite, DefaultControlWriteTimeout),
+		SendStall:    pick(t.SendStall, DefaultSendStallTimeout),
+	}
+}
+
+// dialTimeout returns the dial bound, substituting a large finite cap when
+// disabled so net.DialTimeout call sites need no branching (the OS SYN
+// timeout fires far earlier anyway).
+func (t Timeouts) dialTimeout() time.Duration {
+	if t.Dial > 0 {
+		return t.Dial
+	}
+	return 10 * time.Minute
+}
+
+// workerReadyAck is the single byte a worker writes back to the splitter
+// once its merger connection is established and identified — the health
+// probe recovery-mode splitters require before admitting the connection.
+// Non-recovery splitters never read it; one unread byte parks harmlessly in
+// the socket buffer.
+const workerReadyAck = 0xA5

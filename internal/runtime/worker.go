@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"streambalance/internal/transport"
 )
@@ -29,6 +30,7 @@ type Worker struct {
 	rcvBuf    int
 	recvBatch int
 	resilient bool
+	to        Timeouts
 
 	mu       sync.Mutex
 	closed   bool
@@ -56,8 +58,15 @@ func NewWorker(id int, operator Operator, mergerAddr string) (*Worker, error) {
 		merger:    mergerAddr,
 		rcvBuf:    64 << 10,
 		recvBatch: transport.DefaultRecvBatch,
+		to:        Timeouts{}.norm(),
 		done:      make(chan struct{}),
 	}, nil
+}
+
+// SetTimeouts overrides the worker's I/O deadlines (merger dial, handshake
+// writes, forwarding stall bound). Call before Start.
+func (w *Worker) SetTimeouts(t Timeouts) {
+	w.to = t.norm()
 }
 
 // SetReceiveBuffer overrides the kernel receive-buffer size requested for the
@@ -162,16 +171,36 @@ func (w *Worker) serve(in net.Conn) error {
 		}
 	}
 
-	out, err := net.Dial("tcp", w.merger)
+	out, err := net.DialTimeout("tcp", w.merger, w.to.dialTimeout())
 	if err != nil {
 		return fmt.Errorf("runtime: worker %d dial merger: %w", w.id, err)
 	}
 	defer out.Close()
-	// Identify this connection to the merger.
+	// Identify this connection to the merger, under the handshake deadline.
 	var id [4]byte
 	binary.LittleEndian.PutUint32(id[:], uint32(w.id))
+	if w.to.Handshake > 0 {
+		out.SetWriteDeadline(time.Now().Add(w.to.Handshake))
+	}
 	if _, err := out.Write(id[:]); err != nil {
 		return fmt.Errorf("runtime: worker %d send id: %w", w.id, err)
+	}
+	out.SetWriteDeadline(time.Time{})
+	// Acknowledge readiness to the splitter: the merger connection is up
+	// and identified, so the end-to-end path works. Recovery-mode splitters
+	// (which always pair with resilient workers) read this byte as their
+	// admission health probe. Fixed-pipeline splitters never read their
+	// connections, so a one-shot worker must not write it — an unread byte
+	// at close time would turn the splitter's clean shutdown into a TCP
+	// reset.
+	if w.resilient {
+		if w.to.Handshake > 0 {
+			in.SetWriteDeadline(time.Now().Add(w.to.Handshake))
+		}
+		if _, err := in.Write([]byte{workerReadyAck}); err != nil {
+			return fmt.Errorf("runtime: worker %d send ready ack: %w", w.id, err)
+		}
+		in.SetWriteDeadline(time.Time{})
 	}
 
 	// Receive-batch → process → send-batch: each pass ingests every tuple
@@ -182,6 +211,10 @@ func (w *Worker) serve(in net.Conn) error {
 	if err != nil {
 		return fmt.Errorf("runtime: worker %d sender: %w", w.id, err)
 	}
+	// Backpressure from the merger is routine and may park forwards for a
+	// while; the stall bound only converts "merger never drains again" from
+	// a permanent wedge into a connection error recovery absorbs.
+	sender.SetStallTimeout(w.to.SendStall)
 	rc := transport.NewReceiver(in)
 	var batch []transport.Tuple
 	results := make([]transport.Tuple, 0, w.recvBatch)

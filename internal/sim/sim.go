@@ -64,6 +64,12 @@ type Sim struct {
 	// Merger state.
 	mergerQ    []*seqQueue
 	releaseSeq uint64 // next sequence number to release downstream
+	// Release-gap tracking for the stall observability metrics: all
+	// releases inside one drain share a clock instant, so only the first
+	// release after a pause records a gap.
+	lastReleaseAt time.Duration
+	maxReleaseGap time.Duration
+	stallAlarms   uint64
 	// owner tracks each in-flight tuple's connection and send time, for the
 	// release frontier and the end-to-end latency metric.
 	owner        map[uint64]pendingTuple
@@ -392,6 +398,15 @@ func (s *Sim) drainMerger() {
 			}
 			s.mergerQ[j].Pop()
 			delete(s.owner, s.releaseSeq)
+			if s.totalCompleted > 0 {
+				if gap := s.clock - s.lastReleaseAt; gap > s.maxReleaseGap {
+					s.maxReleaseGap = gap
+				}
+				if s.cfg.StallWindow > 0 && s.clock-s.lastReleaseAt >= s.cfg.StallWindow {
+					s.stallAlarms++
+				}
+			}
+			s.lastReleaseAt = s.clock
 			s.latency.Add((s.clock - pend.sentAt).Seconds())
 			if s.cfg.Sink != nil {
 				s.cfg.Sink(s.releaseSeq, j)
@@ -483,6 +498,8 @@ func (s *Sim) metrics() Metrics {
 		Rerouted:         s.rerouted,
 		MergeSweeps:      s.mergeSweeps,
 		FinalWeights:     append([]int(nil), s.weights...),
+		MaxReleaseGap:    s.maxReleaseGap,
+		StallAlarms:      s.stallAlarms,
 	}
 	if s.endAt > 0 {
 		m.MeanThroughput = float64(s.totalCompleted) / s.endAt.Seconds()

@@ -609,3 +609,56 @@ func TestJitterDeterministicPerSeed(t *testing.T) {
 		t.Fatal("different seeds produced identical runs (jitter inert?)")
 	}
 }
+
+// TestStallMetricsObserveStraggler checks the virtual-time stall
+// observability: a connection whose tuples suddenly cost 200x gates the
+// ordered merge long enough to raise stall alarms and stretch the max
+// release gap, while a balanced run under the same window raises none.
+func TestStallMetricsObserveStraggler(t *testing.T) {
+	const window = 50 * time.Millisecond
+
+	hosts, pes := oneHost(3)
+	clean, err := New(Config{
+		Hosts: hosts, PEs: pes, BaseCost: 1000,
+		TotalTuples:    3000,
+		SampleInterval: 100 * time.Millisecond,
+		StallWindow:    window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.StallAlarms != 0 {
+		t.Fatalf("balanced run raised %d stall alarms", cm.StallAlarms)
+	}
+	if cm.MaxReleaseGap >= window {
+		t.Fatalf("balanced run's max release gap %v reached the window %v", cm.MaxReleaseGap, window)
+	}
+
+	hosts, pes = oneHost(3, StepLoad(1, 200, 500*time.Millisecond))
+	stalled, err := New(Config{
+		Hosts: hosts, PEs: pes, BaseCost: 1000,
+		TotalTuples:    3000,
+		SampleInterval: 100 * time.Millisecond,
+		StallWindow:    window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := stalled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.StallAlarms == 0 {
+		t.Fatal("straggling connection raised no stall alarms")
+	}
+	if sm.MaxReleaseGap < window {
+		t.Fatalf("straggler max release gap %v below the window %v", sm.MaxReleaseGap, window)
+	}
+	if sm.Completed != 3000 {
+		t.Fatalf("completed %d of 3000", sm.Completed)
+	}
+}

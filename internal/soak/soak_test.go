@@ -1,0 +1,120 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeSummary appends one run's summary as a JSON line to $SOAK_OUT, when
+// set — CI archives that file as the soak artifact.
+func writeSummary(t *testing.T, name string, sum Summary) {
+	t.Helper()
+	out := os.Getenv("SOAK_OUT")
+	if out == "" {
+		return
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		os.MkdirAll(dir, 0o755)
+	}
+	f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Logf("soak: cannot open SOAK_OUT %s: %v", out, err)
+		return
+	}
+	defer f.Close()
+	line := struct {
+		Name string `json:"name"`
+		Summary
+	}{Name: name, Summary: sum}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(line); err != nil {
+		t.Logf("soak: cannot write summary: %v", err)
+	}
+}
+
+func checkSummary(t *testing.T, cfg Config, sum Summary, err error, maxGap time.Duration) {
+	t.Helper()
+	t.Logf("soak: %d workers, %d tuples in %v (%.0f tuples/s): faults=%d downs=%d replays=%d (%d tuples) rejoins=%d quarantines=%d evictions=%d deduped=%d maxgap=%v",
+		sum.Workers, sum.Released, sum.Elapsed.Round(time.Millisecond), sum.TuplesPerSec,
+		sum.Faults, sum.Downs, sum.Replays, sum.ReplayedTuples, sum.Rejoins,
+		sum.Quarantines, sum.Evictions, sum.Deduped, sum.MaxReleaseGap.Round(time.Millisecond))
+	if err != nil {
+		t.Fatalf("soak run failed: %v", err)
+	}
+	if sum.Released != cfg.Tuples {
+		t.Fatalf("released %d of %d tuples", sum.Released, cfg.Tuples)
+	}
+	if !sum.OrderPreserved {
+		t.Fatal("release order broken")
+	}
+	if sum.Faults == 0 {
+		t.Error("the fault injector never fired; the soak proved nothing")
+	}
+	if maxGap > 0 && sum.MaxReleaseGap > maxGap {
+		t.Errorf("max release gap %v exceeded the recovery bound %v", sum.MaxReleaseGap, maxGap)
+	}
+}
+
+// TestSoakSmoke is the CI-sized soak: a short randomized stall/drip/kill
+// schedule against 16 workers, asserting the exactly-once ordered release
+// invariant and a bounded stall-recovery gap.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak runs are not short")
+	}
+	cfg := Config{
+		Workers:     16,
+		Tuples:      40_000,
+		Payload:     64,
+		Seed:        1,
+		StallWindow: 150 * time.Millisecond,
+		SendStall:   400 * time.Millisecond,
+		FaultEvery:  350 * time.Millisecond,
+		FaultHold:   250 * time.Millisecond,
+		MaxReadmits: -1,
+	}
+	sum, err := Run(cfg)
+	// The gap bound is generous: detection (stall window or send stall) plus
+	// replay plus redial, with CI scheduling noise on top.
+	checkSummary(t, cfg, sum, err, 6*time.Second)
+	writeSummary(t, "smoke", sum)
+}
+
+// TestSoakFull is the minutes-long straggler soak, gated behind SOAK_FULL=1
+// (run via `make soak`). It sweeps the connection scale 16→64 with longer
+// streams and the full fault repertoire.
+func TestSoakFull(t *testing.T) {
+	if os.Getenv("SOAK_FULL") == "" {
+		t.Skip("set SOAK_FULL=1 (or run `make soak`) for the full soak")
+	}
+	for _, sc := range []struct {
+		workers int
+		tuples  uint64
+	}{
+		{16, 300_000},
+		{32, 300_000},
+		{64, 400_000},
+	} {
+		sc := sc
+		t.Run(fmt.Sprintf("workers%d", sc.workers), func(t *testing.T) {
+			cfg := Config{
+				Workers:     sc.workers,
+				Tuples:      sc.tuples,
+				Payload:     64,
+				Seed:        int64(sc.workers),
+				StallWindow: 150 * time.Millisecond,
+				SendStall:   400 * time.Millisecond,
+				FaultEvery:  300 * time.Millisecond,
+				FaultHold:   250 * time.Millisecond,
+				MaxReadmits: -1,
+			}
+			sum, err := Run(cfg)
+			checkSummary(t, cfg, sum, err, 8*time.Second)
+			writeSummary(t, t.Name(), sum)
+		})
+	}
+}

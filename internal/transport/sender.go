@@ -63,6 +63,15 @@ type Sender struct {
 	pooled   []*frameBuf
 	queued   int
 
+	// Stall bound: when stallTimeout > 0, a write deadline is kept armed on
+	// the connection so an elect-to-block park on a socket that never
+	// drains returns an i/o timeout instead of parking forever. The
+	// deadline is re-armed lazily (at most once per half-window) so the
+	// steady-state flush path pays no extra syscall; the effective bound on
+	// one stalled flush is therefore within [stallTimeout/2, stallTimeout].
+	stallTimeout time.Duration
+	stallArmedAt time.Time
+
 	cumBlockingNS   atomic.Int64 // sampled counter, reset by the controller
 	totalBlockingNS atomic.Int64 // lifetime counter
 	blockEvents     atomic.Int64
@@ -276,12 +285,43 @@ func (s *Sender) consume(n int) {
 	}
 }
 
+// SetStallTimeout bounds how long one flush may stay parked on a socket
+// that is not draining (0 disables; negative is treated as 0). A firing
+// deadline surfaces as an i/o timeout from the send, which recovery-mode
+// callers route through the ordinary connection-failure/replay path. Call
+// from the sending goroutine (or before it starts).
+func (s *Sender) SetStallTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.stallTimeout = d
+	s.stallArmedAt = time.Time{}
+}
+
+// armStallDeadline rolls the write deadline forward when more than half the
+// stall window has elapsed since it was last armed. Never called from
+// inside the poller callback: SetWriteDeadline on a conn whose RawConn
+// callback is executing is not safe, so the deadline is only touched here,
+// between raw.Write calls.
+func (s *Sender) armStallDeadline() {
+	if s.stallTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	if !s.stallArmedAt.IsZero() && now.Sub(s.stallArmedAt) <= s.stallTimeout/2 {
+		return
+	}
+	s.conn.SetWriteDeadline(now.Add(s.stallTimeout))
+	s.stallArmedAt = now
+}
+
 // flushWrite drives wq through the poller callback and resets the cursor.
 // If the poller wait ended in a connection error the callback never re-ran,
 // so accounting is closed out here too: the wait is not lost.
 func (s *Sender) flushWrite() error {
 	s.wErr = nil
 	s.blocked = false
+	s.armStallDeadline()
 	err := s.raw.Write(s.writeFn)
 	s.account()
 	for i := range s.wq {

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSenderStallTimeout parks a sender against a peer that never reads and
+// asserts the stall bound converts the indefinite park into a timeout error
+// within a few multiples of the configured deadline.
+func TestSenderStallTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, aerr := ln.Accept()
+		if aerr == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Shrink the send buffer so the park happens after a handful of writes.
+	conn.(*net.TCPConn).SetWriteBuffer(8 << 10)
+
+	s, err := NewSender(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const stall = 200 * time.Millisecond
+	s.SetStallTimeout(stall)
+
+	payload := make([]byte, 32<<10)
+	start := time.Now()
+	var sendErr error
+	for i := 0; i < 10000 && sendErr == nil; i++ {
+		sendErr = s.Send(Tuple{Seq: uint64(i), Payload: payload})
+	}
+	elapsed := time.Since(start)
+	if sendErr == nil {
+		t.Fatal("sends never failed against a peer that never reads")
+	}
+	var nerr net.Error
+	if !errors.As(sendErr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", sendErr)
+	}
+	// The deadline re-arms on progress, so the bound is a few multiples of
+	// the stall timeout, never unbounded.
+	if elapsed > 10*stall {
+		t.Errorf("stalled send took %v to fail, want within a few multiples of %v", elapsed, stall)
+	}
+
+	peer := <-accepted
+	peer.Close()
+}
+
+// TestSenderStallTimeoutSparesHealthyPeer drives the same sender shape
+// against a peer that drains: the stall deadline must never fire.
+func TestSenderStallTimeoutSparesHealthyPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		c, aerr := ln.Accept()
+		if aerr != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64<<10)
+		for {
+			if _, rerr := c.Read(buf); rerr != nil {
+				return
+			}
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSender(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetStallTimeout(100 * time.Millisecond)
+
+	payload := make([]byte, 16<<10)
+	for i := 0; i < 2000; i++ {
+		if err := s.Send(Tuple{Seq: uint64(i), Payload: payload}); err != nil {
+			t.Fatalf("send %d failed against a healthy peer: %v", i, err)
+		}
+	}
+	s.Close()
+	conn.Close()
+	<-drained
+}
