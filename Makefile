@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race vet bench bench-json figures figures-csv examples quick-bench soak soak-smoke
+.PHONY: test test-race vet bench bench-json bench-guard figures figures-csv examples quick-bench soak soak-smoke
 
 test:
 	go test ./...
@@ -41,6 +41,16 @@ bench:
 # bench-regression job archives per commit).
 bench-json:
 	go test -bench=. -benchmem -benchtime=1x -run '^$$' ./... | go run ./cmd/benchjson
+
+# Measured merger-ingest run gated against the newest checked-in baseline:
+# fails on a >10% tuples/s drop at 64 connections (what CI enforces).
+bench-guard:
+	go test -bench 'BenchmarkMergerIngest' -benchmem -run '^$$' ./internal/runtime \
+		| go run ./cmd/benchjson > /tmp/ingest.$$$$.json \
+		&& go run ./cmd/benchguard \
+			-baseline "$$(ls BENCH_*.json | tail -1)" -current /tmp/ingest.$$$$.json \
+			-bench 'MergerIngest/conns=64/recv=64' -metric tuples/s -max-drop 0.10; \
+		rc=$$?; rm -f /tmp/ingest.$$$$.json; exit $$rc
 
 figures:
 	go run ./cmd/sbench -fig all

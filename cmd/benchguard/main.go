@@ -1,0 +1,164 @@
+// Command benchguard compares two benchjson archives and fails when a watched
+// metric regresses past a tolerance — the teeth behind the CI bench-regression
+// job, which until now only archived numbers without acting on them.
+//
+//	benchguard -baseline BENCH_old.json -current BENCH_new.json \
+//	    -bench 'MergerIngest/conns=64/recv=64' -metric tuples/s -max-drop 0.10
+//
+// Every benchmark in the baseline whose name matches -bench and carries the
+// watched metric is checked against the same benchmark in the current report.
+// For higher-is-better metrics (the default: throughput) a drop beyond
+// -max-drop fails; pass -lower-better for ns/op-style metrics, where the same
+// tolerance bounds growth instead. A matched benchmark missing from the
+// current report fails too — a silently vanished benchmark is how regressions
+// go unnoticed. Names are compared with any trailing -GOMAXPROCS suffix
+// stripped, so archives from machines with different core counts diff cleanly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Result and Report mirror cmd/benchjson's output document.
+type Result struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// procsSuffix is the -GOMAXPROCS tail go test appends to benchmark names on
+// multi-core machines (absent when GOMAXPROCS is 1).
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string {
+	return procsSuffix.ReplaceAllString(name, "")
+}
+
+// Violation is one failed comparison.
+type Violation struct {
+	Name     string
+	Metric   string
+	Baseline float64
+	Current  float64 // 0 and Missing=true when absent
+	Missing  bool
+}
+
+func (v Violation) String() string {
+	if v.Missing {
+		return fmt.Sprintf("%s: missing from current report (baseline %s = %g)", v.Name, v.Metric, v.Baseline)
+	}
+	change := (v.Current - v.Baseline) / v.Baseline * 100
+	return fmt.Sprintf("%s: %s %g -> %g (%+.1f%%)", v.Name, v.Metric, v.Baseline, v.Current, change)
+}
+
+// Compare checks every baseline benchmark matching bench (and carrying
+// metric) against the current report. maxDrop is the tolerated fractional
+// regression: loss for higher-is-better metrics, growth for lower-is-better.
+// checked counts comparisons that ran; zero means the pattern matched nothing
+// with the metric, which callers should treat as a configuration error.
+func Compare(baseline, current *Report, bench *regexp.Regexp, metric string, maxDrop float64, lowerBetter bool) (violations []Violation, checked int) {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Pkg+"\x00"+normalize(r.Name)] = r
+	}
+	for _, b := range baseline.Results {
+		name := normalize(b.Name)
+		if !bench.MatchString(name) {
+			continue
+		}
+		base, ok := b.Metrics[metric]
+		if !ok || base == 0 {
+			continue
+		}
+		checked++
+		c, ok := cur[b.Pkg+"\x00"+name]
+		if !ok {
+			violations = append(violations, Violation{Name: name, Metric: metric, Baseline: base, Missing: true})
+			continue
+		}
+		got, ok := c.Metrics[metric]
+		if !ok {
+			violations = append(violations, Violation{Name: name, Metric: metric, Baseline: base, Missing: true})
+			continue
+		}
+		bad := got < base*(1-maxDrop)
+		if lowerBetter {
+			bad = got > base*(1+maxDrop)
+		}
+		if bad {
+			violations = append(violations, Violation{Name: name, Metric: metric, Baseline: base, Current: got})
+		}
+	}
+	return violations, checked
+}
+
+func load(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchguard: parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "benchjson archive to compare against (required)")
+	currentPath := flag.String("current", "", "benchjson archive under test (required)")
+	benchPat := flag.String("bench", ".", "regexp selecting benchmark names to guard")
+	metric := flag.String("metric", "tuples/s", "metric key to compare")
+	maxDrop := flag.Float64("max-drop", 0.10, "tolerated fractional regression (0.10 = 10%)")
+	lowerBetter := flag.Bool("lower-better", false, "metric regresses by growing (ns/op, B/op)")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*benchPat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: bad -bench pattern: %v\n", err)
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	violations, checked := Compare(baseline, current, re, *metric, *maxDrop, *lowerBetter)
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no baseline benchmark matches %q with metric %q\n", *benchPat, *metric)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		var lines []string
+		for _, v := range violations {
+			lines = append(lines, "  "+v.String())
+		}
+		fmt.Fprintf(os.Stderr, "benchguard: %d of %d guarded benchmarks regressed beyond %.0f%%:\n%s\n",
+			len(violations), checked, *maxDrop*100, strings.Join(lines, "\n"))
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmarks within %.0f%% of baseline (%s)\n", checked, *maxDrop*100, *metric)
+}

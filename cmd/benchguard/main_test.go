@@ -1,0 +1,80 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func report(results ...Result) *Report { return &Report{Results: results} }
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Pkg: "p", Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report(res("BenchmarkMergerIngest/conns=64/recv=64", map[string]float64{"tuples/s": 1000000}))
+	cur := report(res("BenchmarkMergerIngest/conns=64/recv=64", map[string]float64{"tuples/s": 950000}))
+	v, checked := Compare(base, cur, regexp.MustCompile(`conns=64`), "tuples/s", 0.10, false)
+	if len(v) != 0 || checked != 1 {
+		t.Fatalf("got %d violations, %d checked; want 0 and 1: %v", len(v), checked, v)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := report(res("BenchmarkMergerIngest/conns=64/recv=64", map[string]float64{"tuples/s": 1000000}))
+	cur := report(res("BenchmarkMergerIngest/conns=64/recv=64", map[string]float64{"tuples/s": 899999}))
+	v, checked := Compare(base, cur, regexp.MustCompile(`conns=64`), "tuples/s", 0.10, false)
+	if len(v) != 1 || checked != 1 {
+		t.Fatalf("got %d violations, %d checked; want 1 and 1", len(v), checked)
+	}
+	if v[0].Missing {
+		t.Fatal("regression misreported as missing")
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := report(res("BenchmarkX", map[string]float64{"tuples/s": 1000}))
+	cur := report(res("BenchmarkX", map[string]float64{"tuples/s": 5000}))
+	if v, _ := Compare(base, cur, regexp.MustCompile(`.`), "tuples/s", 0.10, false); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := report(res("BenchmarkGone", map[string]float64{"tuples/s": 1000}))
+	cur := report()
+	v, checked := Compare(base, cur, regexp.MustCompile(`.`), "tuples/s", 0.10, false)
+	if len(v) != 1 || !v[0].Missing || checked != 1 {
+		t.Fatalf("missing benchmark not flagged: %v (checked %d)", v, checked)
+	}
+}
+
+func TestCompareLowerBetter(t *testing.T) {
+	base := report(res("BenchmarkX", map[string]float64{"ns/op": 100}))
+	grew := report(res("BenchmarkX", map[string]float64{"ns/op": 120}))
+	shrank := report(res("BenchmarkX", map[string]float64{"ns/op": 50}))
+	if v, _ := Compare(base, grew, regexp.MustCompile(`.`), "ns/op", 0.10, true); len(v) != 1 {
+		t.Fatalf("ns/op growth not flagged: %v", v)
+	}
+	if v, _ := Compare(base, shrank, regexp.MustCompile(`.`), "ns/op", 0.10, true); len(v) != 0 {
+		t.Fatalf("ns/op improvement flagged: %v", v)
+	}
+}
+
+func TestCompareStripsProcsSuffix(t *testing.T) {
+	// Baseline from a 1-core box (no suffix), current from a 4-core CI
+	// runner (-4 suffix): the names must still pair up.
+	base := report(res("BenchmarkMergerIngest/conns=64/recv=64", map[string]float64{"tuples/s": 1000}))
+	cur := report(res("BenchmarkMergerIngest/conns=64/recv=64-4", map[string]float64{"tuples/s": 990}))
+	v, checked := Compare(base, cur, regexp.MustCompile(`conns=64`), "tuples/s", 0.10, false)
+	if len(v) != 0 || checked != 1 {
+		t.Fatalf("suffix mismatch broke pairing: %v (checked %d)", v, checked)
+	}
+}
+
+func TestCompareNoMatchReportsZeroChecked(t *testing.T) {
+	base := report(res("BenchmarkX", map[string]float64{"tuples/s": 1000}))
+	if _, checked := Compare(base, base, regexp.MustCompile(`Nope`), "tuples/s", 0.10, false); checked != 0 {
+		t.Fatalf("checked = %d, want 0", checked)
+	}
+}

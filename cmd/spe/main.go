@@ -112,7 +112,8 @@ func runMerger(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("spe merger", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "number of worker connections to accept")
 	queue := fs.Int("queue", 0, "reorder queue capacity per worker (0 = default)")
-	recvBatch := fs.Int("recv-batch", 0, "tuples ingested per lock acquisition (0 = default, 1 = per-tuple)")
+	recvBatch := fs.Int("recv-batch", 0, "tuples ingested per receive pass (0 = default, 1 = per-tuple)")
+	ringCap := fs.Int("ring-cap", 0, "per-connection lock-free ingest ring capacity, rounded up to a power of two (0 = default)")
 	stallWindow := fs.Duration("stall-window", 0, "merge-stall watchdog window; quarantines stragglers via the control channel (0 = off)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /trace on this address (empty = off)")
 	timeouts := timeoutFlags(fs)
@@ -137,6 +138,9 @@ func runMerger(w io.Writer, args []string) error {
 	}
 	if *recvBatch > 0 {
 		m.SetRecvBatch(*recvBatch)
+	}
+	if *ringCap > 0 {
+		m.SetRingCap(*ringCap)
 	}
 	m.SetTimeouts(timeouts())
 	if *stallWindow > 0 {
@@ -305,6 +309,7 @@ func runAll(w io.Writer, args []string) error {
 	recover := fs.Bool("recover", false, "enable worker-failure recovery (resilient workers + control channel)")
 	batch := fs.Int("batch", 1, "tuples per vectored-write batch (1 = per-tuple sends)")
 	recvBatch := fs.Int("recv-batch", 0, "tuples per receive pass in workers and merger (0 = default, 1 = per-tuple)")
+	ringCap := fs.Int("ring-cap", 0, "merger per-connection ingest ring capacity (0 = default)")
 	stallWindow := fs.Duration("stall-window", 0, "merge-stall watchdog window (0 = off; needs -recover)")
 	maxReadmits := fs.Int("max-readmits", 0, "quarantines one worker may survive before permanent eviction (0 = default, negative = unlimited)")
 	ioTO := fs.Duration("io-timeout", 0, "deadline for dials, handshakes, probes and control writes in every component (0 = defaults)")
@@ -325,6 +330,9 @@ func runAll(w io.Writer, args []string) error {
 	margs := []string{"-workers", fmt.Sprint(*workers)}
 	if *recvBatch > 0 {
 		margs = append(margs, "-recv-batch", fmt.Sprint(*recvBatch))
+	}
+	if *ringCap > 0 {
+		margs = append(margs, "-ring-cap", fmt.Sprint(*ringCap))
 	}
 	if *ioTO != 0 {
 		margs = append(margs, "-io-timeout", ioTO.String())

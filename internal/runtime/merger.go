@@ -15,12 +15,44 @@ import (
 	"streambalance/internal/transport"
 )
 
-// DefaultMergerQueue bounds each connection's reorder queue: while the tuple
-// the merge needs next has not arrived, at most this many tuples are buffered
-// per other connection before their readers stop draining TCP — which is how
-// back pressure reaches the splitter through the fast connections only under
-// severe skew (see Section 4.1 and the sim package's discussion).
+// DefaultMergerQueue bounds each connection's reorder backlog (ring plus
+// heap): while the tuple the merge needs next has not arrived, at most this
+// many tuples are buffered per other connection before their readers stop
+// draining TCP — which is how back pressure reaches the splitter through the
+// fast connections only under severe skew (see Section 4.1 and the sim
+// package's discussion).
 const DefaultMergerQueue = 1024
+
+// DefaultMergerRing bounds each connection's lock-free ingest ring in tuples
+// (rounded up to a power of two). The ring is a hand-off lane, not the
+// reorder buffer: it only needs to cover the bursts between merge-loop drain
+// passes, and its occupancy counts toward the DefaultMergerQueue back-pressure
+// cap.
+const DefaultMergerRing = 1024
+
+// capWaiveDelay is how long the merge loop tolerates being unable to
+// release while a stream sits at its back-pressure cap before it waives the
+// cap (mergeStuck): long enough that a tuple already in flight on another
+// stream (the common cause — its reader merely hasn't been scheduled)
+// resolves the gap without waiving, short enough that under a persistent
+// gap — a straggling worker, a replay wedged behind a survivor's backlog —
+// the fast streams are only ever paused briefly, preserving the old locked
+// merger's behavior of not converting a head-blocked merge into a false
+// blocking signal on the healthy connections.
+const capWaiveDelay = 100 * time.Microsecond
+
+// capWaivePoll is the merge loop's poll-sleep granularity inside the
+// capWaiveDelay window; sleeping (rather than cond-parking) hands the CPU
+// to the connection readers, one of which is usually about to deliver the
+// sequence the merge is waiting on.
+const capWaivePoll = 20 * time.Microsecond
+
+// capWaiveHot is the hysteresis window after a waiver fires during which
+// further head-blocked parks waive immediately, skipping the capWaiveDelay
+// poll. A replay drain head-blocks once per buried sequence; the first
+// episode proves the wedge is real, and charging every subsequent episode
+// the full poll would turn recovery into a sequence of stalls.
+const capWaiveHot = 10 * time.Millisecond
 
 // DefaultWatermarkInterval is how often the merger reports its released
 // watermark on the control channel.
@@ -36,32 +68,85 @@ const DefaultWatermarkInterval = 20 * time.Millisecond
 // released exactly once. The merger learns the stream's total length from
 // the splitter's FIN frame on the control channel; without a control
 // channel it falls back to the original fixed-worker semantics.
+//
+// Ingest is sharded: each connection reader owns a bounded lock-free SPSC
+// ring (producer = the reader, consumer = the merge loop), and the merge
+// loop drains rings into consumer-private per-stream reorder heaps, picking
+// releases through an indexed min-heap over the stream heads. No mutex is
+// taken on the tuple hot path; per-item ordered-merge synchronization is the
+// multicore scaling ceiling Prasaad et al. identify, and it previously capped
+// ingest at 64 connections on one lock hand-off. Locks remain only on the
+// control plane (membership, FIN, errors — all rare), fenced from the merge
+// loop by an epoch counter, and inside park/wake, which is touched only when
+// a goroutine actually goes to sleep.
 type Merger struct {
 	ln          net.Listener
 	workers     int
 	queueCap    int
-	recvBatch   int // max tuples ingested per lock acquisition
+	ringCap     int
+	recvBatch   int // max tuples decoded per ReceiveBatch pass
 	sink        func(transport.Tuple, int)
 	wmInterval  time.Duration
 	to          Timeouts
 	stallWindow time.Duration // 0 = watchdog disabled
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	queues      []seqHeap // per worker id, min-heap by Seq
-	live        []bool    // worker id currently attached
-	attached    int       // distinct worker ids ever attached
-	seen        []bool
-	quarantined []bool // nominated for quarantine, not yet recovered
-	finKnown    bool
-	finTotal    uint64
-	ctrlSeen    bool // a control connection has ever attached
-	ctrlLive    int  // control connections currently open
-	fatal       error
-	closed      bool
-	strmErrs    []error
-	conns       map[net.Conn]struct{} // attached worker conns, for teardown
-	pending     map[net.Conn]struct{} // accepted conns mid-handshake, for teardown
+	// Data plane. rings[id] is written by connection id's reader and
+	// drained by the merge loop; queues (per-stream reorder heaps) and
+	// heads (the release tournament over their minimums) are touched by
+	// the merge loop alone. depth[id] republishes each heap's occupancy
+	// so producers can compute their back-pressure bound and the watchdog
+	// can rank candidates without entering the merge loop's world.
+	rings  []*spscRing
+	queues []streamQueue
+	heads  *headIndex
+	depth  []paddedCount
+
+	// Park/wake. The merge loop parks on parkCond when every ring is
+	// empty; producers wake it with wakeMerge, which fast-paths to a
+	// single atomic load while it is awake. Each reader parks on its own
+	// stream's condvar (parks[id]) when its backlog hits the back-pressure
+	// cap or its ring is full, and is woken selectively: when the merge
+	// loop drains its ring, when its backlog descends through wakeAt
+	// (refill hysteresis — waking at cap-1 would let it push one tuple and
+	// re-park, a broadcast storm under contention), and by wakeAll on any
+	// control-plane change. mergeStuck is the merge loop's published "I
+	// cannot release anything while a stream sits at its cap" bit: while
+	// it is set, readers at their cap overflow instead of parking, because
+	// the sequence the merge needs may be *behind* the tuple in their hand
+	// (a replay queued after a survivor's backlog) and parking would wedge
+	// the region on head-of-line blocking.
+	parked     atomic.Int32
+	parkMu     sync.Mutex
+	parkCond   *sync.Cond
+	parks      []streamPark
+	wakeAt     int // queue depth at which a cap-parked reader is rewoken
+	lastWaive  time.Time // merge loop only: when the cap was last waived
+	mergeStuck atomic.Bool
+	closed     atomic.Bool
+
+	// Control plane, guarded by ctl: membership and completion state that
+	// changes on the order of connections, not tuples. Every mutation
+	// bumps epoch (under ctl) and then calls wakeAll; the merge loop
+	// caches a snapshot and refreshes it when the epoch moves, re-fencing
+	// against the current epoch before any terminal decision.
+	ctl      sync.Mutex
+	epoch    atomic.Uint64
+	live     []bool // worker id currently attached
+	seen     []bool
+	attached int // distinct worker ids ever attached
+	finKnown bool
+	finTotal uint64
+	ctrlSeen bool // a control connection has ever attached
+	ctrlLive int  // control connections currently open
+	fatal    error
+	strmErrs []error
+	conns    map[net.Conn]struct{} // attached worker conns, for teardown
+	pending  map[net.Conn]struct{} // accepted conns mid-handshake, for teardown
+
+	// quarantined[id] is set when the watchdog nominates id and cleared
+	// when the stream delivers or reattaches; atomic because readers
+	// clear it on the lock-free ingest path.
+	quarantined []atomic.Bool
 
 	// lastIngest is the wall time (unix nanos) each worker id last
 	// delivered a batch, stamped lock-free by the connection readers and
@@ -69,13 +154,10 @@ type Merger struct {
 	lastIngest []atomic.Int64
 
 	// next is the released watermark: the lowest unreleased sequence
-	// number. Mutated only by the merge loop under m.mu, but stored
-	// atomically so the watermark writer and stats accessors read it
-	// without contending with ingest.
+	// number. Mutated only by the merge loop, read everywhere (readers'
+	// dedup/admission checks, the watermark writer, stats accessors).
 	next atomic.Uint64
 
-	// deduped and dupRejects are atomics for the same reason: /metrics
-	// scrapes read them while readers hold m.mu.
 	deduped    atomic.Uint64
 	dupRejects atomic.Uint64
 
@@ -93,8 +175,10 @@ type Merger struct {
 	mDeduped     *metrics.Counter
 	mDupRejects  *metrics.Counter
 	mQueue       []*metrics.Gauge
+	mRing        []*metrics.Gauge
 	mIngestBatch *metrics.Histogram
-	mIngestLocks *metrics.Counter
+	mParks       *metrics.Counter
+	mWakes       *metrics.Counter
 	mStall       *metrics.Histogram
 	mIngestAge   []*metrics.Gauge
 }
@@ -120,14 +204,18 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 		ln:          ln,
 		workers:     workers,
 		queueCap:    queueCap,
+		ringCap:     DefaultMergerRing,
 		recvBatch:   transport.DefaultRecvBatch,
 		sink:        sink,
 		wmInterval:  DefaultWatermarkInterval,
 		to:          Timeouts{}.norm(),
-		queues:      make([]seqHeap, workers),
+		rings:       make([]*spscRing, workers),
+		queues:      make([]streamQueue, workers),
+		heads:       newHeadIndex(workers),
+		depth:       make([]paddedCount, workers),
 		live:        make([]bool, workers),
 		seen:        make([]bool, workers),
-		quarantined: make([]bool, workers),
+		quarantined: make([]atomic.Bool, workers),
 		conns:       make(map[net.Conn]struct{}),
 		pending:     make(map[net.Conn]struct{}),
 		lastIngest:  make([]atomic.Int64, workers),
@@ -135,7 +223,15 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 		quarCh:      make(chan int, workers),
 		done:        make(chan struct{}),
 	}
-	m.cond = sync.NewCond(&m.mu)
+	for id := range m.rings {
+		m.rings[id] = newSPSCRing(m.ringCap)
+	}
+	m.parkCond = sync.NewCond(&m.parkMu)
+	m.parks = make([]streamPark, workers)
+	for id := range m.parks {
+		m.parks[id].cond = sync.NewCond(&m.parks[id].mu)
+	}
+	m.wakeAt = queueCap / 2
 	return m, nil
 }
 
@@ -166,7 +262,7 @@ func (m *Merger) SetWatermarkInterval(d time.Duration) {
 }
 
 // SetRecvBatch bounds how many tuples one connection reader decodes and
-// ingests per m.mu acquisition (default transport.DefaultRecvBatch; 1
+// ingests per ReceiveBatch pass (default transport.DefaultRecvBatch; 1
 // restores the per-tuple path). Call before Start.
 func (m *Merger) SetRecvBatch(n int) {
 	if n > 0 {
@@ -174,9 +270,24 @@ func (m *Merger) SetRecvBatch(n int) {
 	}
 }
 
+// SetRingCap resizes each connection's lock-free ingest ring (default
+// DefaultMergerRing; rounded up to a power of two, minimum 2). The ring
+// bounds burst hand-off between a reader and the merge loop, not the reorder
+// backlog — ring occupancy counts toward the queueCap back-pressure bound.
+// Call before Start.
+func (m *Merger) SetRingCap(n int) {
+	if n <= 0 {
+		return
+	}
+	m.ringCap = n
+	for id := range m.rings {
+		m.rings[id] = newSPSCRing(n)
+	}
+}
+
 // SetMetrics instruments the merger: release counter, watermark gauge,
-// per-connection reorder-queue occupancy and dedupe counters. Call before
-// Start; nil is a no-op.
+// per-connection reorder-heap and ring occupancy, dedupe and park/wake
+// counters. Call before Start; nil is a no-op.
 func (m *Merger) SetMetrics(rm *RegionMetrics) {
 	if rm == nil {
 		return
@@ -187,13 +298,16 @@ func (m *Merger) SetMetrics(rm *RegionMetrics) {
 	m.mDeduped = rm.deduped
 	m.mDupRejects = rm.dupRejects
 	m.mQueue = make([]*metrics.Gauge, m.workers)
+	m.mRing = make([]*metrics.Gauge, m.workers)
 	m.mIngestAge = make([]*metrics.Gauge, m.workers)
 	for id := 0; id < m.workers; id++ {
 		m.mQueue[id] = rm.queueDepth.With(strconv.Itoa(id))
+		m.mRing[id] = rm.ringDepth.With(strconv.Itoa(id))
 		m.mIngestAge[id] = rm.ingestAge.With(strconv.Itoa(id))
 	}
 	m.mIngestBatch = rm.ingestBatchTuples
-	m.mIngestLocks = rm.ingestLocks
+	m.mParks = rm.ingestParks
+	m.mWakes = rm.mergeWakes
 	m.mStall = rm.stallSeconds
 }
 
@@ -228,6 +342,96 @@ func (m *Merger) Watermark() uint64 {
 	return m.next.Load()
 }
 
+// paddedCount is an atomic counter alone on its cache line: the per-stream
+// depth counters are written by the merge loop per release and read by their
+// producers per tuple, and packing eight to a line would false-share every
+// store across eight readers.
+type paddedCount struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// streamDepth is stream id's full reorder backlog: its published queue
+// occupancy plus whatever sits undrained in its ring. Lock-free and
+// approximate while both sides move, which is fine for back pressure and
+// watchdog evidence.
+func (m *Merger) streamDepth(id int) int {
+	return int(m.depth[id].v.Load()) + m.rings[id].len()
+}
+
+// streamPark is one connection reader's private parking spot: the reader
+// parks here when its stream hits the back-pressure cap or its ring fills,
+// and the merge loop wakes it selectively, so one stream draining does not
+// broadcast to the other sixty-three.
+type streamPark struct {
+	parked atomic.Int32
+	mu     sync.Mutex
+	cond   *sync.Cond
+}
+
+// wakeMerge unblocks the merge loop if it is parked. The fast path is one
+// atomic load: while it is awake (the steady state), waking costs nothing
+// and the producers' hot path never touches parkMu.
+func (m *Merger) wakeMerge() {
+	if m.parked.Load() == 0 {
+		return
+	}
+	m.parkMu.Lock()
+	m.parkCond.Broadcast()
+	m.parkMu.Unlock()
+}
+
+// wakeStream unblocks stream id's reader if it is parked; same single
+// atomic-load fast path as wakeMerge.
+func (m *Merger) wakeStream(id int) {
+	p := &m.parks[id]
+	if p.parked.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// wakeAll unblocks every parked goroutine — the merge loop and all stream
+// readers. Control-plane use (membership changes, teardown, the merge
+// loop's pre-park handoff): any state change whose unblocking effect is not
+// captured by a targeted wake must come here.
+func (m *Merger) wakeAll() {
+	m.wakeMerge()
+	for id := range m.parks {
+		m.wakeStream(id)
+	}
+}
+
+// parkWhile blocks the merge loop while cond() holds. cond must read only
+// atomics. The parked counter is raised before cond is re-checked under
+// parkMu, so a waker that changes state and then sees parked == 0 is
+// guaranteed the parker will observe that change and not sleep — the usual
+// Dekker hand-off, with sequential consistency supplied by sync/atomic.
+func (m *Merger) parkWhile(cond func() bool) {
+	m.parked.Add(1)
+	m.parkMu.Lock()
+	for cond() {
+		m.parkCond.Wait()
+	}
+	m.parkMu.Unlock()
+	m.parked.Add(-1)
+}
+
+// parkStream blocks stream id's reader while cond() holds; the same Dekker
+// hand-off as parkWhile, against the stream's own parking spot.
+func (m *Merger) parkStream(id int, cond func() bool) {
+	p := &m.parks[id]
+	p.parked.Add(1)
+	p.mu.Lock()
+	for cond() {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	p.parked.Add(-1)
+}
+
 // Start launches the accept loop, per-connection readers and the merge loop.
 func (m *Merger) Start() {
 	go func() {
@@ -253,11 +457,17 @@ func (m *Merger) run() error {
 	close(m.wmStop)
 	m.teardown()
 	m.wg.Wait()
+	// Every producer has exited (readers parked mid-batch were woken by
+	// teardown's closed+wakeAll and released their in-hand references on
+	// the way out), so the rings are quiescent: drain them and the reorder
+	// heaps single-threaded, returning every still-held block reference to
+	// the transport pool.
+	m.drainLeftovers()
 
-	m.mu.Lock()
+	m.ctl.Lock()
 	strmErrs := m.strmErrs
 	ctrlSeen := m.ctrlSeen
-	m.mu.Unlock()
+	m.ctl.Unlock()
 	if mergeErr != nil {
 		return errors.Join(append([]error{mergeErr}, strmErrs...)...)
 	}
@@ -270,28 +480,42 @@ func (m *Merger) run() error {
 	return nil
 }
 
-// teardown closes the listener and every attached connection, wakes all
-// parked goroutines so they observe the shutdown, and drains the reorder
-// queues so every still-queued item's block reference is released back to
-// the transport pool.
+// teardown closes the listener and every attached connection and wakes all
+// parked goroutines so they observe the shutdown. Queue draining happens
+// after wg.Wait in run: a reader parked on a full ring or at its
+// back-pressure cap still holds references for the rest of its batch, and
+// only once every reader has exited is single-threaded drain safe.
 func (m *Merger) teardown() {
 	m.ln.Close()
-	m.mu.Lock()
-	m.closed = true
+	m.closed.Store(true)
+	m.ctl.Lock()
 	for conn := range m.conns {
 		conn.Close()
 	}
 	for conn := range m.pending {
 		conn.Close()
 	}
-	for id := range m.queues {
-		for len(m.queues[id]) > 0 {
+	m.epoch.Add(1)
+	m.ctl.Unlock()
+	m.wakeAll()
+}
+
+// drainLeftovers releases every block reference still queued in the rings
+// and reorder heaps. Only called after all producers have exited.
+func (m *Merger) drainLeftovers() {
+	for id := range m.rings {
+		for {
+			it, ok := m.rings[id].pop()
+			if !ok {
+				break
+			}
+			it.ref.Release()
+		}
+		for m.queues[id].len() > 0 {
 			m.queues[id].popMin().ref.Release()
 		}
-		m.queues[id] = nil
+		m.queues[id] = streamQueue{}
 	}
-	m.cond.Broadcast()
-	m.mu.Unlock()
 }
 
 // acceptLoop admits worker and control connections until the listener
@@ -319,18 +543,18 @@ func (m *Merger) acceptLoop() {
 // goroutine — and with it the merger's WaitGroup — forever.
 func (m *Merger) handshake(conn net.Conn) {
 	defer m.wg.Done()
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.ctl.Lock()
+	if m.closed.Load() {
+		m.ctl.Unlock()
 		conn.Close()
 		return
 	}
 	m.pending[conn] = struct{}{}
-	m.mu.Unlock()
+	m.ctl.Unlock()
 	unpend := func() {
-		m.mu.Lock()
+		m.ctl.Lock()
 		delete(m.pending, conn)
-		m.mu.Unlock()
+		m.ctl.Unlock()
 	}
 	if m.to.Handshake > 0 {
 		conn.SetReadDeadline(time.Now().Add(m.to.Handshake))
@@ -348,10 +572,7 @@ func (m *Merger) handshake(conn net.Conn) {
 			}
 			return
 		}
-		m.mu.Lock()
-		closed := m.closed
-		m.mu.Unlock()
-		if !closed {
+		if !m.closed.Load() {
 			m.recordStreamErr(fmt.Errorf("runtime: merger read worker id: %w", err))
 		}
 		return
@@ -364,15 +585,14 @@ func (m *Merger) handshake(conn net.Conn) {
 		return
 	}
 	id := int(raw)
-	m.mu.Lock()
 	if id < 0 || id >= m.workers {
-		m.mu.Unlock()
 		conn.Close()
 		m.setFatal(fmt.Errorf("runtime: merger got bad worker id %d", id))
 		return
 	}
-	if m.closed {
-		m.mu.Unlock()
+	m.ctl.Lock()
+	if m.closed.Load() {
+		m.ctl.Unlock()
 		conn.Close()
 		return
 	}
@@ -385,7 +605,7 @@ func (m *Merger) handshake(conn net.Conn) {
 		if m.mDupRejects != nil {
 			m.mDupRejects.Inc()
 		}
-		m.mu.Unlock()
+		m.ctl.Unlock()
 		conn.Close()
 		return
 	}
@@ -394,66 +614,72 @@ func (m *Merger) handshake(conn net.Conn) {
 		m.seen[id] = true
 		m.attached++
 	}
+	m.conns[conn] = struct{}{}
+	m.epoch.Add(1)
+	m.ctl.Unlock()
 	// A (re)attaching stream is fresh evidence of life: reset the ingest
 	// clock and clear any standing quarantine nomination for this id.
-	m.quarantined[id] = false
+	m.quarantined[id].Store(false)
 	m.lastIngest[id].Store(time.Now().UnixNano())
-	m.conns[conn] = struct{}{}
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	m.wakeAll()
 	m.readLoop(id, conn)
 }
 
 // setFatal records a protocol violation and aborts the merge.
 func (m *Merger) setFatal(err error) {
-	m.mu.Lock()
+	m.ctl.Lock()
 	if m.fatal == nil {
 		m.fatal = err
 	}
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	m.epoch.Add(1)
+	m.ctl.Unlock()
+	m.wakeAll()
 }
 
 func (m *Merger) recordStreamErr(err error) {
-	m.mu.Lock()
+	m.ctl.Lock()
 	m.strmErrs = append(m.strmErrs, err)
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	m.epoch.Add(1)
+	m.ctl.Unlock()
+	m.wakeAll()
 }
 
 // attachControl wires a splitter control connection: one goroutine streams
 // watermarks out, this goroutine reads the FIN total and then watches for
 // the peer closing.
 func (m *Merger) attachControl(conn net.Conn) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.ctl.Lock()
+	if m.closed.Load() {
+		m.ctl.Unlock()
 		conn.Close()
 		return
 	}
 	m.ctrlSeen = true
 	m.ctrlLive++
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	m.epoch.Add(1)
+	m.ctl.Unlock()
+	m.wakeAll()
 
 	m.wg.Add(1)
 	go m.watermarkWriter(conn)
 
 	var buf [8]byte
 	if _, err := io.ReadFull(conn, buf[:]); err == nil {
-		m.mu.Lock()
+		m.ctl.Lock()
 		m.finKnown = true
 		m.finTotal = binary.LittleEndian.Uint64(buf[:])
-		m.cond.Broadcast()
-		m.mu.Unlock()
+		m.epoch.Add(1)
+		m.ctl.Unlock()
+		m.wakeAll()
 		// The splitter holds the channel open until it drains; wait for
 		// the close so ctrlLive reflects liveness, not FIN receipt.
 		io.Copy(io.Discard, conn)
 	}
-	m.mu.Lock()
+	m.ctl.Lock()
 	m.ctrlLive--
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	m.epoch.Add(1)
+	m.ctl.Unlock()
+	m.wakeAll()
 }
 
 // watermarkWriter periodically reports the released watermark and forwards
@@ -476,7 +702,8 @@ func (m *Merger) watermarkWriter(conn net.Conn) {
 		return err
 	}
 	write := func() error {
-		// next is atomic, so the periodic report never touches m.mu.
+		// next is atomic, so the periodic report reads the merge loop's
+		// progress without touching it.
 		return send(m.next.Load())
 	}
 	for {
@@ -496,20 +723,20 @@ func (m *Merger) watermarkWriter(conn net.Conn) {
 	}
 }
 
-// readLoop drains one worker connection into its bounded reorder queue,
-// batch by batch: each ReceiveBatch decodes every complete frame already in
-// the receive buffer (up to recvBatch) and the whole batch is ingested
-// under a single m.mu acquisition — at 32–64 connections the per-tuple
-// lock hand-off was where ingest serialized. Back pressure is unchanged:
-// when the queue is full the ingest waits mid-batch, the reader stops
-// reading TCP, and the worker's sends eventually block.
+// readLoop drains one worker connection into its SPSC ring, batch by batch:
+// each ReceiveBatch decodes every complete frame already in the receive
+// buffer (up to recvBatch) and ingest pushes the whole batch lock-free.
+// Back pressure is unchanged from the mutex-guarded merger: when the
+// stream's reorder backlog is at capacity the ingest waits mid-batch, the
+// reader stops reading TCP, and the worker's sends eventually block.
 func (m *Merger) readLoop(id int, conn net.Conn) {
 	defer func() {
-		m.mu.Lock()
+		m.ctl.Lock()
 		m.live[id] = false
 		delete(m.conns, conn)
-		m.cond.Broadcast()
-		m.mu.Unlock()
+		m.epoch.Add(1)
+		m.ctl.Unlock()
+		m.wakeAll()
 		conn.Close()
 	}()
 	rc := transport.NewReceiver(conn)
@@ -522,21 +749,17 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 			if errors.Is(err, io.EOF) {
 				return
 			}
-			m.mu.Lock()
-			closed := m.closed
-			m.mu.Unlock()
-			if !closed {
+			if !m.closed.Load() {
 				m.recordStreamErr(fmt.Errorf("runtime: merger read worker %d: %w", id, err))
 			}
 			return
 		}
 		if m.mIngestBatch != nil {
 			m.mIngestBatch.Observe(float64(len(batch)))
-			m.mIngestLocks.Inc()
 		}
-		// Stamp arrival before ingest (which may park on a full queue): the
-		// watchdog must see that this stream is delivering even while the
-		// reorder queue has no room.
+		// Stamp arrival before ingest (which may park on a full backlog):
+		// the watchdog must see that this stream is delivering even while
+		// the reorder backlog has no room.
 		m.lastIngest[id].Store(time.Now().UnixNano())
 		if !m.ingest(id, batch, ref) {
 			return
@@ -544,62 +767,91 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 	}
 }
 
-// ingest pushes one received batch into the connection's reorder queue
-// under a single lock acquisition. Each tuple individually respects the
-// per-tuple admission rules: the full-queue wait (back pressure), the
-// always-admit exception for sequences at or below the watermark, and
-// read-time dedup of already-released sequences — so dedup, watermark and
-// replay accounting are identical to per-tuple ingest, just amortized.
-// Returns false when the merger closed mid-batch (the reader should exit);
-// the block references of tuples not handed to the queue are released here.
+// ingest pushes one received batch into the connection's SPSC ring with no
+// locks. Each tuple individually respects the per-tuple admission rules:
+// the full-backlog wait (back pressure), the always-admit exception for
+// sequences at or below the watermark, and read-time dedup of
+// already-released sequences — so dedup, watermark and replay accounting
+// are identical to mutex-guarded ingest (the sharded-vs-locked equivalence
+// suite pins this). Returns false when the merger closed mid-batch (the
+// reader should exit); the block references of tuples not handed to the
+// ring are released here. Single producer per ring: only connection id's
+// reader calls this, one batch at a time.
 func (m *Merger) ingest(id int, batch []transport.Tuple, ref *transport.BlockRef) bool {
-	m.mu.Lock()
+	ring := m.rings[id]
 	// A stream delivering again withdraws any standing quarantine
 	// nomination for it (e.g. the stall healed before the splitter acted).
-	m.quarantined[id] = false
+	m.quarantined[id].Store(false)
+	// One watermark load covers the batch: the merge loop invalidates that
+	// cache line on every release, and re-reading it per tuple from 64
+	// readers is pure coherence traffic. A stale (lower) value is safe on
+	// both uses — a duplicate it fails to catch is swept lazily by the
+	// merge loop, and a park it fails to skip re-checks a fresh load in
+	// its wait predicate.
+	next := m.next.Load()
 	pushed := false
-	for i, t := range batch {
-		// Block on a full queue only while the merge can progress without
-		// this reader. If no queue holds the next-needed sequence, the
-		// tuple carrying it may be *behind* the one in hand in this very
-		// stream (a replay queued after a survivor's backlog), so the
-		// reader must overflow the cap and keep reading or the region
-		// wedges on head-of-line blocking.
-		for len(m.queues[id]) >= m.queueCap && t.Seq > m.next.Load() && !m.closed && m.progressPossible() {
-			if pushed {
-				// Earlier tuples in this batch may include the sequence the
-				// merge loop is parked waiting for — wake it before parking
-				// ourselves, or both sides wait forever.
-				m.cond.Broadcast()
-				pushed = false
-			}
-			m.cond.Wait()
-		}
-		if m.closed {
-			m.mu.Unlock()
-			ref.ReleaseN(len(batch) - i)
-			return false
-		}
-		if t.Seq < m.next.Load() {
+	for i := range batch {
+		t := batch[i]
+		if t.Seq < next {
 			// Replay of a sequence already released: exactly-once means
 			// dropping it here.
 			m.noteDedup()
 			ref.Release()
 			continue
 		}
-		// Duplicates of still-queued sequences are admitted and dropped
-		// lazily by the merge loop's stale-head sweep once the watermark
-		// passes them — exactly one copy releases, every surplus copy is
-		// counted, matching the old eager insertSorted accounting (see
-		// seqHeap's doc comment and merger_equiv_test.go).
-		m.queues[id].push(mergeItem{t: t, ref: ref})
+		// Block on a full backlog only while the merge can progress
+		// without this reader (mergeStuck clear). If the merge is stuck,
+		// the tuple carrying the sequence it needs may be *behind* the one
+		// in hand in this very stream (a replay queued after a survivor's
+		// backlog), so the reader must overflow the cap and keep reading
+		// or the region wedges on head-of-line blocking.
+		for m.streamDepth(id) >= m.queueCap && t.Seq > next &&
+			!m.closed.Load() && !m.mergeStuck.Load() {
+			if pushed {
+				// Earlier tuples in this batch may include the sequence
+				// the merge loop is parked waiting for — wake it before
+				// parking ourselves, or both sides wait forever.
+				m.wakeMerge()
+				pushed = false
+			}
+			if m.mParks != nil {
+				m.mParks.Inc()
+			}
+			m.parkStream(id, func() bool {
+				return m.streamDepth(id) >= m.queueCap && t.Seq > m.next.Load() &&
+					!m.closed.Load() && !m.mergeStuck.Load()
+			})
+			next = m.next.Load()
+		}
+		if m.closed.Load() {
+			ref.ReleaseN(len(batch) - i)
+			return false
+		}
+		for !ring.push(mergeItem{t: t, ref: ref}) {
+			// A full ring is transient, not semantic back pressure: the
+			// merge loop drains rings unconditionally every pass. Wake it
+			// and park until a slot frees; re-check closed so teardown
+			// cannot strand this reader.
+			if m.closed.Load() {
+				ref.ReleaseN(len(batch) - i)
+				return false
+			}
+			m.wakeMerge()
+			if m.mParks != nil {
+				m.mParks.Inc()
+			}
+			m.parkStream(id, func() bool {
+				return ring.full() && !m.closed.Load()
+			})
+		}
 		pushed = true
 	}
-	if m.mQueue != nil {
-		m.mQueue[id].Set(float64(len(m.queues[id])))
+	if pushed {
+		m.wakeMerge()
 	}
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	if m.mRing != nil {
+		m.mRing[id].Set(float64(ring.len()))
+	}
 	return true
 }
 
@@ -695,22 +947,24 @@ func (m *Merger) watchdog() {
 // be queued behind the gap — an idle source stalls the watermark too, and
 // evicting healthy workers for having nothing to do would churn membership
 // for nothing. Among live, not-already-nominated connections whose last
-// ingest is older than the window, connections with an empty reorder queue
+// ingest is older than the window, connections with an empty reorder backlog
 // are preferred (the stalled link has nothing buffered; the survivors are
 // queued up behind the gap), oldest ingest first. Returns the candidate (or
-// -1) and whether the stall evidence held.
+// -1) and whether the stall evidence held. Backlogs are read from the
+// published depth atomics, so nomination never touches the merge loop's
+// private heaps.
 func (m *Merger) nominate(now time.Time) (victim int, evidence bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed || m.fatal != nil || m.ctrlLive == 0 {
+	m.ctl.Lock()
+	defer m.ctl.Unlock()
+	if m.closed.Load() || m.fatal != nil || m.ctrlLive == 0 {
 		return -1, false
 	}
 	if m.finKnown && m.next.Load() >= m.finTotal {
 		return -1, false
 	}
 	queued := 0
-	for id := range m.queues {
-		queued += len(m.queues[id])
+	for id := 0; id < m.workers; id++ {
+		queued += m.streamDepth(id)
 	}
 	if queued == 0 {
 		return -1, false
@@ -718,130 +972,290 @@ func (m *Merger) nominate(now time.Time) (victim int, evidence bool) {
 	best, bestEmpty := -1, false
 	var bestAge time.Duration
 	for id := range m.live {
-		if !m.live[id] || m.quarantined[id] {
+		if !m.live[id] || m.quarantined[id].Load() {
 			continue
 		}
 		age := now.Sub(time.Unix(0, m.lastIngest[id].Load()))
 		if age < m.stallWindow {
 			continue
 		}
-		empty := len(m.queues[id]) == 0
+		empty := m.streamDepth(id) == 0
 		if best < 0 || (empty && !bestEmpty) || (empty == bestEmpty && age > bestAge) {
 			best, bestEmpty, bestAge = id, empty, age
 		}
 	}
 	if best >= 0 {
-		m.quarantined[best] = true
+		m.quarantined[best].Store(true)
 	}
 	return best, true
 }
 
-// progressPossible reports whether the merge loop can release or drop at
-// least one queued tuple right now: some queue's head is at or below the
-// next-needed sequence. Callers hold m.mu.
-func (m *Merger) progressPossible() bool {
+// mergerSnap is the merge loop's cached view of the control plane,
+// refreshed whenever the epoch moves.
+type mergerSnap struct {
+	epoch    uint64
+	anyLive  bool
+	attached int
+	ctrlSeen bool
+	ctrlLive int
+	finKnown bool
+	finTotal uint64
+	fatal    error
+}
+
+// snapshot captures the control plane under ctl. The epoch is read under the
+// same lock that every mutation bumps it under, so a snapshot is consistent:
+// any change after the capture moves the epoch past snap.epoch.
+func (m *Merger) snapshot() mergerSnap {
+	m.ctl.Lock()
+	defer m.ctl.Unlock()
+	s := mergerSnap{
+		epoch:    m.epoch.Load(),
+		attached: m.attached,
+		ctrlSeen: m.ctrlSeen,
+		ctrlLive: m.ctrlLive,
+		finKnown: m.finKnown,
+		finTotal: m.finTotal,
+		fatal:    m.fatal,
+	}
+	for _, l := range m.live {
+		if l {
+			s.anyLive = true
+			break
+		}
+	}
+	return s
+}
+
+// drainRings moves everything the readers have published into the
+// consumer-private reorder queues. Items whose sequence fell below the
+// watermark while they sat in the ring are dropped (and counted) here; one
+// pass per ring is bounded by the ring's capacity so a fast producer cannot
+// pin the consumer on a single ring while the others back up. Returns
+// whether anything moved.
+func (m *Merger) drainRings() bool {
+	progressed := false
+	// The watermark only moves on this goroutine (releaseRuns), so one load
+	// serves the whole pass instead of re-reading a line the release path
+	// keeps invalidating.
 	next := m.next.Load()
+	for id := range m.rings {
+		r := m.rings[id]
+		n := 0
+		for n < len(r.buf) {
+			it, ok := r.pop()
+			if !ok {
+				break
+			}
+			n++
+			if it.t.Seq < next {
+				it.ref.Release()
+				m.noteDedup()
+				continue
+			}
+			m.queues[id].push(it)
+		}
+		if n > 0 {
+			progressed = true
+			m.depth[id].v.Store(int64(m.queues[id].len()))
+			m.heads.update(id, m.queues[id].headKey())
+			if m.mQueue != nil {
+				m.mQueue[id].Set(float64(m.queues[id].len()))
+				m.mRing[id].Set(float64(r.len()))
+			}
+			// Freed ring slots (and any swept duplicates) may unblock this
+			// stream's reader — a ring-full park, or a cap park whose depth
+			// the sweep just lowered.
+			m.wakeStream(id)
+		}
+	}
+	return progressed
+}
+
+// releaseRuns pops the tournament winner while its sequence is at or below
+// the watermark: stale heads (cross-stream duplicates from replay, and
+// same-stream duplicates the queue admitted lazily) are swept and counted,
+// the head equal to the watermark is released through the sink. The (seq,
+// id) tie-break reproduces the old lowest-id-first scan exactly. Each pop
+// wakes parked readers — releasing or sweeping frees backlog space.
+func (m *Merger) releaseRuns() bool {
+	progressed := false
+	for {
+		id := m.heads.min()
+		if id < 0 {
+			break
+		}
+		next := m.next.Load()
+		// heads.key is maintained to equal the stream's headKey, so the
+		// winner's sequence is already in hand.
+		if m.heads.key[id] > next {
+			break
+		}
+		it := m.queues[id].popMin()
+		if it.t.Seq < next {
+			it.ref.Release()
+			m.noteDedup()
+		} else {
+			m.next.Store(next + 1)
+			if m.mReleased != nil {
+				m.mReleased.Inc()
+				m.mWatermark.Set(float64(next + 1))
+			}
+			m.sink(it.t, id)
+			// The sink has returned: the payload is no longer needed, so
+			// its receive block can recycle.
+			it.ref.Release()
+		}
+		qd := m.queues[id].len()
+		m.depth[id].v.Store(int64(qd))
+		m.heads.update(id, m.queues[id].headKey())
+		if m.mQueue != nil {
+			m.mQueue[id].Set(float64(qd))
+		}
+		progressed = true
+		// Refill hysteresis: rewake a cap-parked reader only once its queue
+		// has descended through wakeAt, not on every pop — waking at cap-1
+		// buys one push before the reader re-parks, and with 64 readers
+		// that is a broadcast per release. The crossing fires exactly once
+		// per descent (only this goroutine pops), and a reader parked while
+		// the queue is already below wakeAt is covered by the merge loop's
+		// pre-park wakeAll — it cannot stay parked while the merge sleeps.
+		if qd == m.wakeAt {
+			m.wakeStream(id)
+		}
+	}
+	return progressed
+}
+
+// ringsEmpty reports whether every ingest ring is (momentarily) drained.
+// Consumer-side: may answer a stale yes for a push racing this check, which
+// the park protocol tolerates (the pusher's wakeAll covers it).
+func (m *Merger) ringsEmpty() bool {
+	for _, r := range m.rings {
+		if r.len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// anyAtCap reports whether any stream's backlog has reached the
+// back-pressure cap — the precondition for a reader being parked in
+// ingest's cap wait. Merge loop only: queue depths are this goroutine's own
+// writes and ring occupancy is read atomically, so a reader that crossed
+// the cap before parking is always visible here (and one that crosses
+// after pushes first, which forces another drain pass before the park).
+func (m *Merger) anyAtCap() bool {
 	for id := range m.queues {
-		if h, ok := m.queues[id].head(); ok && h.t.Seq <= next {
+		if m.streamDepth(id) >= m.queueCap {
 			return true
 		}
 	}
 	return false
 }
 
-// mergeLoop releases tuples in strict sequence order.
-func (m *Merger) mergeLoop() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		if m.fatal != nil {
-			return m.fatal
+// heapsEmpty reports whether every reorder queue is empty. Merge loop only.
+func (m *Merger) heapsEmpty() bool {
+	for id := range m.queues {
+		if m.queues[id].len() > 0 {
+			return false
 		}
-		if m.closed {
+	}
+	return true
+}
+
+// mergeLoop releases tuples in strict sequence order. It is the single
+// consumer of every ring: drain, release, and only then — with nothing to
+// do — consult the (snapshotted) control plane for completion or park for
+// more input. Terminal decisions re-fence against the epoch so a stream
+// attaching or a FIN arriving between the snapshot and the decision forces
+// another pass instead of a premature verdict.
+func (m *Merger) mergeLoop() error {
+	snap := m.snapshot()
+	for {
+		if m.epoch.Load() != snap.epoch {
+			snap = m.snapshot()
+		}
+		if snap.fatal != nil {
+			return snap.fatal
+		}
+		if m.closed.Load() {
 			return errors.New("runtime: merger closed")
 		}
-		released := false
-		for id := range m.queues {
-			// Drop heads the merge has already released: cross-queue
-			// duplicates from replay, and same-queue duplicates the heap
-			// admitted lazily. The sweep runs once per wakeup — with batch
-			// ingest that is once per ingested batch rather than per tuple.
-			// Dropping frees queue space, so wake any reader parked on the
-			// full queue; dropped items release their block reference here.
-			swept := false
-			for {
-				h, ok := m.queues[id].head()
-				if !ok || h.t.Seq >= m.next.Load() {
-					break
-				}
-				m.queues[id].popMin().ref.Release()
-				m.noteDedup()
-				swept = true
-			}
-			if swept {
-				if m.mQueue != nil {
-					m.mQueue[id].Set(float64(len(m.queues[id])))
-				}
-				m.cond.Broadcast()
-			}
-			h, ok := m.queues[id].head()
-			if !ok || h.t.Seq != m.next.Load() {
-				continue
-			}
-			head := m.queues[id].popMin()
-			m.next.Add(1)
-			released = true
-			if m.mReleased != nil {
-				m.mReleased.Inc()
-				m.mWatermark.Set(float64(m.next.Load()))
-				m.mQueue[id].Set(float64(len(m.queues[id])))
-			}
-			m.mu.Unlock()
-			m.sink(head.t, id)
-			// The sink has returned: the payload is no longer needed, so
-			// its receive block can recycle.
-			head.ref.Release()
-			m.mu.Lock()
-			m.cond.Broadcast()
-			break
+
+		progressed := m.drainRings()
+		if m.releaseRuns() {
+			progressed = true
 		}
-		if released {
+		if progressed {
+			// Readers parked on this pass's state changes were woken
+			// selectively inside drainRings/releaseRuns; anything missed is
+			// caught by the wakeAll below once progress stops.
 			continue
 		}
-		if m.finKnown && m.next.Load() >= m.finTotal {
+
+		if snap.finKnown && m.next.Load() >= snap.finTotal {
 			return nil
 		}
 		// Nothing matched. Can the tuple we need still arrive? Yes while
 		// any worker stream is live, while the splitter's control channel
 		// is (or may yet be) open, or — without a control channel — while
 		// the initial worker set is still attaching.
-		canArrive := false
-		for id := range m.live {
-			if m.live[id] {
-				canArrive = true
-				break
-			}
-		}
-		if !canArrive && m.ctrlSeen && m.ctrlLive > 0 {
-			canArrive = true
-		}
-		if !canArrive && !m.ctrlSeen && m.attached < m.workers {
-			canArrive = true
-		}
+		canArrive := snap.anyLive ||
+			(snap.ctrlSeen && snap.ctrlLive > 0) ||
+			(!snap.ctrlSeen && snap.attached < m.workers)
 		if !canArrive {
-			empty := true
-			for id := range m.queues {
-				if len(m.queues[id]) > 0 {
-					empty = false
-					break
-				}
+			// Terminal decision: re-fence against a membership change or a
+			// push that landed after the drain above.
+			if m.epoch.Load() != snap.epoch || !m.ringsEmpty() {
+				continue
 			}
-			if empty && !m.finKnown {
+			if m.heapsEmpty() && !snap.finKnown {
 				return nil
 			}
 			return fmt.Errorf("runtime: merger missing sequence %d at end of streams", m.next.Load())
 		}
-		m.cond.Wait()
+		// Park until input or a membership change.
+		epoch := snap.epoch
+		idle := func() bool {
+			return m.ringsEmpty() && !m.closed.Load() && m.epoch.Load() == epoch
+		}
+		if m.anyAtCap() {
+			// A stream at its back-pressure cap while the merge cannot
+			// release is ambiguous. Almost always the needed sequence is
+			// simply still in flight on another stream and arrives within
+			// microseconds — so first wait briefly with the cap enforced.
+			// Waiving it eagerly here is ruinous: every momentary consumer
+			// nap would let 64 readers dump their socket backlogs far past
+			// queueCap, destroying the blocking signal the balancer reads
+			// and burning the merge loop on growing and zeroing queue slabs.
+			// But the wait must be bounded: the needed sequence may be
+			// *behind* a cap-parked reader's tuple in its own stream (a
+			// replay queued after a survivor's backlog), and only that
+			// reader can deliver it. If the poll expires with the merge
+			// still wedged, declare it stuck so cap-parked readers overflow
+			// instead of parking (see ingest), and wake them to re-evaluate.
+			// The poll-sleep deliberately yields the CPU to the readers.
+			// A waiver inside the last capWaiveHot marks an ongoing wedge
+			// (a replay drain head-blocks once per buried sequence) and
+			// skips straight to waiving again.
+			if time.Since(m.lastWaive) > capWaiveHot {
+				for end := time.Now().Add(capWaiveDelay); idle() && time.Now().Before(end); {
+					time.Sleep(capWaivePoll)
+				}
+				if !idle() {
+					continue
+				}
+			}
+			m.lastWaive = time.Now()
+			m.mergeStuck.Store(true)
+		}
+		m.wakeAll()
+		m.parkWhile(idle)
+		m.mergeStuck.Store(false)
+		if m.mWakes != nil {
+			m.mWakes.Inc()
+		}
 	}
 }
 
@@ -854,8 +1268,9 @@ func (m *Merger) Wait() error {
 // Close shuts the listener and aborts the merge.
 func (m *Merger) Close() {
 	m.ln.Close()
-	m.mu.Lock()
-	m.closed = true
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	m.closed.Store(true)
+	m.ctl.Lock()
+	m.epoch.Add(1)
+	m.ctl.Unlock()
+	m.wakeAll()
 }

@@ -49,10 +49,12 @@ type RegionMetrics struct {
 	released          *metrics.Counter
 	watermark         *metrics.Gauge
 	queueDepth        *metrics.GaugeVec
+	ringDepth         *metrics.GaugeVec
 	deduped           *metrics.Counter
 	dupRejects        *metrics.Counter
 	ingestBatchTuples *metrics.Histogram
-	ingestLocks       *metrics.Counter
+	ingestParks       *metrics.Counter
+	mergeWakes        *metrics.Counter
 	stallSeconds      *metrics.Histogram
 	ingestAge         *metrics.GaugeVec
 
@@ -113,16 +115,20 @@ func NewRegionMetrics(reg *metrics.Registry, tr *metrics.Trace) *RegionMetrics {
 		watermark: reg.Gauge("spe_merger_watermark",
 			"Lowest unreleased sequence number (count of contiguously released tuples)."),
 		queueDepth: reg.GaugeVec("spe_merger_queue_tuples",
-			"Reorder-queue occupancy per worker connection.", "conn"),
+			"Reorder-heap occupancy per worker connection.", "conn"),
+		ringDepth: reg.GaugeVec("spe_merger_ring_tuples",
+			"SPSC ingest-ring occupancy per worker connection (lock-free hand-off lane to the merge loop).", "conn"),
 		deduped: reg.Counter("spe_merger_deduped_total",
 			"Replayed duplicates dropped to keep the exactly-once release guarantee."),
 		dupRejects: reg.Counter("spe_merger_dup_rejects_total",
 			"Connections rejected for claiming a worker id whose stream was still live."),
 		ingestBatchTuples: reg.Histogram("spe_merger_ingest_batch_tuples",
-			"Tuples ingested per reorder-queue lock acquisition (receive-batch size).",
+			"Tuples ingested per ReceiveBatch pass (receive-batch size).",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
-		ingestLocks: reg.Counter("spe_merger_ingest_lock_acquisitions_total",
-			"Reorder-queue lock acquisitions by connection readers (batches ingested)."),
+		ingestParks: reg.Counter("spe_merger_ingest_parks_total",
+			"Times a connection reader parked (back-pressure cap or full ring)."),
+		mergeWakes: reg.Counter("spe_merger_merge_wakes_total",
+			"Times the merge loop parked for input and was woken."),
 		stallSeconds: reg.Histogram("spe_merger_stall_seconds",
 			"Durations of merge-stall episodes (watermark stuck past the stall window until it advanced again).",
 			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60}),

@@ -58,6 +58,12 @@ type RegionConfig struct {
 	ResetInterval time.Duration
 	// MergerQueue bounds each reorder queue (default DefaultMergerQueue).
 	MergerQueue int
+	// RingCap bounds each merger connection's lock-free SPSC ingest ring
+	// in tuples (<= 0 selects DefaultMergerRing; rounded up to a power of
+	// two). The ring is the reader-to-merge-loop hand-off lane; its
+	// occupancy counts toward the MergerQueue back-pressure cap, so the
+	// blocking signal the balancer reads is unchanged by its size.
+	RingCap int
 	// Sink receives every released tuple in order, with the worker id.
 	// Optional.
 	Sink func(transport.Tuple, int)
@@ -170,6 +176,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		merger.SetWatermarkInterval(cfg.Recovery.WatermarkInterval)
 	}
 	merger.SetRecvBatch(cfg.RecvBatchSize)
+	merger.SetRingCap(cfg.RingCap)
 	merger.SetTimeouts(cfg.Timeouts)
 	if cfg.Recovery.Enabled {
 		// The watchdog is only useful when a quarantine nomination has

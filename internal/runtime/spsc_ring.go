@@ -1,0 +1,94 @@
+package runtime
+
+import "sync/atomic"
+
+// spscRing is a bounded lock-free single-producer single-consumer ring of
+// mergeItems — the hand-off lane between one connection reader (the producer)
+// and the merge loop (the consumer). The reader appends whole ReceiveBatch
+// outputs; the merge loop drains into its private per-stream reorder heap.
+// Neither side ever takes a lock on this path: the only shared state is the
+// head and tail cursors, advanced with atomic stores whose sequential
+// consistency gives the cross-goroutine happens-before the race detector
+// (and the memory model) require for the slot contents.
+//
+// Ownership protocol for the BlockRef riding in each item: the producer owns
+// the reference until push returns true, then ownership transfers to the
+// consumer, which releases it when the item is sunk, deduplicated, or drained
+// at teardown. pop zeroes the vacated slot so a ring never pins payload
+// blocks for items already handed over.
+//
+// Capacity is rounded up to a power of two so the cursors can run free
+// (monotonically increasing uint64) and slot indexing is a mask.
+type spscRing struct {
+	mask uint64
+	buf  []mergeItem
+
+	// The cursors live on separate cache lines: head is written by the
+	// consumer at pop rate, tail by the producer at push rate, and sharing
+	// a line would turn every advance into cross-core ping-pong.
+	_    [64]byte
+	head atomic.Uint64 // next slot to pop; advanced only by the consumer
+	_    [64]byte
+	tail atomic.Uint64 // next slot to fill; advanced only by the producer
+	_    [64]byte
+}
+
+// newSPSCRing allocates a ring holding at least capacity items (rounded up
+// to a power of two, minimum 2; non-positive asks get the minimum rather
+// than converting to a huge unsigned bound).
+func newSPSCRing(capacity int) *spscRing {
+	c := uint64(2)
+	for c < uint64(max(capacity, 2)) {
+		c <<= 1
+	}
+	return &spscRing{mask: c - 1, buf: make([]mergeItem, c)}
+}
+
+// capacity returns the ring's true (rounded) capacity.
+func (r *spscRing) capacity() int { return len(r.buf) }
+
+// push appends one item. Producer-only. Returns false when the ring is full;
+// the caller still owns the item's reference in that case.
+func (r *spscRing) push(it mergeItem) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = it
+	r.tail.Store(t + 1) // publishes the slot write to the consumer
+	return true
+}
+
+// pop removes the oldest item. Consumer-only. The vacated slot is zeroed so
+// the ring does not pin the popped item's payload block.
+func (r *spscRing) pop() (mergeItem, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return mergeItem{}, false
+	}
+	it := r.buf[h&r.mask]
+	r.buf[h&r.mask] = mergeItem{}
+	r.head.Store(h + 1) // returns the slot to the producer
+	return it, true
+}
+
+// len reports the current occupancy. Callable from any goroutine; the two
+// cursor loads are not a snapshot, so the result is approximate while the
+// other side is active (exact from the producer, never above true occupancy
+// from the consumer).
+func (r *spscRing) len() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t < h {
+		// The consumer advanced head between the two loads; the ring was
+		// (momentarily) no fuller than empty.
+		return 0
+	}
+	return int(t - h)
+}
+
+// full reports whether a push would fail right now. Producer-only (from the
+// consumer it may answer a stale yes).
+func (r *spscRing) full() bool {
+	return r.tail.Load()-r.head.Load() >= uint64(len(r.buf))
+}

@@ -1,0 +1,277 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"streambalance/internal/transport"
+)
+
+func TestSPSCRingCapacityRounding(t *testing.T) {
+	cases := []struct{ ask, want int }{
+		{-1, 2}, {0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{1000, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := newSPSCRing(c.ask).capacity(); got != c.want {
+			t.Errorf("newSPSCRing(%d).capacity() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+// TestSPSCRingWraparoundFIFO drives a tiny ring far past its capacity with
+// every push/pop phase alignment, so the cursors wrap the buffer hundreds of
+// times while a model slice checks strict FIFO order and the exact
+// full/empty boundary behavior.
+func TestSPSCRingWraparoundFIFO(t *testing.T) {
+	for phase := 0; phase < 5; phase++ {
+		r := newSPSCRing(4)
+		var model []uint64
+		seq := uint64(0)
+		rng := rand.New(rand.NewSource(int64(phase)))
+		// Pre-load the ring to the phase offset so wraparound happens at
+		// different buffer positions in each run.
+		for i := 0; i < phase; i++ {
+			if !r.push(mergeItem{t: transport.Tuple{Seq: seq}}) {
+				t.Fatal("phase preload push failed")
+			}
+			model = append(model, seq)
+			seq++
+		}
+		for step := 0; step < 2000; step++ {
+			if rng.Intn(2) == 0 {
+				ok := r.push(mergeItem{t: transport.Tuple{Seq: seq}})
+				wantOK := len(model) < r.capacity()
+				if ok != wantOK {
+					t.Fatalf("phase %d step %d: push ok=%v with occupancy %d/%d", phase, step, ok, len(model), r.capacity())
+				}
+				if ok {
+					model = append(model, seq)
+					seq++
+				}
+				if ok && len(model) == r.capacity() && !r.full() {
+					t.Fatalf("phase %d step %d: ring at capacity but full() = false", phase, step)
+				}
+			} else {
+				it, ok := r.pop()
+				if wantOK := len(model) > 0; ok != wantOK {
+					t.Fatalf("phase %d step %d: pop ok=%v with occupancy %d", phase, step, ok, len(model))
+				}
+				if ok {
+					if it.t.Seq != model[0] {
+						t.Fatalf("phase %d step %d: popped seq %d, want %d (FIFO broken)", phase, step, it.t.Seq, model[0])
+					}
+					model = model[1:]
+				}
+			}
+			if got := r.len(); got != len(model) {
+				t.Fatalf("phase %d step %d: len() = %d, want %d", phase, step, got, len(model))
+			}
+		}
+	}
+}
+
+// TestSPSCRingPopZeroesSlot pins the ownership hygiene: a popped slot must
+// not keep the item's BlockRef reachable through the ring's buffer.
+func TestSPSCRingPopZeroesSlot(t *testing.T) {
+	r := newSPSCRing(2)
+	ref := &transport.BlockRef{}
+	r.push(mergeItem{t: transport.Tuple{Seq: 7}, ref: ref})
+	if _, ok := r.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	for i := range r.buf {
+		if r.buf[i].ref != nil || r.buf[i].t.Payload != nil {
+			t.Fatalf("slot %d still pins ref/payload after pop", i)
+		}
+	}
+}
+
+// TestSPSCRingQuickInvariant property-checks random operation sequences on
+// random capacities against a slice model with testing/quick: acceptance at
+// the full boundary, emptiness at the empty boundary, FIFO order, and
+// conservation (pushed == popped + resident) must all hold.
+func TestSPSCRingQuickInvariant(t *testing.T) {
+	check := func(capAsk uint8, ops []bool) bool {
+		r := newSPSCRing(int(capAsk % 64))
+		var model []uint64
+		var pushed, popped uint64
+		seq := uint64(0)
+		for _, isPush := range ops {
+			if isPush {
+				ok := r.push(mergeItem{t: transport.Tuple{Seq: seq}})
+				if ok != (len(model) < r.capacity()) {
+					return false
+				}
+				if ok {
+					model = append(model, seq)
+					pushed++
+					seq++
+				}
+			} else {
+				it, ok := r.pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if it.t.Seq != model[0] {
+						return false
+					}
+					model = model[1:]
+					popped++
+				}
+			}
+		}
+		return pushed == popped+uint64(r.len()) && r.len() == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPSCRingConcurrentFIFO runs the real two-goroutine protocol — one
+// producer spinning on full, one consumer spinning on empty — over a tiny
+// ring, asserting strict FIFO delivery. Under -race this validates the
+// cursor stores' happens-before: any unsynchronized slot access between the
+// goroutines is a reported race.
+func TestSPSCRingConcurrentFIFO(t *testing.T) {
+	const n = 200000
+	r := newSPSCRing(8)
+	done := make(chan error, 1)
+	go func() {
+		for seq := uint64(0); seq < n; {
+			if r.push(mergeItem{t: transport.Tuple{Seq: seq}}) {
+				seq++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() {
+		for want := uint64(0); want < n; {
+			it, ok := r.pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if it.t.Seq != want {
+				done <- fmt.Errorf("popped seq %d, want %d (FIFO order broken)", it.t.Seq, want)
+				return
+			}
+			want++
+		}
+		done <- nil
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPSCRingRefcountInvariant pushes real ReceiveBatch output — tuples
+// carved from pool-backed blocks with live reference counts — through a
+// ring with random pop interleaving, and checks the conservation law the
+// merger's exactly-once release depends on: at every step, the block's
+// reference count equals the tuples still unreleased (in flight in the
+// ring, in the consumer's hand, or not yet pushed).
+func TestSPSCRingRefcountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		var wire []byte
+		for seq := 0; seq < n; seq++ {
+			var err error
+			wire, err = transport.AppendFrame(wire, transport.Tuple{Seq: uint64(seq), Payload: []byte("payload")})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		client, server := net.Pipe()
+		go func() {
+			client.Write(wire)
+			client.Close()
+		}()
+		rc := transport.NewReceiver(server)
+		batch, ref, err := rc.ReceiveBatch(nil, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != n {
+			t.Fatalf("trial %d: decoded %d of %d tuples", trial, len(batch), n)
+		}
+		if got := ref.Refs(); got != int64(n) {
+			t.Fatalf("trial %d: fresh batch holds %d refs, want %d", trial, got, n)
+		}
+
+		r := newSPSCRing(2 + rng.Intn(8))
+		pushed, released := 0, 0
+		inRing := 0
+		for pushed < n || inRing > 0 {
+			if pushed < n && rng.Intn(2) == 0 {
+				if r.push(mergeItem{t: batch[pushed], ref: ref}) {
+					pushed++
+					inRing++
+				}
+			} else if inRing > 0 {
+				it, ok := r.pop()
+				if !ok {
+					t.Fatalf("trial %d: pop failed with %d in ring", trial, inRing)
+				}
+				inRing--
+				it.ref.Release()
+				released++
+			}
+			// Conservation: unreleased references == tuples not yet
+			// released, whether still unpushed or riding the ring.
+			if got, want := ref.Refs(), int64(n-released); got != want {
+				t.Fatalf("trial %d: %d refs live, want %d (pushed %d released %d)", trial, got, want, pushed, released)
+			}
+		}
+		if got := ref.Refs(); got != 0 {
+			t.Fatalf("trial %d: %d refs leak after full release", trial, got)
+		}
+		server.Close()
+	}
+}
+
+// TestHeadIndexOrdering drives the release tournament's indexed min-heap
+// with random key updates (including the empty sentinel) and checks min()
+// against a brute-force scan with the merger's exact (key, id) tie-break.
+func TestHeadIndexOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		h := newHeadIndex(n)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = headIndexEmpty
+		}
+		bruteMin := func() int {
+			best, bestKey := -1, uint64(headIndexEmpty)
+			for id, k := range keys {
+				if k < bestKey || (k == bestKey && k != headIndexEmpty && (best == -1 || id < best)) {
+					best, bestKey = id, k
+				}
+			}
+			return best
+		}
+		for step := 0; step < 300; step++ {
+			id := rng.Intn(n)
+			var k uint64
+			switch rng.Intn(4) {
+			case 0:
+				k = headIndexEmpty // stream drained
+			default:
+				k = uint64(rng.Intn(50))
+			}
+			keys[id] = k
+			h.update(id, k)
+			if got, want := h.min(), bruteMin(); got != want {
+				t.Fatalf("trial %d step %d: min() = %d, want %d (keys %v)", trial, step, got, want, keys)
+			}
+		}
+	}
+}

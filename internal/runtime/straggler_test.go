@@ -137,6 +137,26 @@ func (top *stragglerTopology) teardown() {
 	}
 }
 
+// pacedSource emits payload for n tuples on an absolute schedule of roughly
+// rate tuples per second: a call behind schedule returns immediately (the
+// splitter catches up in a burst), a call ahead of it sleeps. Pacing keeps
+// the pipeline — not the merger — the throughput bottleneck, so rate
+// comparisons across fault phases measure survivor capacity rather than how
+// fast the sharded merge loop can drain a backlog burst.
+func pacedSource(payload []byte, n uint64, rate float64) Source {
+	start := time.Now()
+	return func(seq uint64) ([]byte, bool) {
+		if seq >= n {
+			return nil, false
+		}
+		due := start.Add(time.Duration(float64(seq) / rate * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		return payload, true
+	}
+}
+
 // TestStallQuarantineRecovery is the straggler demo: 8 workers, one enters
 // Stall mode mid-run (accepts tuples, never delivers results). The merge
 // stalls, the watchdog detects it within the stall window, nominates the
@@ -208,7 +228,12 @@ func TestStallQuarantineRecovery(t *testing.T) {
 	payload := []byte("straggler-demo!!")
 	sp, err := NewSplitter(SplitterConfig{
 		WorkerAddrs: top.addrs,
-		Source:         ConstantSource(payload, tuples),
+		// Paced: with lock-free sharded ingest the merger drains the
+		// pre-fault phase at burst speed while the post-replay phase is
+		// paced by replay round-trips, so an unpaced source would compare
+		// merge-drain speed against replay latency instead of survivor
+		// throughput against pre-fault throughput.
+		Source:         pacedSource(payload, tuples, 250_000),
 		SampleInterval: 20 * time.Millisecond,
 		ControlAddr:    m.Addr(),
 		Metrics:        rm,
