@@ -8,7 +8,7 @@ test:
 # Race-detector pass over the concurrency-heavy packages (the recovery
 # protocol, the chaos proxy and the transport layer).
 test-race:
-	go test -race ./internal/runtime ./internal/chaos ./internal/transport ./internal/schedule
+	go test -race ./internal/runtime ./internal/chaos ./internal/transport ./internal/schedule ./internal/dataflow
 
 vet:
 	go vet ./...
@@ -42,15 +42,23 @@ bench:
 bench-json:
 	go test -bench=. -benchmem -benchtime=1x -run '^$$' ./... | go run ./cmd/benchjson
 
-# Measured merger-ingest run gated against the newest checked-in baseline:
-# fails on a >10% tuples/s drop at 64 connections (what CI enforces).
+# Measured runs gated against the newest checked-in baseline: fails on a
+# >10% tuples/s drop in merger ingest at 64 connections or in the in-proc
+# transport region grid (what CI enforces).
 bench-guard:
 	go test -bench 'BenchmarkMergerIngest' -benchmem -run '^$$' ./internal/runtime \
 		| go run ./cmd/benchjson > /tmp/ingest.$$$$.json \
 		&& go run ./cmd/benchguard \
 			-baseline "$$(ls BENCH_*.json | tail -1)" -current /tmp/ingest.$$$$.json \
 			-bench 'MergerIngest/conns=64/recv=64' -metric tuples/s -max-drop 0.10; \
-		rc=$$?; rm -f /tmp/ingest.$$$$.json; exit $$rc
+		rc=$$?; rm -f /tmp/ingest.$$$$.json; \
+		[ $$rc -eq 0 ] || exit $$rc
+	go test -bench 'BenchmarkRegionTransport' -benchmem -run '^$$' . \
+		| go run ./cmd/benchjson > /tmp/region.$$$$.json \
+		&& go run ./cmd/benchguard \
+			-baseline "$$(ls BENCH_*.json | tail -1)" -current /tmp/region.$$$$.json \
+			-bench 'RegionTransport/transport=inproc' -metric tuples/s -max-drop 0.10; \
+		rc=$$?; rm -f /tmp/region.$$$$.json; exit $$rc
 
 figures:
 	go run ./cmd/sbench -fig all

@@ -584,3 +584,100 @@ func BenchmarkBalancerSnapshotRestore(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRegionTransport is the transport grid: the same 4-worker region —
+// splitter, workers, merger, balancer — on loopback TCP versus the in-process
+// shared-memory transport, across send batch sizes. Identity operators keep
+// the measurement on the transport itself; the in-proc rows are the headline
+// zero-copy speedup over the TCP rows.
+func BenchmarkRegionTransport(b *testing.B) {
+	const (
+		n       = 30_000
+		workers = 4
+	)
+	payload := make([]byte, 64)
+	for _, kind := range []rt.TransportKind{rt.TransportTCP, rt.TransportInproc} {
+		for _, batch := range []int{1, 32} {
+			b.Run(fmt.Sprintf("transport=%s/batch=%d", kind, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bal, err := core.NewBalancer(core.Config{Connections: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ops := make([]rt.Operator, workers)
+					for j := range ops {
+						ops[j] = rt.Identity()
+					}
+					region, err := rt.NewRegion(rt.RegionConfig{
+						Transport: kind,
+						Operators: ops,
+						Source: func(seq uint64) ([]byte, bool) {
+							if seq >= n {
+								return nil, false
+							}
+							return payload, true
+						},
+						Balancer:       bal,
+						SampleInterval: 50 * time.Millisecond,
+						BatchSize:      batch,
+						Sink:           func(transport.Tuple, int) {},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := region.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Released != n || !res.OrderPreserved {
+						b.Fatalf("released=%d order=%v", res.Released, res.OrderPreserved)
+					}
+				}
+				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tuples/s")
+			})
+		}
+	}
+}
+
+// BenchmarkChainedRegions pushes tuples through two chained 4-worker in-proc
+// regions end to end — source, stage-1 merge, inter-stage edge, stage-2
+// splitter, final sink — measuring what region→region composition costs on
+// top of a single region.
+func BenchmarkChainedRegions(b *testing.B) {
+	const (
+		n       = 30_000
+		workers = 4
+	)
+	payload := make([]byte, 64)
+	for i := 0; i < b.N; i++ {
+		mkStage := func() rt.RegionConfig {
+			ops := make([]rt.Operator, workers)
+			for j := range ops {
+				ops[j] = rt.Identity()
+			}
+			return rt.RegionConfig{
+				Transport: rt.TransportInproc,
+				Operators: ops,
+				BatchSize: 32,
+			}
+		}
+		s1 := mkStage()
+		s1.Source = func(seq uint64) ([]byte, bool) {
+			if seq >= n {
+				return nil, false
+			}
+			return payload, true
+		}
+		s2 := mkStage()
+		sunk := 0
+		s2.Sink = func(transport.Tuple, int) { sunk++ }
+		res, err := dataflow.RunChain([]rt.RegionConfig{s1, s2}, dataflow.ChainOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sunk != n || res.Stages[1].Released != n {
+			b.Fatalf("sunk=%d released=%d", sunk, res.Stages[1].Released)
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}

@@ -7,6 +7,11 @@
 //	spe splitter -workers A1,A2,... -tuples N  # splitter + balancer
 //	spe run      -workers N -tuples N       # spawn everything, wire it up
 //
+// Passing -transport inproc to run keeps the whole region in one process on
+// the shared-memory transport: workers become goroutines and every edge a
+// bounded SPSC ring, with the same balancer and blocking signal. Recovery
+// (-recover) needs the default tcp transport.
+//
 // Passing -recover to run (or -control ADDR to splitter plus -resilient to
 // worker) enables the fault-tolerant mode: the splitter retains unreleased
 // tuples and replays them if a worker dies, reconnects with backoff, and the
@@ -307,6 +312,7 @@ func runAll(w io.Writer, args []string) error {
 	slowDelay := fs.Duration("slow-delay", time.Millisecond, "per-tuple delay of the loaded worker")
 	baseDelay := fs.Duration("base-delay", 50*time.Microsecond, "per-tuple delay of unloaded workers")
 	recover := fs.Bool("recover", false, "enable worker-failure recovery (resilient workers + control channel)")
+	transportKind := fs.String("transport", "tcp", "region transport: tcp (one OS process per PE over loopback) or inproc (one process, shared-memory rings)")
 	batch := fs.Int("batch", 1, "tuples per vectored-write batch (1 = per-tuple sends)")
 	recvBatch := fs.Int("recv-batch", 0, "tuples per receive pass in workers and merger (0 = default, 1 = per-tuple)")
 	ringCap := fs.Int("ring-cap", 0, "merger per-connection ingest ring capacity (0 = default)")
@@ -320,6 +326,27 @@ func runAll(w io.Writer, args []string) error {
 	}
 	if *workers < 1 {
 		return errors.New("run: need at least one worker")
+	}
+	switch *transportKind {
+	case "", "tcp":
+	case "inproc":
+		if *recover {
+			return errors.New("run: -recover needs the tcp transport (recovery is a remote-process protocol)")
+		}
+		return runAllInproc(w, inprocRunConfig{
+			workers:     *workers,
+			tuples:      *tuples,
+			slowWorker:  *slowWorker,
+			slowDelay:   *slowDelay,
+			baseDelay:   *baseDelay,
+			batch:       *batch,
+			recvBatch:   *recvBatch,
+			ringCap:     *ringCap,
+			sendStall:   *sendStall,
+			metricsAddr: *metricsAddr,
+		})
+	default:
+		return fmt.Errorf("run: unknown -transport %q (tcp or inproc)", *transportKind)
 	}
 	self, err := os.Executable()
 	if err != nil {
@@ -416,6 +443,75 @@ func runAll(w io.Writer, args []string) error {
 	if err := mergerCmd.Wait(); err != nil {
 		return fmt.Errorf("run: wait merger: %w", err)
 	}
+	fmt.Fprintln(w, "all processes exited cleanly")
+	return nil
+}
+
+// inprocRunConfig carries the run-subcommand flags that apply to the
+// in-process transport.
+type inprocRunConfig struct {
+	workers    int
+	tuples     uint64
+	slowWorker int
+	slowDelay  time.Duration
+	baseDelay  time.Duration
+	batch      int
+	recvBatch  int
+	ringCap    int
+	sendStall  time.Duration
+
+	metricsAddr string
+}
+
+// runAllInproc runs the same region as runAll entirely inside this process on
+// the shared-memory transport: workers become goroutines, every edge becomes a
+// bounded SPSC ring, and nothing is spawned. The balancer and its blocking
+// signal are identical — ring-full waits elect to block exactly like full
+// socket buffers do.
+func runAllInproc(w io.Writer, cfg inprocRunConfig) error {
+	ops := make([]runtime.Operator, cfg.workers)
+	for i := range ops {
+		delay := cfg.baseDelay
+		if i == cfg.slowWorker {
+			delay = cfg.slowDelay
+		}
+		ops[i] = runtime.NewDelayOperator(delay)
+		fmt.Fprintf(w, "worker %d in-process (delay %v)\n", i, delay)
+	}
+	balancer, err := core.NewBalancer(core.Config{Connections: cfg.workers, DecayEnabled: true})
+	if err != nil {
+		return err
+	}
+	rcfg := runtime.RegionConfig{
+		Transport:      runtime.TransportInproc,
+		Operators:      ops,
+		Source:         runtime.ConstantSource(make([]byte, 256), cfg.tuples),
+		Balancer:       balancer,
+		SampleInterval: 100 * time.Millisecond,
+		BatchSize:      cfg.batch,
+		RecvBatchSize:  cfg.recvBatch,
+		RingCap:        cfg.ringCap,
+		Timeouts:       runtime.Timeouts{SendStall: cfg.sendStall},
+	}
+	rm, msrv, err := serveMetrics(w, cfg.metricsAddr)
+	if err != nil {
+		return err
+	}
+	if msrv != nil {
+		defer msrv.Close()
+		rcfg.Metrics = rm
+	}
+	region, err := runtime.NewRegion(rcfg)
+	if err != nil {
+		return err
+	}
+	res, err := region.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "DONE sent=%v blocking=%v\n", res.PerConnSent, res.TotalBlocking)
+	fmt.Fprintf(w, "weights=%v\n", balancer.Weights())
+	fmt.Fprintf(w, "DONE released=%d ordered=%v\n", res.Released, res.OrderPreserved)
 	fmt.Fprintln(w, "all processes exited cleanly")
 	return nil
 }

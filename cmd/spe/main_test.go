@@ -44,6 +44,12 @@ func TestSubcommandValidation(t *testing.T) {
 		{"worker without merger", func(b *bytes.Buffer) error { return runWorker(b, []string{"-id", "0"}) }},
 		{"splitter without workers", func(b *bytes.Buffer) error { return runSplitter(b, nil) }},
 		{"run with zero workers", func(b *bytes.Buffer) error { return runAll(b, []string{"-workers", "0"}) }},
+		{"run with unknown transport", func(b *bytes.Buffer) error {
+			return runAll(b, []string{"-transport", "carrier-pigeon"})
+		}},
+		{"run recovery on inproc transport", func(b *bytes.Buffer) error {
+			return runAll(b, []string{"-transport", "inproc", "-recover"})
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -77,6 +83,35 @@ func TestMultiProcessPipeline(t *testing.T) {
 		t.Fatalf("no balancer weights reported:\n%s", body)
 	}
 	if strings.Count(body, "worker ") < 3 {
+		t.Fatalf("missing worker announcements:\n%s", body)
+	}
+}
+
+func TestInprocPipeline(t *testing.T) {
+	// The same region as TestMultiProcessPipeline, but co-located on the
+	// shared-memory transport: no children are spawned, workers are
+	// goroutines, and the report must show a complete ordered stream with
+	// balancer weights shaped by the same blocking signal.
+	var buf bytes.Buffer
+	if err := runAll(&buf, []string{
+		"-transport", "inproc",
+		"-workers", "3",
+		"-tuples", "12000",
+		"-slow-worker", "0",
+		"-slow-delay", "1ms",
+		"-base-delay", "50us",
+		"-batch", "4",
+	}); err != nil {
+		t.Fatalf("spe run -transport inproc failed: %v\n%s", err, buf.String())
+	}
+	body := buf.String()
+	if !strings.Contains(body, "released=12000 ordered=true") {
+		t.Fatalf("incomplete or unordered release:\n%s", body)
+	}
+	if !strings.Contains(body, "weights=") {
+		t.Fatalf("no balancer weights reported:\n%s", body)
+	}
+	if strings.Count(body, "in-process") != 3 {
 		t.Fatalf("missing worker announcements:\n%s", body)
 	}
 }

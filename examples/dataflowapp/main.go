@@ -1,25 +1,31 @@
-// Dataflowapp: the Section 2 programming model end to end. An application is
-// written as operators connected by streams; the planner fuses stateless
-// operators, discovers the data-parallel region, and replicates it behind a
-// splitter and an in-order merger; the executor runs it on goroutines with
-// the blocking-rate balancer driving the region's weights.
+// Dataflowapp: composable region→region dataflow. The application is two
+// ordered data-parallel regions chained end to end with dataflow.RunChain —
+// the first region's in-order merge feeds the second region's splitter
+// through a bounded in-process edge, so ordering and back pressure both
+// compose across the whole topology.
 //
-// The pipeline scores synthetic "transactions": an expensive stateless
-// scoring chain (parallelized 8 ways), then a stateful running total that
-// depends on seeing tuples in their original order — which the ordered merge
-// guarantees.
+// Stage 1 ("featurize", 4-way, in-process shared-memory transport) parses
+// synthetic transactions and computes a feature; stage 2 ("score", 4-way,
+// loopback-TCP transport) runs the expensive scoring kernel. Mixing the
+// transports is the point: each stage picks its own, and the chain — like
+// the balancer — never needs to know which is which. A stateful audit in the
+// final sink depends on seeing every transaction in its original order,
+// which the chained ordered merges guarantee.
 //
 //	go run ./examples/dataflowapp
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"log"
 
 	"streambalance/internal/dataflow"
+	"streambalance/internal/runtime"
+	"streambalance/internal/transport"
 )
 
-const transactions = 60_000
+const transactions = 30_000
 
 func main() {
 	if err := run(); err != nil {
@@ -27,81 +33,94 @@ func main() {
 	}
 }
 
-type txn struct {
-	id     int
-	amount int
-	score  int
+// featurizeOp turns a raw transaction record (id, amount) into a feature
+// record (id, amount, feature). Stateless, so it parallelizes freely.
+type featurizeOp struct{}
+
+func (featurizeOp) Process(t transport.Tuple) transport.Tuple {
+	id := binary.LittleEndian.Uint64(t.Payload[0:8])
+	amount := binary.LittleEndian.Uint64(t.Payload[8:16])
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint64(out[0:8], id)
+	binary.LittleEndian.PutUint64(out[8:16], amount)
+	binary.LittleEndian.PutUint64(out[16:24], amount*31)
+	return transport.Tuple{Seq: t.Seq, Payload: out}
+}
+
+// scoreOp runs the deliberately expensive scoring kernel over the feature —
+// the chain's bottleneck stage.
+type scoreOp struct{}
+
+func (scoreOp) Process(t transport.Tuple) transport.Tuple {
+	feature := binary.LittleEndian.Uint64(t.Payload[16:24])
+	acc := feature | 3
+	for i := 0; i < 3000; i++ {
+		acc = acc*1664525 + 1013904223
+	}
+	out := make([]byte, 24)
+	copy(out, t.Payload[:16])
+	binary.LittleEndian.PutUint64(out[16:24], acc)
+	return transport.Tuple{Seq: t.Seq, Payload: out}
 }
 
 func run() error {
-	g := dataflow.NewGraph("fraud-scoring")
-
-	stream := g.Source("transactions", func(seq uint64) (any, bool) {
-		if seq >= transactions {
-			return nil, false
-		}
-		return txn{id: int(seq), amount: int(seq%997) + 1}, true
-	})
-
-	// Two stateless operators: the planner fuses them and parallelizes the
-	// fused chain as one ordered region.
-	scored := stream.
-		Map("featurize", func(v any) any {
-			t := v.(txn)
-			t.score = t.amount * 31
-			return t
-		}).
-		Map("score", func(v any) any {
-			t := v.(txn)
-			// Deliberately expensive: the region is the bottleneck stage.
-			acc := t.score | 3
-			for i := 0; i < 3000; i++ {
-				acc *= 1664525
-				acc += 1013904223
+	featurize := runtime.RegionConfig{
+		Transport: runtime.TransportInproc,
+		Operators: []runtime.Operator{featurizeOp{}, featurizeOp{}, featurizeOp{}, featurizeOp{}},
+		Source: func(seq uint64) ([]byte, bool) {
+			if seq >= transactions {
+				return nil, false
 			}
-			t.score = acc
-			return t
-		})
-
-	// A stateful operator bounds the region; sequential semantics mean it
-	// sees transactions in exactly their original order.
-	total := 0
-	lastID := -1
-	ordered := true
-	audited := scored.Map("audit-total", func(v any) any {
-		t := v.(txn)
-		if t.id != lastID+1 {
-			ordered = false
-		}
-		lastID = t.id
-		total += t.amount
-		return t
-	}, dataflow.Stateful())
-
-	var consumed int
-	audited.Sink("ledger", func(any) { consumed++ })
-
-	plan, err := g.Plan(dataflow.PlanConfig{Width: 8})
-	if err != nil {
-		return err
+			p := make([]byte, 16)
+			binary.LittleEndian.PutUint64(p[0:8], seq)
+			binary.LittleEndian.PutUint64(p[8:16], seq%997+1)
+			return p, true
+		},
 	}
-	fmt.Print(plan.String())
 
-	res, err := dataflow.Execute(plan, dataflow.ExecConfig{})
+	// The stateful audit bounds the chain: it requires tuples in their
+	// original order, which the chained in-order merges deliver.
+	total := uint64(0)
+	lastID := int64(-1)
+	ordered := true
+	consumed := 0
+	score := runtime.RegionConfig{
+		Transport: runtime.TransportTCP,
+		Operators: []runtime.Operator{scoreOp{}, scoreOp{}, scoreOp{}, scoreOp{}},
+		BatchSize: 16,
+		Sink: func(t transport.Tuple, _ int) {
+			id := int64(binary.LittleEndian.Uint64(t.Payload[0:8]))
+			if id != lastID+1 {
+				ordered = false
+			}
+			lastID = id
+			total += binary.LittleEndian.Uint64(t.Payload[8:16])
+			consumed++
+		},
+	}
+
+	fmt.Printf("chain: featurize x%d (%s) -> score x%d (%s)\n",
+		len(featurize.Operators), featurize.Transport,
+		len(score.Operators), score.Transport)
+
+	res, err := dataflow.RunChain([]runtime.RegionConfig{featurize, score}, dataflow.ChainOptions{EdgeCap: 512})
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("\nprocessed %d transactions in %v\n", consumed, res.Elapsed.Truncate(1e6))
-	fmt.Printf("stateful operator saw original order: %v\n", ordered)
-	wantTotal := 0
-	for i := 0; i < transactions; i++ {
+	fmt.Printf("stateful audit saw original order: %v\n", ordered)
+	wantTotal := uint64(0)
+	for i := uint64(0); i < transactions; i++ {
 		wantTotal += i%997 + 1
 	}
 	fmt.Printf("running total correct: %v (%d)\n", total == wantTotal, total)
-	for _, region := range res.Regions {
-		fmt.Printf("region %q x%d: final weights %v\n", region.Name, region.Width, region.FinalWeights)
-		fmt.Printf("  tuples per replica: %v\n", region.Processed)
+	for i, sr := range res.Stages {
+		fmt.Printf("stage %d: released %d, order preserved %v, per-worker sent %v\n",
+			i, sr.Released, sr.OrderPreserved, sr.PerConnSent)
+	}
+	if !ordered || total != wantTotal || consumed != transactions {
+		return fmt.Errorf("chain produced wrong output: ordered=%v total=%d consumed=%d", ordered, total, consumed)
 	}
 	return nil
 }

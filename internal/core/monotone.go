@@ -22,10 +22,20 @@ type pavaBlock struct {
 // are not modified. An empty input yields an empty (non-nil is not
 // guaranteed) result.
 func MonotoneRegression(ys, ws []float64) []float64 {
+	fit, _ := monotoneRegressionInto(nil, nil, ys, ws)
+	return fit
+}
+
+// monotoneRegressionInto is MonotoneRegression with caller-owned scratch:
+// the fit is appended to fitBuf[:0] and the pooling runs in blockBuf[:0],
+// both grown as needed and returned for reuse. The per-tick rebuild path
+// passes its scratch slices here so steady-state regression allocates
+// nothing.
+func monotoneRegressionInto(fitBuf []float64, blockBuf []pavaBlock, ys, ws []float64) ([]float64, []pavaBlock) {
 	if len(ys) == 0 {
-		return nil
+		return nil, blockBuf
 	}
-	blocks := make([]pavaBlock, 0, len(ys))
+	blocks := blockBuf[:0]
 	for i, y := range ys {
 		w := 1.0
 		if ws != nil && i < len(ws) && ws[i] > 0 {
@@ -45,13 +55,16 @@ func MonotoneRegression(ys, ws []float64) []float64 {
 			blocks = append(blocks, merged)
 		}
 	}
-	fit := make([]float64, 0, len(ys))
+	fit := fitBuf[:0]
+	if cap(fit) < len(ys) {
+		fit = make([]float64, 0, len(ys))
+	}
 	for _, b := range blocks {
 		for i := 0; i < b.count; i++ {
 			fit = append(fit, b.value)
 		}
 	}
-	return fit
+	return fit, blocks
 }
 
 // IsNonDecreasing reports whether xs is sorted in non-decreasing order.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -111,10 +110,12 @@ type foxItem struct {
 // even-split steady state the paper reports for equal-capacity connections
 // (Section 6.2). The final tie on weight falls back to the index so the
 // solver stays deterministic.
+// The heap is hand-rolled rather than built on container/heap because the
+// latter's any-typed Push/Pop boxes every foxItem; the solver runs on every
+// controller tick, so that boxing shows up in region-scale profiles.
 type foxHeap []foxItem
 
-func (h foxHeap) Len() int { return len(h) }
-func (h foxHeap) Less(i, j int) bool {
+func (h foxHeap) less(i, j int) bool {
 	if h[i].cost != h[j].cost {
 		return h[i].cost < h[j].cost
 	}
@@ -123,14 +124,56 @@ func (h foxHeap) Less(i, j int) bool {
 	}
 	return h[i].conn < h[j].conn
 }
-func (h foxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *foxHeap) Push(x any)   { *h = append(*h, x.(foxItem)) }
-func (h *foxHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+
+func (h foxHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+}
+
+func (h *foxHeap) push(item foxItem) {
+	*h = append(*h, item)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *foxHeap) pop() foxItem {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	s.siftDown(0)
+	return top
+}
+
+// replaceTop overwrites the minimum with item and restores heap order — the
+// pop-then-push the solver does on almost every iteration, in one sift.
+func (h foxHeap) replaceTop(item foxItem) {
+	h[0] = item
+	h.siftDown(0)
 }
 
 // SolveFox solves the problem exactly with Fox's greedy marginal-allocation
@@ -157,21 +200,25 @@ func SolveFox(p Problem) (Solution, error) {
 			h = append(h, foxItem{conn: j, cost: p.Funcs[j].Eval(weights[j] + 1), weight: weights[j] + 1})
 		}
 	}
-	heap.Init(&h)
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 	iters := 0
 	for remaining > 0 {
-		if h.Len() == 0 {
+		if len(h) == 0 {
 			// bounds() guarantees sum(max) >= Total, so this is a
 			// programming error rather than a user input error.
 			return Solution{}, errors.New("core: fox heap exhausted before total allocated")
 		}
-		item := heap.Pop(&h).(foxItem)
+		item := h[0]
 		j := item.conn
 		weights[j]++
 		remaining--
 		iters++
 		if weights[j] < maxs[j] {
-			heap.Push(&h, foxItem{conn: j, cost: p.Funcs[j].Eval(weights[j] + 1), weight: weights[j] + 1})
+			h.replaceTop(foxItem{conn: j, cost: p.Funcs[j].Eval(weights[j] + 1), weight: weights[j] + 1})
+		} else {
+			h.pop()
 		}
 	}
 	return Solution{Weights: weights, Objective: objective(p.Funcs, weights), Iterations: iters}, nil

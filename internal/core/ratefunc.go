@@ -42,6 +42,15 @@ type RateFunc struct {
 
 	pred  []float64 // cached prediction over 0..units, nil when dirty
 	dirty bool
+
+	// Rebuild scratch, reused across ticks so the steady-state control path
+	// (observe → decay → rebuild on every controller sample) allocates
+	// nothing once warm.
+	scratchPts    []observedPoint
+	scratchYs     []float64
+	scratchWs     []float64
+	scratchFit    []float64
+	scratchBlocks []pavaBlock
 }
 
 // NewRateFunc returns an empty function over the weight domain 0..units.
@@ -185,9 +194,10 @@ type observedPoint struct {
 }
 
 // observed returns the raw cells sorted by weight, with the assumed (0,0)
-// point included when no observation exists at weight 0.
+// point included when no observation exists at weight 0. The returned slice
+// is rebuild scratch, valid until the next call.
 func (f *RateFunc) observed() []observedPoint {
-	pts := make([]observedPoint, 0, len(f.raw)+1)
+	pts := f.scratchPts[:0]
 	if _, ok := f.raw[0]; !ok {
 		pts = append(pts, observedPoint{weight: 0, value: 0, count: 1})
 	}
@@ -195,19 +205,26 @@ func (f *RateFunc) observed() []observedPoint {
 		pts = append(pts, observedPoint{weight: w, value: cell.value, count: cell.count})
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i].weight < pts[j].weight })
+	f.scratchPts = pts
 	return pts
 }
 
 // rebuild recomputes the cached prediction table.
 func (f *RateFunc) rebuild() {
 	pts := f.observed()
-	ys := make([]float64, len(pts))
-	ws := make([]float64, len(pts))
+	ys, ws := f.scratchYs, f.scratchWs
+	if cap(ys) < len(pts) {
+		ys = make([]float64, len(pts))
+		ws = make([]float64, len(pts))
+	}
+	ys, ws = ys[:len(pts)], ws[:len(pts)]
 	for i, p := range pts {
 		ys[i] = p.value
 		ws[i] = p.count
 	}
-	fit := MonotoneRegression(ys, ws)
+	f.scratchYs, f.scratchWs = ys, ws
+	fit, blocks := monotoneRegressionInto(f.scratchFit, f.scratchBlocks, ys, ws)
+	f.scratchFit, f.scratchBlocks = fit, blocks
 
 	pred := f.pred
 	if pred == nil {

@@ -1,0 +1,233 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"streambalance/internal/runtime"
+	"streambalance/internal/transport"
+)
+
+// Region→region composition: a Chain runs several ordered parallel regions
+// end to end, each stage's merger feeding the next stage's splitter through a
+// bounded in-process edge. Within a stage the transport is whatever its
+// RegionConfig selects (TCP or in-proc, mixed freely across stages); between
+// stages the edge is always an in-proc pipe, because the chain runs in one
+// process.
+//
+// Ordering composes: stage i releases tuples in sequence order, the edge is
+// FIFO, and stage i+1's splitter assigns fresh sequence numbers in arrival
+// order — so the renumbering is the identity and end-to-end order holds.
+//
+// Back pressure composes too, with no coordination: a slow stage fills its
+// input edge, the upstream merger's sink blocks in Send, the merge loop
+// stalls, reorder queues hit their caps, that stage's workers park, its
+// splitter parks, and eventually the chain's source stalls — the blocking
+// cascade crossing every edge and both transports.
+
+// DefaultEdgeCap bounds a stage-to-stage edge (tuples) when ChainOptions
+// does not choose.
+const DefaultEdgeCap = 1024
+
+// edgeRecvBatch bounds one source-side drain of a chain edge.
+const edgeRecvBatch = 64
+
+// ChainOptions tunes chain composition.
+type ChainOptions struct {
+	// EdgeCap bounds each stage-to-stage edge in tuples (<= 0 selects
+	// DefaultEdgeCap; rounded up to a power of two). The bound is what makes
+	// back pressure propagate: an unbounded edge would absorb a slow stage's
+	// backlog forever instead of stalling the producer.
+	EdgeCap int
+}
+
+// ChainResult reports one completed chain run.
+type ChainResult struct {
+	// Stages holds each stage's RegionResult, in chain order.
+	Stages []runtime.RegionResult
+	// Elapsed is the whole chain's wall-clock makespan.
+	Elapsed time.Duration
+}
+
+// RunChain builds and runs the staged regions end to end and blocks until
+// every stage completes. cfgs[0] must carry the chain's Source and only
+// cfgs[len-1] may carry a Sink; the chain fills every interior edge itself.
+// A stage failure does not wedge its neighbors: the failed stage's edges
+// close, upstream keeps draining (sends to the dead edge are dropped) and
+// downstream completes on what already crossed. All stage errors are joined
+// in the returned error.
+func RunChain(cfgs []runtime.RegionConfig, opt ChainOptions) (ChainResult, error) {
+	n := len(cfgs)
+	if n == 0 {
+		return ChainResult{}, errors.New("dataflow: chain needs at least one stage")
+	}
+	if cfgs[0].Source == nil {
+		return ChainResult{}, errors.New("dataflow: chain stage 0 needs a source")
+	}
+	for i := 1; i < n; i++ {
+		if cfgs[i].Source != nil {
+			return ChainResult{}, fmt.Errorf("dataflow: stage %d source is chain-owned (only stage 0 sets one)", i)
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if cfgs[i].Sink != nil {
+			return ChainResult{}, fmt.Errorf("dataflow: stage %d sink is chain-owned (only the last stage sets one)", i)
+		}
+	}
+	edgeCap := opt.EdgeCap
+	if edgeCap <= 0 {
+		edgeCap = DefaultEdgeCap
+	}
+
+	txs := make([]*transport.InprocSender, n-1)
+	rxs := make([]*transport.InprocReceiver, n-1)
+	for i := range txs {
+		txs[i], rxs[i] = transport.InprocPair(edgeCap)
+	}
+	closeAllEdges := func() {
+		for i := range txs {
+			txs[i].Close()
+			rxs[i].Close()
+		}
+	}
+
+	regions := make([]*runtime.Region, n)
+	for i := range cfgs {
+		cfg := cfgs[i] // stage-local copy; the caller's configs are not mutated
+		if i > 0 {
+			src := &edgeSource{rx: rxs[i-1]}
+			cfg.Source = src.next
+		}
+		if i < n-1 {
+			// A TCP stage's released payloads are carved from pooled blocks
+			// the merger recycles right after the sink returns, so they must
+			// be copied onto the edge; an in-proc stage's payloads are
+			// GC-owned end to end and cross by reference.
+			cfg.Sink = forwardSink(txs[i], cfg.Transport != runtime.TransportInproc)
+		}
+		r, err := runtime.NewRegion(cfg)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				regions[j].Close()
+			}
+			closeAllEdges()
+			return ChainResult{}, fmt.Errorf("dataflow: build stage %d: %w", i, err)
+		}
+		regions[i] = r
+	}
+
+	start := time.Now()
+	results := make([]runtime.RegionResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range regions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = regions[i].Run()
+			if i < n-1 {
+				// Stage finished (or failed): close its output edge so the
+				// downstream source sees EOF once the edge drains.
+				txs[i].Close()
+			}
+			if errs[i] != nil && i > 0 {
+				// Unwedge upstream: its sink may be parked on this stage's
+				// full input edge; closing the receiving end errors those
+				// sends, which the forward sink absorbs by dropping.
+				rxs[i-1].Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	res := ChainResult{Stages: results, Elapsed: time.Since(start)}
+	var joined []error
+	for i, e := range errs {
+		if e != nil {
+			joined = append(joined, fmt.Errorf("dataflow: stage %d: %w", i, e))
+		}
+	}
+	return res, errors.Join(joined...)
+}
+
+// edgeSource adapts the receiving end of a chain edge to the splitter's pull
+// Source. It runs on the splitter's send-loop goroutine (the pipe's single
+// consumer) and blocks — stalling the downstream stage — while the edge is
+// empty. Edge tuples are always refless (the forward sink sends GC-owned
+// payloads), so no release bookkeeping crosses the boundary.
+type edgeSource struct {
+	rx  *transport.InprocReceiver
+	buf []transport.Tuple
+	pos int
+}
+
+func (s *edgeSource) next(uint64) ([]byte, bool) {
+	for s.pos >= len(s.buf) {
+		var err error
+		s.buf, _, err = s.rx.ReceiveBatch(s.buf, edgeRecvBatch)
+		s.pos = 0
+		if err != nil {
+			// io.EOF: upstream stage completed and the edge drained. Any
+			// other error means the edge was torn down mid-stream; the
+			// stream just ends early and the stage completes on what it got.
+			return nil, false
+		}
+	}
+	t := s.buf[s.pos]
+	s.pos++
+	return t.Payload, true
+}
+
+// forwardSink returns a merger sink that pushes each released tuple onto the
+// next stage's edge. It runs on the merge goroutine; a full edge blocks the
+// Send, which stalls this stage's merge loop — that is the back-pressure
+// hand-off. After the first send failure (the edge closed under it: the
+// downstream stage died) it drops everything, letting this stage drain to
+// completion instead of wedging.
+func forwardSink(tx *transport.InprocSender, copyPayloads bool) func(transport.Tuple, int) {
+	var arena chainArena
+	dead := false
+	return func(t transport.Tuple, _ int) {
+		if dead {
+			return
+		}
+		p := t.Payload
+		if copyPayloads {
+			p = arena.copyOf(p)
+		}
+		if tx.Send(transport.Tuple{Seq: t.Seq, Payload: p}) != nil {
+			dead = true
+		}
+	}
+}
+
+// chainArenaBlock sizes the forward sink's copy arena blocks.
+const chainArenaBlock = 64 << 10
+
+// chainArena amortizes the TCP-stage payload copies: payloads are carved out
+// of append-only GC-owned blocks (one allocation per 64KiB of payload, never
+// recycled), so the copies stay valid for as long as the downstream stage —
+// including a recovery-enabled one that retains them for replay — can
+// possibly need them.
+type chainArena struct{ buf []byte }
+
+func (a *chainArena) copyOf(p []byte) []byte {
+	if len(p) == 0 {
+		return nil
+	}
+	if len(p) > chainArenaBlock {
+		c := make([]byte, len(p))
+		copy(c, p)
+		return c
+	}
+	if cap(a.buf)-len(a.buf) < len(p) {
+		a.buf = make([]byte, 0, chainArenaBlock)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+len(p)]
+	c := a.buf[off : off+len(p) : off+len(p)]
+	copy(c, p)
+	return c
+}

@@ -1,0 +1,120 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"streambalance/internal/transport"
+)
+
+// regionWorker is the region's view of one worker PE, satisfied by the TCP
+// *Worker (its own process in the deployed system, a goroutine serving real
+// sockets here) and by *inprocWorker (a goroutine on shared-memory edges).
+// The region drives both identically: Start, Wait for completion, Close to
+// interrupt.
+type regionWorker interface {
+	Start()
+	Wait() error
+	Close()
+}
+
+var (
+	_ regionWorker = (*Worker)(nil)
+	_ regionWorker = (*inprocWorker)(nil)
+)
+
+// inprocWorker is one parallel PE on the in-process transport: it pops
+// batches from its splitter edge, applies its operator to every tuple, and
+// forwards the results over its merger edge — the same
+// receive-batch → process → send-batch loop as the TCP worker, minus the
+// sockets, handshakes and serialization. Input block references transfer to
+// the output edge with the results (SendBatchOwned), so a payload crosses
+// splitter → worker → merger with zero copies and is released exactly once,
+// by the merger, in release order.
+type inprocWorker struct {
+	id        int
+	operator  Operator
+	rx        *transport.InprocReceiver
+	tx        *transport.InprocSender
+	recvBatch int
+
+	closed atomic.Bool
+	done   chan struct{}
+	err    error
+}
+
+// newInprocWorker wires one worker between its two edges. The stall bound
+// mirrors the TCP worker's forwarding stall: back pressure from the merger is
+// routine, the bound only converts "merger never drains again" into an error.
+func newInprocWorker(id int, op Operator, rx *transport.InprocReceiver, tx *transport.InprocSender, recvBatch int, to Timeouts) *inprocWorker {
+	if recvBatch <= 0 {
+		recvBatch = transport.DefaultRecvBatch
+	}
+	tx.SetStallTimeout(to.SendStall)
+	return &inprocWorker{
+		id:        id,
+		operator:  op,
+		rx:        rx,
+		tx:        tx,
+		recvBatch: recvBatch,
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the worker loop; it runs until the splitter edge closes (the
+// fixed-pipeline completion), Close is called, or an error occurs.
+func (w *inprocWorker) Start() {
+	go func() {
+		defer close(w.done)
+		w.err = w.run()
+	}()
+}
+
+func (w *inprocWorker) run() error {
+	// Closing the merger edge on the way out is what propagates completion:
+	// the merger's reader sees EOF once the edge drains, exactly like a TCP
+	// worker closing its merger connection.
+	defer w.tx.Close()
+	var batch []transport.Tuple
+	results := make([]transport.Tuple, 0, w.recvBatch)
+	for {
+		var ref *transport.BlockRef
+		var err error
+		batch, ref, err = w.rx.ReceiveBatch(batch, w.recvBatch)
+		if err != nil {
+			if errors.Is(err, io.EOF) || w.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("runtime: worker %d receive: %w", w.id, err)
+		}
+		results = results[:0]
+		for i := range batch {
+			results = append(results, w.operator.Process(batch[i]))
+		}
+		// Ownership transfer: the input batch's references ride downstream
+		// with the results (the operator is 1:1, so the counts line up) and
+		// the merger releases them tuple by tuple in release order.
+		if err := w.tx.SendBatchOwned(results, ref); err != nil {
+			if w.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("runtime: worker %d forward: %w", w.id, err)
+		}
+	}
+}
+
+// Wait blocks until the worker loop exits and returns its error, if any.
+func (w *inprocWorker) Wait() error {
+	<-w.done
+	return w.err
+}
+
+// Close interrupts the worker: both edges close, so a loop parked on an
+// empty input ring or a full output ring wakes and exits cleanly.
+func (w *inprocWorker) Close() {
+	w.closed.Store(true)
+	w.rx.Close()
+	w.tx.Close()
+}

@@ -142,6 +142,11 @@ type Merger struct {
 	strmErrs []error
 	conns    map[net.Conn]struct{} // attached worker conns, for teardown
 	pending  map[net.Conn]struct{} // accepted conns mid-handshake, for teardown
+	// inprocRx tracks attached in-process receivers (AttachInproc) so
+	// teardown can close them — closing wakes their parked producers and
+	// sweeps stranded block references, the in-proc analogue of closing a
+	// worker conn.
+	inprocRx map[*transport.InprocReceiver]struct{}
 
 	// quarantined[id] is set when the watchdog nominates id and cleared
 	// when the stream delivers or reattaches; atomic because readers
@@ -218,6 +223,7 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 		quarantined: make([]atomic.Bool, workers),
 		conns:       make(map[net.Conn]struct{}),
 		pending:     make(map[net.Conn]struct{}),
+		inprocRx:    make(map[*transport.InprocReceiver]struct{}),
 		lastIngest:  make([]atomic.Int64, workers),
 		wmStop:      make(chan struct{}),
 		quarCh:      make(chan int, workers),
@@ -495,6 +501,9 @@ func (m *Merger) teardown() {
 	for conn := range m.pending {
 		conn.Close()
 	}
+	for rx := range m.inprocRx {
+		rx.Close()
+	}
 	m.epoch.Add(1)
 	m.ctl.Unlock()
 	m.wakeAll()
@@ -750,6 +759,90 @@ func (m *Merger) readLoop(id int, conn net.Conn) {
 				return
 			}
 			if !m.closed.Load() {
+				m.recordStreamErr(fmt.Errorf("runtime: merger read worker %d: %w", id, err))
+			}
+			return
+		}
+		if m.mIngestBatch != nil {
+			m.mIngestBatch.Observe(float64(len(batch)))
+		}
+		// Stamp arrival before ingest (which may park on a full backlog):
+		// the watchdog must see that this stream is delivering even while
+		// the reorder backlog has no room.
+		m.lastIngest[id].Store(time.Now().UnixNano())
+		if !m.ingest(id, batch, ref) {
+			return
+		}
+	}
+}
+
+// AttachInproc attaches worker id's stream over an in-process transport edge
+// instead of a TCP connection: the merger consumes rx on a dedicated reader
+// goroutine exactly as it reads a socket — same ingest path, same SPSC ring,
+// same dedup and back-pressure rules, same completion accounting (the attach
+// counts toward the fixed-pipeline arrival logic, so a region whose workers
+// all attach in-proc completes when every edge closes). Call before or after
+// Start, once per worker id while that id is unattached.
+func (m *Merger) AttachInproc(id int, rx *transport.InprocReceiver) error {
+	if id < 0 || id >= m.workers {
+		return fmt.Errorf("runtime: merger got bad worker id %d", id)
+	}
+	m.ctl.Lock()
+	if m.closed.Load() {
+		m.ctl.Unlock()
+		rx.Close()
+		return errors.New("runtime: merger closed")
+	}
+	if m.live[id] {
+		m.dupRejects.Add(1)
+		if m.mDupRejects != nil {
+			m.mDupRejects.Inc()
+		}
+		m.ctl.Unlock()
+		rx.Close()
+		return fmt.Errorf("runtime: worker id %d already attached", id)
+	}
+	m.live[id] = true
+	if !m.seen[id] {
+		m.seen[id] = true
+		m.attached++
+	}
+	m.inprocRx[rx] = struct{}{}
+	m.epoch.Add(1)
+	// Register with the WaitGroup inside the critical section: a concurrent
+	// teardown either sees this attach (and closes rx, so the reader exits
+	// and run's wg.Wait covers it) or this attach sees closed and rejects —
+	// never an Add racing a Wait already in progress.
+	m.wg.Add(1)
+	m.ctl.Unlock()
+	m.quarantined[id].Store(false)
+	m.lastIngest[id].Store(time.Now().UnixNano())
+	m.wakeAll()
+	go m.readLoopInproc(id, rx)
+	return nil
+}
+
+// readLoopInproc is readLoop over an in-process edge: batches pop straight
+// off the pipe's ring — already-decoded tuples carrying their upstream block
+// references — and flow into ingest unchanged.
+func (m *Merger) readLoopInproc(id int, rx *transport.InprocReceiver) {
+	defer m.wg.Done()
+	defer func() {
+		m.ctl.Lock()
+		m.live[id] = false
+		delete(m.inprocRx, rx)
+		m.epoch.Add(1)
+		m.ctl.Unlock()
+		m.wakeAll()
+		rx.Close()
+	}()
+	var batch []transport.Tuple
+	for {
+		var ref *transport.BlockRef
+		var err error
+		batch, ref, err = rx.ReceiveBatch(batch, m.recvBatch)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !m.closed.Load() {
 				m.recordStreamErr(fmt.Errorf("runtime: merger read worker %d: %w", id, err))
 			}
 			return

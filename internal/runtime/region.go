@@ -43,8 +43,28 @@ type RecoveryConfig struct {
 	MaxReadmits int
 }
 
+// TransportKind selects how a region's edges move tuples.
+type TransportKind string
+
+const (
+	// TransportTCP is the default: splitter, workers and merger talk over
+	// loopback TCP exactly as separate processes would, with the full frame
+	// protocol. The empty string selects it.
+	TransportTCP TransportKind = "tcp"
+	// TransportInproc co-locates the whole region in one process: workers
+	// are goroutines and every edge is a bounded shared-memory SPSC ring
+	// carrying tuples by reference — no serialization, no copies, no
+	// sockets. The blocking signal (ring-full waits) feeds the balancer
+	// identically, so replica scaling works unchanged. Recovery is
+	// unavailable (it is inherently a remote-process protocol).
+	TransportInproc TransportKind = "inproc"
+)
+
 // RegionConfig assembles one ordered data-parallel region.
 type RegionConfig struct {
+	// Transport selects the edge implementation: TransportTCP (default) or
+	// TransportInproc. See TransportKind.
+	Transport TransportKind
 	// Workers is the fan-out N; one operator per worker is required.
 	Operators []Operator
 	// Source feeds the splitter.
@@ -62,7 +82,11 @@ type RegionConfig struct {
 	// in tuples (<= 0 selects DefaultMergerRing; rounded up to a power of
 	// two). The ring is the reader-to-merge-loop hand-off lane; its
 	// occupancy counts toward the MergerQueue back-pressure cap, so the
-	// blocking signal the balancer reads is unchanged by its size.
+	// blocking signal the balancer reads is unchanged by its size. On the
+	// in-proc transport it additionally bounds every shared-memory edge
+	// (splitter→worker and worker→merger rings): the edge ring is that
+	// transport's "socket buffer", the thing whose fullness makes a send
+	// elect to block.
 	RingCap int
 	// Sink receives every released tuple in order, with the worker id.
 	// Optional.
@@ -103,9 +127,10 @@ type RegionConfig struct {
 }
 
 // Region owns the processes of one parallel region: N workers, the merger
-// and the splitter, wired over loopback TCP.
+// and the splitter, wired over loopback TCP or in-process shared-memory
+// edges per RegionConfig.Transport.
 type Region struct {
-	workers  []*Worker
+	workers  []regionWorker
 	merger   *Merger
 	splitter *Splitter
 	recovery bool
@@ -149,6 +174,23 @@ var DefaultRegionRedial = transport.RedialPolicy{
 
 // NewRegion builds and connects all components; nothing runs until Run.
 func NewRegion(cfg RegionConfig) (*Region, error) {
+	switch cfg.Transport {
+	case "", TransportTCP, TransportInproc:
+	default:
+		return nil, fmt.Errorf("runtime: unknown transport %q", cfg.Transport)
+	}
+	inproc := cfg.Transport == TransportInproc
+	if inproc {
+		if cfg.Recovery.Enabled {
+			// Recovery is a remote-process protocol — control channel,
+			// retain/replay, redial — with no in-process analogue: a crashed
+			// goroutine is a crashed process.
+			return nil, errors.New("runtime: recovery requires the TCP transport")
+		}
+		if cfg.WrapWorkerAddr != nil {
+			return nil, errors.New("runtime: WrapWorkerAddr requires the TCP transport")
+		}
+	}
 	if len(cfg.Operators) == 0 {
 		return nil, errors.New("runtime: region needs at least one operator")
 	}
@@ -191,25 +233,46 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 	merger.SetMetrics(cfg.Metrics)
 	r.merger = merger
 
-	addrs := make([]string, len(cfg.Operators))
-	for i, op := range cfg.Operators {
-		w, err := NewWorker(i, op, merger.Addr())
-		if err != nil {
-			r.Close()
-			return nil, err
+	var addrs []string
+	var senders []transport.BatchSender
+	if inproc {
+		// Each worker goroutine sits between two bounded shared-memory
+		// edges; the merger consumes the output edge exactly as it reads a
+		// socket. RingCap bounds both edges (the in-proc "socket buffer").
+		to := cfg.Timeouts.norm()
+		for i, op := range cfg.Operators {
+			inTx, inRx := transport.InprocPair(cfg.RingCap)
+			outTx, outRx := transport.InprocPair(cfg.RingCap)
+			if err := merger.AttachInproc(i, outRx); err != nil {
+				inTx.Close()
+				outTx.Close()
+				r.Close()
+				return nil, err
+			}
+			r.workers = append(r.workers, newInprocWorker(i, op, inRx, outTx, cfg.RecvBatchSize, to))
+			senders = append(senders, inTx)
 		}
-		if cfg.SocketBufferBytes > 0 {
-			w.SetReceiveBuffer(cfg.SocketBufferBytes)
-		}
-		w.SetRecvBatch(cfg.RecvBatchSize)
-		w.SetTimeouts(cfg.Timeouts)
-		if r.recovery {
-			w.SetResilient(true)
-		}
-		r.workers = append(r.workers, w)
-		addrs[i] = w.Addr()
-		if cfg.WrapWorkerAddr != nil {
-			addrs[i] = cfg.WrapWorkerAddr(i, addrs[i])
+	} else {
+		addrs = make([]string, len(cfg.Operators))
+		for i, op := range cfg.Operators {
+			w, err := NewWorker(i, op, merger.Addr())
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			if cfg.SocketBufferBytes > 0 {
+				w.SetReceiveBuffer(cfg.SocketBufferBytes)
+			}
+			w.SetRecvBatch(cfg.RecvBatchSize)
+			w.SetTimeouts(cfg.Timeouts)
+			if r.recovery {
+				w.SetResilient(true)
+			}
+			r.workers = append(r.workers, w)
+			addrs[i] = w.Addr()
+			if cfg.WrapWorkerAddr != nil {
+				addrs[i] = cfg.WrapWorkerAddr(i, addrs[i])
+			}
 		}
 	}
 
@@ -223,6 +286,7 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 
 	scfg := SplitterConfig{
 		WorkerAddrs:       addrs,
+		Senders:           senders,
 		Source:            cfg.Source,
 		Balancer:          cfg.Balancer,
 		SampleInterval:    cfg.SampleInterval,

@@ -56,6 +56,14 @@ type ConnEvent struct {
 type SplitterConfig struct {
 	// WorkerAddrs are the worker PE endpoints, one connection each.
 	WorkerAddrs []string
+	// Senders, when set, supplies pre-built transport edges (one per worker)
+	// instead of dialing WorkerAddrs — the in-process region path, where each
+	// entry is an InprocSender wired straight into a worker goroutine. The
+	// splitter schedules, measures blocking and balances over them exactly as
+	// it does over TCP connections; what it cannot do is recovery, which is
+	// inherently a remote-process concern (control channel, replay, redial),
+	// so Senders is mutually exclusive with WorkerAddrs and ControlAddr.
+	Senders []transport.BatchSender
 	// Source feeds the splitter; required.
 	Source Source
 	// Balancer, when set, drives dynamic weights from sampled blocking
@@ -128,12 +136,14 @@ const DefaultSocketBuffer = 64 << 10
 // released watermark).
 const DefaultRetainCap = 16384
 
-// splitConn is one live worker connection with its stable identity.
+// splitConn is one live worker edge with its stable identity. conn is the
+// underlying socket on the TCP transport and nil on the in-process transport
+// (which has no socket to monitor).
 type splitConn struct {
 	id       int // stable worker index; survives rejoin
 	addr     string
 	conn     net.Conn
-	sender   *transport.Sender
+	sender   transport.BatchSender
 	dialedAt time.Time
 }
 
@@ -217,10 +227,21 @@ type weightUpdate struct {
 }
 
 // NewSplitter dials every worker (and, in recovery mode, the control
-// channel).
+// channel). With cfg.Senders set it dials nothing and schedules over the
+// supplied transport edges instead.
 func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
-	if len(cfg.WorkerAddrs) == 0 {
-		return nil, errors.New("runtime: splitter needs worker addresses")
+	n := len(cfg.WorkerAddrs)
+	if len(cfg.Senders) > 0 {
+		if n > 0 {
+			return nil, errors.New("runtime: WorkerAddrs and Senders are mutually exclusive")
+		}
+		if cfg.ControlAddr != "" {
+			return nil, errors.New("runtime: recovery requires the TCP transport (Senders set with ControlAddr)")
+		}
+		n = len(cfg.Senders)
+	}
+	if n == 0 {
+		return nil, errors.New("runtime: splitter needs worker addresses or senders")
 	}
 	if cfg.Source == nil {
 		return nil, errors.New("runtime: splitter needs a source")
@@ -240,7 +261,7 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 1
 	}
-	wrr, err := schedule.NewWRR(len(cfg.WorkerAddrs))
+	wrr, err := schedule.NewWRR(n)
 	if err != nil {
 		return nil, err
 	}
@@ -248,12 +269,12 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 		cfg:         cfg,
 		wrr:         wrr,
 		to:          cfg.Timeouts.norm(),
-		quarCount:   make([]int, len(cfg.WorkerAddrs)),
-		aggSent:     make([]int64, len(cfg.WorkerAddrs)),
-		aggBlocking: make([]time.Duration, len(cfg.WorkerAddrs)),
-		aggBlocked:  make([]int64, len(cfg.WorkerAddrs)),
-		deadCh:      make(chan int, 4*len(cfg.WorkerAddrs)+4),
-		rejoinCh:    make(chan rejoin, len(cfg.WorkerAddrs)+1),
+		quarCount:   make([]int, n),
+		aggSent:     make([]int64, n),
+		aggBlocking: make([]time.Duration, n),
+		aggBlocked:  make([]int64, n),
+		deadCh:      make(chan int, 4*n+4),
+		rejoinCh:    make(chan rejoin, n+1),
 		stop:        make(chan struct{}),
 		weightCh:    make(chan weightUpdate, 1),
 		done:        make(chan struct{}),
@@ -268,12 +289,11 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	default:
 		sp.maxReadmits = cfg.MaxReadmits
 	}
-	initial := core.EvenWeights(len(cfg.WorkerAddrs), core.DefaultUnits)
+	initial := core.EvenWeights(n, core.DefaultUnits)
 	if err := sp.wrr.SetWeights(initial); err != nil {
 		return nil, err
 	}
 	if cfg.Metrics != nil {
-		n := len(cfg.WorkerAddrs)
 		sp.mtr = cfg.Metrics
 		sp.cm = make([]connInstruments, n)
 		sp.pubSent = make([]int64, n)
@@ -285,20 +305,27 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 			sp.cm[i].weight.Set(float64(initial[i]))
 		}
 	}
-	for i, addr := range cfg.WorkerAddrs {
-		conn, err := sp.dialWorker(addr)
-		if err != nil {
-			sp.closeSenders()
-			return nil, fmt.Errorf("runtime: splitter dial worker %d: %w", i, err)
+	if len(cfg.Senders) > 0 {
+		for i, sender := range cfg.Senders {
+			sender.SetStallTimeout(sp.to.SendStall)
+			sp.conns = append(sp.conns, &splitConn{id: i, sender: sender, dialedAt: time.Now()})
 		}
-		sender, err := transport.NewSender(conn)
-		if err != nil {
-			conn.Close()
-			sp.closeSenders()
-			return nil, fmt.Errorf("runtime: splitter wrap worker %d: %w", i, err)
+	} else {
+		for i, addr := range cfg.WorkerAddrs {
+			conn, err := sp.dialWorker(addr)
+			if err != nil {
+				sp.closeSenders()
+				return nil, fmt.Errorf("runtime: splitter dial worker %d: %w", i, err)
+			}
+			sender, err := transport.NewSender(conn)
+			if err != nil {
+				conn.Close()
+				sp.closeSenders()
+				return nil, fmt.Errorf("runtime: splitter wrap worker %d: %w", i, err)
+			}
+			sender.SetStallTimeout(sp.to.SendStall)
+			sp.conns = append(sp.conns, &splitConn{id: i, addr: addr, conn: conn, sender: sender, dialedAt: time.Now()})
 		}
-		sender.SetStallTimeout(sp.to.SendStall)
-		sp.conns = append(sp.conns, &splitConn{id: i, addr: addr, conn: conn, sender: sender, dialedAt: time.Now()})
 	}
 	if cfg.ControlAddr != "" {
 		// Consume every worker's ready ACK before the monitors start (a
@@ -1038,7 +1065,7 @@ func (sp *Splitter) controller() {
 	defer close(sp.ctlDone)
 	ticker := time.NewTicker(sp.cfg.SampleInterval)
 	defer ticker.Stop()
-	samplers := make(map[*transport.Sender]*stats.RateSampler)
+	samplers := make(map[transport.BatchSender]*stats.RateSampler)
 	lastReset := time.Duration(0)
 	for {
 		select {
@@ -1132,10 +1159,10 @@ func (sp *Splitter) Wait() error {
 }
 
 // Senders exposes the live per-connection senders (for metrics inspection).
-func (sp *Splitter) Senders() []*transport.Sender {
+func (sp *Splitter) Senders() []transport.BatchSender {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
-	out := make([]*transport.Sender, 0, len(sp.conns))
+	out := make([]transport.BatchSender, 0, len(sp.conns))
 	for _, c := range sp.conns {
 		out = append(out, c.sender)
 	}

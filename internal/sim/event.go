@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -27,24 +26,57 @@ type event struct {
 	conn  int
 }
 
-// eventQueue is a min-heap of events by (at, order).
+// eventQueue is a min-heap of events by (at, order). The heap is hand-rolled
+// rather than built on container/heap because the latter's any-typed
+// Push/Pop boxes every event — at millions of events per simulated run, that
+// boxing dominated the whole benchmark's allocation profile.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].order < q[j].order
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
 }
 
 // scheduler wraps the heap with an insertion counter.
@@ -55,14 +87,14 @@ type scheduler struct {
 
 func (s *scheduler) schedule(at time.Duration, kind eventKind, conn int) {
 	s.order++
-	heap.Push(&s.q, event{at: at, order: s.order, kind: kind, conn: conn})
+	s.q.push(event{at: at, order: s.order, kind: kind, conn: conn})
 }
 
 func (s *scheduler) next() (event, bool) {
 	if len(s.q) == 0 {
 		return event{}, false
 	}
-	return heap.Pop(&s.q).(event), true
+	return s.q.pop(), true
 }
 
 func (s *scheduler) empty() bool {

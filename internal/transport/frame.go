@@ -76,6 +76,10 @@ func FrameLen(t Tuple) int {
 type Receiver struct {
 	r *bufio.Reader
 
+	// src is the wrapped stream, kept so Close can tear it down when it is
+	// closable (a net.Conn); a non-closable reader makes Close a no-op.
+	src io.Reader
+
 	// scratch backs payloads decoded by the unbatched Receive path. It is a
 	// plain amortized arena, not pool-recycled: Receive has no release hook,
 	// so its payloads stay valid until the garbage collector decides the
@@ -97,7 +101,17 @@ type Receiver struct {
 
 // NewReceiver wraps a stream in a buffered tuple decoder.
 func NewReceiver(r io.Reader) *Receiver {
-	return &Receiver{r: bufio.NewReaderSize(r, 64<<10)}
+	return &Receiver{r: bufio.NewReaderSize(r, 64<<10), src: r}
+}
+
+// Close closes the underlying stream when it is closable (an in-flight
+// blocking read then fails, unblocking ReceiveBatch) and is a no-op
+// otherwise.
+func (rc *Receiver) Close() error {
+	if c, ok := rc.src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // scratchCarve reserves n bytes in the receiver's scratch arena, growing it

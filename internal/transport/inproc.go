@@ -1,0 +1,638 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// In-process shared-memory transport: the second implementation of the
+// BatchSender/BatchReceiver edge, for PEs co-located in one process. Where
+// the TCP path serializes every tuple into frames and crosses the kernel
+// twice, this path moves Tuple values through a bounded lock-free SPSC ring
+// (the PR 6 merger-ingest machinery) — zero serialization, zero copies:
+// payload slices and their pooled-block references transfer by ownership,
+// producer to consumer, and stay valid until the final consumer releases
+// them.
+//
+// What is deliberately identical to TCP is the blocking signal. A full ring
+// is this transport's full socket buffer: the sender elects to block — it
+// parks on a condvar until the consumer frees a slot — and times the wait
+// into the same cumulative/total blocking counters the paper's Section 3
+// accounting defines, so core.Balancer drives goroutine replicas exactly as
+// it drives TCP connections. Beard & Chamberlain's observation that the
+// blocking-time signal survives transport changes is what makes this a
+// drop-in: the controller differences CumulativeBlocking readings and never
+// learns which transport produced them.
+//
+// Concurrency contract (same as the TCP pair): one goroutine sends, one
+// goroutine receives; Close on either end may come from any goroutine and
+// unblocks the other side.
+
+// ErrInprocClosed is returned by sends after the receiving end closed and by
+// receives after the receiver itself closed. A sender closing cleanly
+// surfaces to the receiver as io.EOF once the ring drains, mirroring a TCP
+// peer's clean shutdown.
+var ErrInprocClosed = errors.New("transport: in-proc pipe closed")
+
+// errInprocStall reports a send stall bound firing (see SetStallTimeout).
+var errInprocStall = errors.New("transport: in-proc send stalled: receiver not draining")
+
+// DefaultInprocRing bounds an in-proc pipe when the caller passes a
+// non-positive capacity. It matches DefaultMergerRing: roughly the tuple
+// count a default TCP socket buffer absorbs, so the blocking signal has the
+// same granularity on both transports.
+const DefaultInprocRing = 1024
+
+// inprocItem is one ring slot: the tuple plus the upstream block reference
+// (or nil for GC-owned payloads) whose ownership transfers with the push.
+type inprocItem struct {
+	t   Tuple
+	ref *BlockRef
+}
+
+// inprocRing is the bounded lock-free SPSC ring between one sender and one
+// receiver — the same design as the merger's ingest rings: power-of-two
+// capacity, free-running padded atomic cursors whose sequentially consistent
+// stores give the cross-goroutine happens-before for the slot contents, and
+// slot zeroing on pop so the ring never pins handed-over payloads.
+type inprocRing struct {
+	mask uint64
+	buf  []inprocItem
+
+	_    [64]byte
+	head atomic.Uint64 // next slot to pop; advanced only by the consumer
+	_    [64]byte
+	tail atomic.Uint64 // next slot to fill; advanced only by the producer
+	_    [64]byte
+}
+
+// newInprocRing allocates a ring holding at least capacity items (rounded up
+// to a power of two, minimum 2; non-positive selects DefaultInprocRing).
+func newInprocRing(capacity int) *inprocRing {
+	if capacity <= 0 {
+		capacity = DefaultInprocRing
+	}
+	c := uint64(2)
+	for c < uint64(max(capacity, 2)) {
+		c <<= 1
+	}
+	return &inprocRing{mask: c - 1, buf: make([]inprocItem, c)}
+}
+
+func (r *inprocRing) capacity() int { return len(r.buf) }
+
+// push appends one item. Producer-only. Returns false when the ring is full;
+// the caller still owns the item's reference in that case.
+func (r *inprocRing) push(it inprocItem) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = it
+	r.tail.Store(t + 1) // publishes the slot write to the consumer
+	return true
+}
+
+// pop removes the oldest item, zeroing the vacated slot. Consumer-only
+// (callers hold the pipe's popMu so the teardown sweep and the receiver
+// never interleave).
+func (r *inprocRing) pop() (inprocItem, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return inprocItem{}, false
+	}
+	it := r.buf[h&r.mask]
+	r.buf[h&r.mask] = inprocItem{}
+	r.head.Store(h + 1) // returns the slot to the producer
+	return it, true
+}
+
+// len reports the current occupancy (approximate while both sides move).
+func (r *inprocRing) len() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}
+
+// full reports whether a push would fail right now. Producer-side exact.
+func (r *inprocRing) full() bool {
+	return r.tail.Load()-r.head.Load() >= uint64(len(r.buf))
+}
+
+// inprocPark is one side's parking spot: the same Dekker hand-off as the
+// merger's streamPark — the parker raises the counter (sequentially
+// consistent) before re-checking its condition under the mutex, so a waker
+// that changes state and then reads parked == 0 is guaranteed the parker
+// will observe that change and not sleep.
+type inprocPark struct {
+	parked atomic.Int32
+	mu     sync.Mutex
+	cond   *sync.Cond
+}
+
+func (k *inprocPark) park(cond func() bool) {
+	k.parked.Add(1)
+	k.mu.Lock()
+	for cond() {
+		k.cond.Wait()
+	}
+	k.mu.Unlock()
+	k.parked.Add(-1)
+}
+
+// wake unblocks the side parked here, if any; one atomic load while the
+// peer is awake (the steady state), so the hot path never touches the mutex.
+func (k *inprocPark) wake() {
+	if k.parked.Load() == 0 {
+		return
+	}
+	k.mu.Lock()
+	k.cond.Broadcast()
+	k.mu.Unlock()
+}
+
+// inprocPipe is the state shared by a connected sender/receiver pair.
+type inprocPipe struct {
+	ring *inprocRing
+
+	// sendClosed: the sender closed cleanly (receiver drains then sees EOF).
+	// recvClosed: the receiver closed (sends fail). Both are one-way latches.
+	sendClosed atomic.Bool
+	recvClosed atomic.Bool
+
+	// popMu serializes consumption: ReceiveBatch/Drain pop under it, and so
+	// does the teardown sweep that releases leftover block references after
+	// the receiver closes — from the receiver's Close, or from the sender
+	// when it discovers the close raced a push. One uncontended acquisition
+	// per received batch; never touched per tuple.
+	popMu sync.Mutex
+
+	sendPark inprocPark // sender parks here while the ring is full
+	recvPark inprocPark // receiver parks here while the ring is empty
+}
+
+// drainAndRelease sweeps every item still in the ring, releasing its block
+// reference. Only meaningful once recvClosed is set: the receiver no longer
+// pops, so the sweep (under popMu) is the sole consumer.
+func (p *inprocPipe) drainAndRelease() {
+	p.popMu.Lock()
+	for {
+		it, ok := p.ring.pop()
+		if !ok {
+			break
+		}
+		it.ref.Release()
+	}
+	p.popMu.Unlock()
+	p.sendPark.wake()
+}
+
+// InprocPair creates a connected in-process sender/receiver pair over a
+// bounded SPSC ring of at least capacity tuples (rounded up to a power of
+// two, minimum 2; non-positive selects DefaultInprocRing). The ring bound is
+// this edge's "socket buffer": it is what makes the sender block, which is
+// what the balancer measures.
+func InprocPair(capacity int) (*InprocSender, *InprocReceiver) {
+	p := &inprocPipe{ring: newInprocRing(capacity)}
+	p.sendPark.cond = sync.NewCond(&p.sendPark.mu)
+	p.recvPark.cond = sync.NewCond(&p.recvPark.mu)
+	return &InprocSender{p: p, now: time.Now}, &InprocReceiver{p: p}
+}
+
+// InprocSender is the producing end of an in-process edge. It mirrors the
+// TCP Sender's surface and accounting; see BatchSender.
+type InprocSender struct {
+	p *inprocPipe
+
+	// pending stages Queue'd tuples between flushes; owned reuses one items
+	// slice for SendBatchOwned so the steady-state send path allocates
+	// nothing.
+	pending []inprocItem
+	owned   []inprocItem
+
+	// Stall bound (SetStallTimeout): the timer is allocated once and
+	// re-armed per park episode, so a bounded sender parks allocation-free.
+	stall      time.Duration
+	stallTimer *time.Timer
+	stallFired atomic.Bool
+
+	cumBlockingNS   atomic.Int64
+	totalBlockingNS atomic.Int64
+	blockEvents     atomic.Int64
+	sent            atomic.Int64
+	flushes         atomic.Int64
+	flushedTuples   atomic.Int64
+
+	// now is replaceable for tests.
+	now func() time.Time
+}
+
+// Capacity returns the pipe's true (rounded) ring capacity in tuples.
+func (s *InprocSender) Capacity() int { return s.p.ring.capacity() }
+
+// checkFrameable applies the TCP path's frame-size bound so an oversized
+// tuple fails identically on both transports (SendBatch atomicity included).
+func checkFrameable(t Tuple) error {
+	if 8+len(t.Payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, 8+len(t.Payload))
+	}
+	return nil
+}
+
+// Send delivers one tuple, electing to block (and timing the block) when the
+// ring is full.
+func (s *InprocSender) Send(t Tuple) error {
+	if err := checkFrameable(t); err != nil {
+		return err
+	}
+	if err := s.push(inprocItem{t: t}); err != nil {
+		return fmt.Errorf("transport: send seq %d: %w", t.Seq, err)
+	}
+	s.p.recvPark.wake()
+	s.sweepIfAbandoned()
+	s.sent.Add(1)
+	return nil
+}
+
+// Queue stages one tuple without delivering. The payload is referenced, not
+// copied — it must not be mutated after Flush hands it to the consumer.
+func (s *InprocSender) Queue(t Tuple) error {
+	if err := checkFrameable(t); err != nil {
+		return err
+	}
+	s.pending = append(s.pending, inprocItem{t: t})
+	return nil
+}
+
+// Pending returns how many tuples are staged and not yet flushed.
+func (s *InprocSender) Pending() int { return len(s.pending) }
+
+// Flush delivers every staged tuple, electing to block — and accounting the
+// blocked time — when the ring fills anywhere in the batch. On error the
+// undelivered remainder is discarded, matching the TCP flush contract (the
+// edge is failed; under recovery the retained tuples replay elsewhere).
+func (s *InprocSender) Flush() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	n := len(s.pending)
+	err := s.deliver(s.pending)
+	s.releaseStaged()
+	if err != nil {
+		return fmt.Errorf("transport: flush batch of %d: %w", n, err)
+	}
+	s.sent.Add(int64(n))
+	s.flushes.Add(1)
+	s.flushedTuples.Add(int64(n))
+	return nil
+}
+
+// releaseStaged clears the staging slice (zeroing items so dropped payloads
+// and refs are not pinned by the backing array).
+func (s *InprocSender) releaseStaged() {
+	for i := range s.pending {
+		s.pending[i] = inprocItem{}
+	}
+	s.pending = s.pending[:0]
+}
+
+// SendBatch stages and delivers ts as one batch, failing atomically on an
+// unencodable tuple exactly as the TCP sender does.
+func (s *InprocSender) SendBatch(ts []Tuple) error {
+	for i := range ts {
+		if err := s.Queue(ts[i]); err != nil {
+			s.releaseStaged()
+			return fmt.Errorf("transport: batch tuple seq %d: %w", ts[i].Seq, err)
+		}
+	}
+	return s.Flush()
+}
+
+// SendBatchOwned delivers ts with ownership transfer: ref holds one block
+// reference per tuple and every reference is consumed — delivered tuples
+// carry theirs to the consumer (the zero-copy path: pooled payload blocks
+// stay alive across the edge with no serialization), and references for
+// tuples that could not be delivered are released here.
+func (s *InprocSender) SendBatchOwned(ts []Tuple, ref *BlockRef) error {
+	for i := range ts {
+		if err := checkFrameable(ts[i]); err != nil {
+			ref.ReleaseN(len(ts))
+			return fmt.Errorf("transport: batch tuple seq %d: %w", ts[i].Seq, err)
+		}
+	}
+	if len(s.pending) > 0 {
+		// Preserve ordering with any staged partial batch.
+		if err := s.Flush(); err != nil {
+			ref.ReleaseN(len(ts))
+			return err
+		}
+	}
+	items := s.owned[:0]
+	for i := range ts {
+		items = append(items, inprocItem{t: ts[i], ref: ref})
+	}
+	s.owned = items
+	err := s.deliver(items)
+	for i := range items {
+		items[i] = inprocItem{}
+	}
+	s.owned = items[:0]
+	if err != nil {
+		return fmt.Errorf("transport: send owned batch of %d: %w", len(ts), err)
+	}
+	s.sent.Add(int64(len(ts)))
+	s.flushes.Add(1)
+	s.flushedTuples.Add(int64(len(ts)))
+	return nil
+}
+
+// deliver pushes items in order, parking on a full ring. On error the
+// references of undelivered items are released (delivered items' references
+// belong to the consumer already). The consumer is woken before any park —
+// the items already pushed may be exactly what it is waiting for — and once
+// after the last push.
+func (s *InprocSender) deliver(items []inprocItem) error {
+	p := s.p
+	pushed := false
+	for i := range items {
+		for {
+			if err := s.closedErr(); err != nil {
+				if pushed {
+					p.recvPark.wake()
+				}
+				for j := i; j < len(items); j++ {
+					items[j].ref.Release()
+				}
+				return err
+			}
+			if p.ring.push(items[i]) {
+				pushed = true
+				break
+			}
+			if pushed {
+				p.recvPark.wake()
+				pushed = false
+			}
+			if err := s.parkFull(); err != nil {
+				for j := i; j < len(items); j++ {
+					items[j].ref.Release()
+				}
+				return err
+			}
+		}
+	}
+	if pushed {
+		p.recvPark.wake()
+	}
+	s.sweepIfAbandoned()
+	return nil
+}
+
+// push delivers one item (the unbatched Send path).
+func (s *InprocSender) push(it inprocItem) error {
+	p := s.p
+	for {
+		if err := s.closedErr(); err != nil {
+			return err
+		}
+		if p.ring.push(it) {
+			return nil
+		}
+		p.recvPark.wake()
+		if err := s.parkFull(); err != nil {
+			return err
+		}
+	}
+}
+
+// sweepIfAbandoned closes the push/close race: if the receiver closed while
+// a push was in flight, its teardown sweep may have run before the item
+// landed, so the sender re-runs the sweep (idempotent, under popMu) to
+// guarantee no reference is stranded in the ring.
+func (s *InprocSender) sweepIfAbandoned() {
+	if s.p.recvClosed.Load() {
+		s.p.drainAndRelease()
+	}
+}
+
+// closedErr reports why sending is impossible, if it is.
+func (s *InprocSender) closedErr() error {
+	if s.p.recvClosed.Load() || s.p.sendClosed.Load() {
+		return ErrInprocClosed
+	}
+	return nil
+}
+
+// parkFull is the elect-to-block: the ring (this edge's socket buffer) is
+// full, so the sender records a block event, parks until the consumer frees
+// a slot — or the pipe closes, or the stall bound fires — and accounts the
+// parked time to the cumulative counters the controller samples.
+func (s *InprocSender) parkFull() error {
+	p := s.p
+	s.blockEvents.Add(1)
+	start := s.now()
+	if s.stall > 0 {
+		s.armStall()
+	}
+	p.sendPark.park(func() bool {
+		return p.ring.full() && !p.recvClosed.Load() && !p.sendClosed.Load() &&
+			!s.stallFired.Load()
+	})
+	if d := s.now().Sub(start); d > 0 {
+		s.cumBlockingNS.Add(int64(d))
+		s.totalBlockingNS.Add(int64(d))
+	}
+	if s.stall > 0 {
+		s.stallTimer.Stop()
+		if s.stallFired.Swap(false) && p.ring.full() && s.closedErr() == nil {
+			return errInprocStall
+		}
+	}
+	return nil
+}
+
+// SetStallTimeout bounds how long one delivery may stay parked on a ring the
+// receiver is not draining (0 disables; negative is treated as 0) —
+// the in-proc analogue of the TCP sender's rolling write deadline. Call from
+// the sending goroutine (or before it starts).
+func (s *InprocSender) SetStallTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.stall = d
+}
+
+// armStall re-arms the reusable stall timer for one park episode.
+func (s *InprocSender) armStall() {
+	if s.stallTimer == nil {
+		s.stallTimer = time.AfterFunc(s.stall, func() {
+			s.stallFired.Store(true)
+			s.p.sendPark.wake()
+		})
+		return
+	}
+	s.stallTimer.Reset(s.stall)
+}
+
+// CumulativeBlocking returns the sampled blocking-time counter.
+func (s *InprocSender) CumulativeBlocking() time.Duration {
+	return time.Duration(s.cumBlockingNS.Load())
+}
+
+// ResetCumulative zeroes the sampled counter; the lifetime counter is
+// unaffected.
+func (s *InprocSender) ResetCumulative() {
+	s.cumBlockingNS.Store(0)
+}
+
+// TotalBlocking returns the lifetime blocking time on this edge.
+func (s *InprocSender) TotalBlocking() time.Duration {
+	return time.Duration(s.totalBlockingNS.Load())
+}
+
+// BlockEvents returns how many deliveries elected to block.
+func (s *InprocSender) BlockEvents() int64 { return s.blockEvents.Load() }
+
+// Sent returns how many tuples have been delivered.
+func (s *InprocSender) Sent() int64 { return s.sent.Load() }
+
+// Flushes returns how many batch flushes have completed.
+func (s *InprocSender) Flushes() int64 { return s.flushes.Load() }
+
+// FlushedTuples returns how many tuples left through batch flushes.
+func (s *InprocSender) FlushedTuples() int64 { return s.flushedTuples.Load() }
+
+// Close ends the sending side: a parked delivery (local or on the peer)
+// wakes, and once the receiver drains the ring it sees io.EOF — the clean
+// shutdown a TCP close delivers. Idempotent; callable from any goroutine.
+func (s *InprocSender) Close() error {
+	if s.p.sendClosed.Swap(true) {
+		return nil
+	}
+	s.p.recvPark.wake()
+	s.p.sendPark.wake()
+	if s.p.recvClosed.Load() {
+		// Both ends are now closed: nobody will pop again, so sweep any
+		// leftover references out of the ring.
+		s.p.drainAndRelease()
+	}
+	return nil
+}
+
+// InprocReceiver is the consuming end of an in-process edge; see
+// BatchReceiver. Tuples come out exactly as they went in — same Seq, same
+// payload bytes by reference — with a batch BlockRef chaining the upstream
+// references (BlockRef.parents), so consumers release per tuple exactly as
+// they do on the TCP path.
+type InprocReceiver struct {
+	p *inprocPipe
+}
+
+// Capacity returns the pipe's true (rounded) ring capacity in tuples.
+func (r *InprocReceiver) Capacity() int { return r.p.ring.capacity() }
+
+// Len reports the ring's current occupancy (approximate while the sender is
+// active).
+func (r *InprocReceiver) Len() int { return r.p.ring.len() }
+
+// ReceiveBatch pops up to max tuples into dst (truncated and reused),
+// blocking only while the ring is empty: once one tuple is available the
+// pass drains what is already there and returns. max <= 0 selects
+// DefaultRecvBatch. The returned BlockRef holds one reference per tuple and
+// chains the tuples' upstream references; it is nil when every payload in
+// the batch is GC-owned (no release needed, nil is a valid no-op receiver).
+// Errors: io.EOF after the sender closed and the ring drained;
+// ErrInprocClosed after this receiver closed.
+func (r *InprocReceiver) ReceiveBatch(dst []Tuple, max int) ([]Tuple, *BlockRef, error) {
+	if max <= 0 {
+		max = DefaultRecvBatch
+	}
+	dst = dst[:0]
+	p := r.p
+	for {
+		if p.recvClosed.Load() {
+			return dst, nil, ErrInprocClosed
+		}
+		var ref *BlockRef
+		dst, ref = r.pop(dst, max)
+		if len(dst) > 0 {
+			p.sendPark.wake()
+			return dst, ref, nil
+		}
+		if p.sendClosed.Load() && p.ring.len() == 0 {
+			return dst, nil, io.EOF
+		}
+		p.recvPark.park(func() bool {
+			return p.ring.len() == 0 && !p.sendClosed.Load() && !p.recvClosed.Load()
+		})
+	}
+}
+
+// Drain pops only tuples already in the ring — it never blocks, returning
+// zero tuples (and a nil ref) when the ring is empty, exactly like the TCP
+// receiver's Drain.
+func (r *InprocReceiver) Drain(dst []Tuple, max int) ([]Tuple, *BlockRef, error) {
+	if max <= 0 {
+		max = DefaultRecvBatch
+	}
+	dst = dst[:0]
+	if r.p.recvClosed.Load() {
+		return dst, nil, ErrInprocClosed
+	}
+	var ref *BlockRef
+	dst, ref = r.pop(dst, max)
+	if len(dst) > 0 {
+		r.p.sendPark.wake()
+	}
+	return dst, ref, nil
+}
+
+// pop moves up to max items out of the ring under popMu, aggregating the
+// items' upstream references into one batch ref: the batch ref takes one
+// countable reference per returned tuple, and recycling it (when the
+// consumer has released them all) releases each chained parent exactly once
+// — so per-tuple release semantics survive the aggregation. No items with
+// upstream references means no batch ref at all.
+func (r *InprocReceiver) pop(dst []Tuple, max int) ([]Tuple, *BlockRef) {
+	p := r.p
+	var ref *BlockRef
+	p.popMu.Lock()
+	for len(dst) < max {
+		it, ok := p.ring.pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, it.t)
+		if it.ref != nil {
+			if ref == nil {
+				ref = blockRefPool.Get().(*BlockRef)
+			}
+			ref.parents = append(ref.parents, it.ref)
+		}
+	}
+	p.popMu.Unlock()
+	if ref != nil {
+		ref.refs.Store(int64(len(dst)))
+	}
+	return dst, ref
+}
+
+// Close ends the receiving side: a parked ReceiveBatch returns
+// ErrInprocClosed, a parked or future send fails, and every reference still
+// in the ring is swept and released. Idempotent; callable from any
+// goroutine.
+func (r *InprocReceiver) Close() error {
+	if r.p.recvClosed.Swap(true) {
+		return nil
+	}
+	r.p.recvPark.wake()
+	r.p.drainAndRelease()
+	return nil
+}

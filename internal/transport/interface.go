@@ -1,0 +1,92 @@
+package transport
+
+import "time"
+
+// BatchSender is the transport-neutral send half of one splitter→worker or
+// worker→merger edge. The paper's balancer depends only on the per-connection
+// cumulative-blocking signal, not on TCP itself: any transport that attempts
+// each send without blocking, elects to block when its buffer is full, and
+// times the wait into the cumulative counters drives core.Balancer exactly
+// like a TCP connection. Two implementations exist — the TCP Sender
+// (non-blocking write(2)/writev(2) with poller parks) and the in-process
+// InprocSender (bounded SPSC ring with condvar parks) — and the runtime's
+// splitter, worker and controller are written against this interface so a
+// region can mix them per edge.
+//
+// The concurrency contract matches Sender: Send, Queue, Flush, SendBatch and
+// SendBatchOwned may be called from only one goroutine at a time; the
+// counters may be read concurrently; Close may be called from any goroutine
+// (it unblocks an elected-to-block send in progress).
+type BatchSender interface {
+	// Send frames and delivers one tuple, electing to block (and timing the
+	// block) when the transport's buffer is full.
+	Send(t Tuple) error
+	// Queue stages one tuple in the pending batch without delivering.
+	// Payloads queued zero-copy must not be mutated until Flush returns.
+	Queue(t Tuple) error
+	// Pending returns how many tuples are staged and not yet flushed.
+	Pending() int
+	// Flush delivers every staged tuple as one batch under one
+	// elect-to-block accounting episode.
+	Flush() error
+	// SendBatch stages and flushes ts as one batch, atomically failing on an
+	// unencodable tuple.
+	SendBatch(ts []Tuple) error
+	// SendBatchOwned is SendBatch with ownership transfer: ref holds one
+	// block reference per tuple of ts (the references a worker's input
+	// ReceiveBatch returned), and the call consumes all of them. A TCP
+	// sender serializes the tuples and releases the references; an in-proc
+	// sender hands the references downstream with the tuples, so pooled
+	// payload blocks stay alive — unserialized and uncopied — until the
+	// final consumer releases them. A nil ref is valid (GC-owned payloads).
+	SendBatchOwned(ts []Tuple, ref *BlockRef) error
+	// SetStallTimeout bounds how long one flush may stay blocked on a peer
+	// that is not draining (0 disables).
+	SetStallTimeout(d time.Duration)
+	// CumulativeBlocking returns the sampled Section 3 blocking counter;
+	// the controller differences successive readings to obtain the rate.
+	CumulativeBlocking() time.Duration
+	// ResetCumulative zeroes the sampled counter (the transport layer's
+	// periodic reset); the lifetime counter is unaffected.
+	ResetCumulative()
+	// TotalBlocking returns the lifetime blocking time on this edge.
+	TotalBlocking() time.Duration
+	// BlockEvents returns how many sends elected to block.
+	BlockEvents() int64
+	// Sent returns how many tuples have been delivered.
+	Sent() int64
+	// Flushes returns how many batch flushes have completed.
+	Flushes() int64
+	// FlushedTuples returns how many tuples left through batch flushes.
+	FlushedTuples() int64
+	// Close tears the edge down, unblocking a parked send with an error.
+	Close() error
+}
+
+// BatchReceiver is the transport-neutral receive half of an edge: the
+// batched decode surface the merger's connection readers and the workers
+// consume. Payloads are handed out under the BlockRef release contract
+// (ReceiveBatch returns one reference per tuple; nil when the payloads are
+// GC-owned), identical across transports so the merger's ingest, dedup and
+// teardown paths never know which transport fed them.
+//
+// ReceiveBatch and Drain may be called from only one goroutine at a time
+// (the single-consumer rule); Close may be called from any goroutine and
+// unblocks a waiting ReceiveBatch.
+type BatchReceiver interface {
+	// ReceiveBatch decodes up to max tuples into dst, blocking only for the
+	// first; see Receiver.ReceiveBatch for the full contract.
+	ReceiveBatch(dst []Tuple, max int) ([]Tuple, *BlockRef, error)
+	// Drain decodes only tuples already buffered — it never blocks.
+	Drain(dst []Tuple, max int) ([]Tuple, *BlockRef, error)
+	// Close tears the receive side down, unblocking a waiting ReceiveBatch.
+	Close() error
+}
+
+// Compile-time checks: both transports satisfy the edge interfaces.
+var (
+	_ BatchSender   = (*Sender)(nil)
+	_ BatchSender   = (*InprocSender)(nil)
+	_ BatchReceiver = (*Receiver)(nil)
+	_ BatchReceiver = (*InprocReceiver)(nil)
+)

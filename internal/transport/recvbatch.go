@@ -60,6 +60,13 @@ var recvBlockPool = sync.Pool{
 type BlockRef struct {
 	refs   atomic.Int64
 	blocks []*recvBlock
+
+	// parents chains upstream ownership across an in-process edge: an
+	// InprocReceiver's batch ref holds one entry per popped tuple that rode
+	// in with its own upstream reference, and releasing the batch's last
+	// reference releases each parent exactly once. A TCP batch ref has no
+	// parents. See inproc.go.
+	parents []*BlockRef
 }
 
 var blockRefPool = sync.Pool{New: func() any { return new(BlockRef) }}
@@ -83,8 +90,8 @@ func (r *BlockRef) ReleaseN(n int) {
 	r.recycle()
 }
 
-// recycle returns the ref's blocks to the block pool and the ref itself to
-// the ref pool.
+// recycle returns the ref's blocks to the block pool, releases each parent
+// reference once, and returns the ref itself to the ref pool.
 func (r *BlockRef) recycle() {
 	for i, blk := range r.blocks {
 		blk.b = blk.b[:0]
@@ -92,6 +99,11 @@ func (r *BlockRef) recycle() {
 		r.blocks[i] = nil
 	}
 	r.blocks = r.blocks[:0]
+	for i, p := range r.parents {
+		p.Release()
+		r.parents[i] = nil
+	}
+	r.parents = r.parents[:0]
 	blockRefPool.Put(r)
 }
 
