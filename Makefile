@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race vet bench bench-json bench-guard figures figures-csv examples quick-bench soak soak-smoke
+.PHONY: test test-race vet bench bench-json bench-guard figures figures-csv examples quick-bench soak soak-smoke sweep-smoke
 
 test:
 	go test ./...
@@ -24,6 +24,21 @@ soak:
 # The CI-sized soak: one short randomized schedule, same invariants.
 soak-smoke:
 	go test -v -run TestSoakSmoke ./internal/soak
+
+# Fleet-experiment smoke: drain the heterogeneous sweep-smoke matrix (two sim
+# scenarios, two identical bench runs, one chaos soak) through real worker
+# processes, archiving every run under results/sweep-smoke/, then prove the
+# archive pipeline end to end by comparing the two bench runs under
+# benchguard. The near-unbounded tolerance checks pairing and plumbing, not
+# performance.
+sweep-smoke:
+	rm -rf results/sweep-smoke
+	go run ./cmd/dispatcher -specs experiments/sweep-smoke.json \
+		-results results/sweep-smoke -workers 2
+	go run ./cmd/benchguard \
+		-baseline results/sweep-smoke/003-bench-inproc-b32-a/result.json \
+		-current results/sweep-smoke/004-bench-inproc-b32-b/result.json \
+		-bench 'RegionTransport/transport=inproc' -metric tuples/s -max-drop 0.90
 
 # One benchmark iteration per figure: a fast smoke of every reproduction.
 quick-bench:

@@ -18,6 +18,7 @@ import (
 
 	"streambalance/internal/core"
 	"streambalance/internal/dataflow"
+	"streambalance/internal/dispatch"
 	"streambalance/internal/harness"
 	"streambalance/internal/placement"
 	rt "streambalance/internal/runtime"
@@ -589,48 +590,25 @@ func BenchmarkBalancerSnapshotRestore(b *testing.B) {
 // splitter, workers, merger, balancer — on loopback TCP versus the in-process
 // shared-memory transport, across send batch sizes. Identity operators keep
 // the measurement on the transport itself; the in-proc rows are the headline
-// zero-copy speedup over the TCP rows.
+// zero-copy speedup over the TCP rows. Each iteration runs through the
+// dispatcher's shim, so this benchmark and dispatcher bench runs measure
+// byte-for-byte the same workload and their rows compare under benchguard.
 func BenchmarkRegionTransport(b *testing.B) {
-	const (
-		n       = 30_000
-		workers = 4
-	)
-	payload := make([]byte, 64)
+	const n = 30_000
 	for _, kind := range []rt.TransportKind{rt.TransportTCP, rt.TransportInproc} {
 		for _, batch := range []int{1, 32} {
 			b.Run(fmt.Sprintf("transport=%s/batch=%d", kind, batch), func(b *testing.B) {
+				spec := dispatch.BenchSpec{
+					Benchmark: "region-transport",
+					Transport: string(kind),
+					Workers:   4,
+					Batch:     batch,
+					Tuples:    n,
+					Payload:   64,
+				}
 				for i := 0; i < b.N; i++ {
-					bal, err := core.NewBalancer(core.Config{Connections: workers})
-					if err != nil {
+					if err := dispatch.RunRegionTransportOnce(spec); err != nil {
 						b.Fatal(err)
-					}
-					ops := make([]rt.Operator, workers)
-					for j := range ops {
-						ops[j] = rt.Identity()
-					}
-					region, err := rt.NewRegion(rt.RegionConfig{
-						Transport: kind,
-						Operators: ops,
-						Source: func(seq uint64) ([]byte, bool) {
-							if seq >= n {
-								return nil, false
-							}
-							return payload, true
-						},
-						Balancer:       bal,
-						SampleInterval: 50 * time.Millisecond,
-						BatchSize:      batch,
-						Sink:           func(transport.Tuple, int) {},
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
-					res, err := region.Run()
-					if err != nil {
-						b.Fatal(err)
-					}
-					if res.Released != n || !res.OrderPreserved {
-						b.Fatalf("released=%d order=%v", res.Released, res.OrderPreserved)
 					}
 				}
 				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tuples/s")

@@ -1,43 +1,44 @@
-// Command benchguard compares two benchjson archives and fails when a watched
+// Command benchguard compares two benchmark archives and fails when a watched
 // metric regresses past a tolerance — the teeth behind the CI bench-regression
 // job, which until now only archived numbers without acting on them.
 //
 //	benchguard -baseline BENCH_old.json -current BENCH_new.json \
 //	    -bench 'MergerIngest/conns=64/recv=64' -metric tuples/s -max-drop 0.10
 //
+// Either side may be a raw benchjson document (BENCH_*.json) or an archived
+// dispatcher run (results/<run-id>/result.json), whose bench rows are
+// extracted — so any two archived runs, or a run and the checked-in baseline,
+// compare end to end.
+//
 // Every benchmark in the baseline whose name matches -bench and carries the
 // watched metric is checked against the same benchmark in the current report.
 // For higher-is-better metrics (the default: throughput) a drop beyond
 // -max-drop fails; pass -lower-better for ns/op-style metrics, where the same
-// tolerance bounds growth instead. A matched benchmark missing from the
-// current report fails too — a silently vanished benchmark is how regressions
-// go unnoticed. Names are compared with any trailing -GOMAXPROCS suffix
-// stripped, so archives from machines with different core counts diff cleanly.
+// tolerance bounds growth instead. Degenerate data fails loudly instead of
+// passing silently: a matched benchmark missing from either side, and zero or
+// NaN metric values on either side, are violations — a vanished benchmark or
+// a zeroed tuples/s row is how regressions go unnoticed. Names are compared
+// with any trailing -GOMAXPROCS suffix stripped, so archives from machines
+// with different core counts diff cleanly.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"strings"
+
+	"streambalance/internal/dispatch"
+	"streambalance/internal/schema"
 )
 
-// Result and Report mirror cmd/benchjson's output document.
-type Result struct {
-	Pkg        string             `json:"pkg"`
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
-}
+// Result and Report are the shared archive document types.
+type (
+	Result = schema.BenchResult
+	Report = schema.BenchReport
+)
 
 // procsSuffix is the -GOMAXPROCS tail go test appends to benchmark names on
 // multi-core machines (absent when GOMAXPROCS is 1).
@@ -47,51 +48,97 @@ func normalize(name string) string {
 	return procsSuffix.ReplaceAllString(name, "")
 }
 
+// Reason classifies why a comparison failed.
+type Reason string
+
+const (
+	// ReasonRegressed: both sides present and sane; the metric moved past
+	// the tolerance.
+	ReasonRegressed Reason = "regressed"
+	// ReasonMissingCurrent: the baseline benchmark vanished from the
+	// current report.
+	ReasonMissingCurrent Reason = "missing-from-current"
+	// ReasonMissingBaseline: the current report carries a matching
+	// benchmark the baseline has never seen — unguarded, so flagged.
+	ReasonMissingBaseline Reason = "missing-from-baseline"
+	// ReasonBadBaseline: the baseline value is zero or NaN; a tolerance
+	// against it is meaningless.
+	ReasonBadBaseline Reason = "degenerate-baseline-value"
+	// ReasonBadCurrent: the current value is zero or NaN.
+	ReasonBadCurrent Reason = "degenerate-current-value"
+)
+
 // Violation is one failed comparison.
 type Violation struct {
 	Name     string
 	Metric   string
+	Reason   Reason
 	Baseline float64
-	Current  float64 // 0 and Missing=true when absent
-	Missing  bool
+	Current  float64
+	// Missing mirrors Reason == ReasonMissingCurrent, kept for readability
+	// at call sites.
+	Missing bool
 }
 
 func (v Violation) String() string {
-	if v.Missing {
+	switch v.Reason {
+	case ReasonMissingCurrent:
 		return fmt.Sprintf("%s: missing from current report (baseline %s = %g)", v.Name, v.Metric, v.Baseline)
+	case ReasonMissingBaseline:
+		return fmt.Sprintf("%s: present only in current report (%s = %g, nothing to compare against)", v.Name, v.Metric, v.Current)
+	case ReasonBadBaseline:
+		return fmt.Sprintf("%s: baseline %s = %g is not comparable (zero or NaN row)", v.Name, v.Metric, v.Baseline)
+	case ReasonBadCurrent:
+		return fmt.Sprintf("%s: current %s = %g is not comparable (zero or NaN row)", v.Name, v.Metric, v.Current)
 	}
 	change := (v.Current - v.Baseline) / v.Baseline * 100
 	return fmt.Sprintf("%s: %s %g -> %g (%+.1f%%)", v.Name, v.Metric, v.Baseline, v.Current, change)
 }
 
+// degenerate reports a value no tolerance can be computed against.
+func degenerate(v float64) bool { return v == 0 || math.IsNaN(v) }
+
 // Compare checks every baseline benchmark matching bench (and carrying
-// metric) against the current report. maxDrop is the tolerated fractional
-// regression: loss for higher-is-better metrics, growth for lower-is-better.
-// checked counts comparisons that ran; zero means the pattern matched nothing
-// with the metric, which callers should treat as a configuration error.
+// metric) against the current report, and flags current-report benchmarks
+// the baseline lacks. maxDrop is the tolerated fractional regression: loss
+// for higher-is-better metrics, growth for lower-is-better. checked counts
+// comparisons that ran; zero means the pattern matched nothing with the
+// metric on either side, which callers should treat as a configuration
+// error.
 func Compare(baseline, current *Report, bench *regexp.Regexp, metric string, maxDrop float64, lowerBetter bool) (violations []Violation, checked int) {
 	cur := make(map[string]Result, len(current.Results))
 	for _, r := range current.Results {
 		cur[r.Pkg+"\x00"+normalize(r.Name)] = r
 	}
+	seen := make(map[string]bool)
 	for _, b := range baseline.Results {
 		name := normalize(b.Name)
 		if !bench.MatchString(name) {
 			continue
 		}
 		base, ok := b.Metrics[metric]
-		if !ok || base == 0 {
+		if !ok {
 			continue
 		}
+		key := b.Pkg + "\x00" + name
+		seen[key] = true
 		checked++
-		c, ok := cur[b.Pkg+"\x00"+name]
+		if degenerate(base) {
+			violations = append(violations, Violation{Name: name, Metric: metric, Reason: ReasonBadBaseline, Baseline: base})
+			continue
+		}
+		c, ok := cur[key]
 		if !ok {
-			violations = append(violations, Violation{Name: name, Metric: metric, Baseline: base, Missing: true})
+			violations = append(violations, Violation{Name: name, Metric: metric, Reason: ReasonMissingCurrent, Baseline: base, Missing: true})
 			continue
 		}
 		got, ok := c.Metrics[metric]
 		if !ok {
-			violations = append(violations, Violation{Name: name, Metric: metric, Baseline: base, Missing: true})
+			violations = append(violations, Violation{Name: name, Metric: metric, Reason: ReasonMissingCurrent, Baseline: base, Missing: true})
+			continue
+		}
+		if degenerate(got) {
+			violations = append(violations, Violation{Name: name, Metric: metric, Reason: ReasonBadCurrent, Baseline: base, Current: got})
 			continue
 		}
 		bad := got < base*(1-maxDrop)
@@ -99,28 +146,44 @@ func Compare(baseline, current *Report, bench *regexp.Regexp, metric string, max
 			bad = got > base*(1+maxDrop)
 		}
 		if bad {
-			violations = append(violations, Violation{Name: name, Metric: metric, Baseline: base, Current: got})
+			violations = append(violations, Violation{Name: name, Metric: metric, Reason: ReasonRegressed, Baseline: base, Current: got})
 		}
+	}
+	// Benchmarks present only in the current report: matched by the pattern,
+	// carrying the metric, but never guarded by the baseline.
+	for _, c := range current.Results {
+		name := normalize(c.Name)
+		if !bench.MatchString(name) {
+			continue
+		}
+		got, ok := c.Metrics[metric]
+		if !ok {
+			continue
+		}
+		key := c.Pkg + "\x00" + name
+		if seen[key] {
+			continue
+		}
+		checked++
+		violations = append(violations, Violation{Name: name, Metric: metric, Reason: ReasonMissingBaseline, Current: got})
 	}
 	return violations, checked
 }
 
-func load(path string) (*Report, error) {
-	f, err := os.Open(path)
+// load reads one side of the comparison — a raw benchjson document or an
+// archived dispatcher result — labeling errors with the side they came from
+// so a missing baseline file reads as exactly that.
+func load(role, path string) (*Report, error) {
+	rep, err := dispatch.LoadBenchReport(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("benchguard: load %s report: %w", role, err)
 	}
-	defer f.Close()
-	var rep Report
-	if err := json.NewDecoder(f).Decode(&rep); err != nil {
-		return nil, fmt.Errorf("benchguard: parse %s: %w", path, err)
-	}
-	return &rep, nil
+	return rep, nil
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "", "benchjson archive to compare against (required)")
-	currentPath := flag.String("current", "", "benchjson archive under test (required)")
+	baselinePath := flag.String("baseline", "", "benchjson archive or dispatcher result.json to compare against (required)")
+	currentPath := flag.String("current", "", "benchjson archive or dispatcher result.json under test (required)")
 	benchPat := flag.String("bench", ".", "regexp selecting benchmark names to guard")
 	metric := flag.String("metric", "tuples/s", "metric key to compare")
 	maxDrop := flag.Float64("max-drop", 0.10, "tolerated fractional regression (0.10 = 10%)")
@@ -136,19 +199,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: bad -bench pattern: %v\n", err)
 		os.Exit(2)
 	}
-	baseline, err := load(*baselinePath)
+	baseline, err := load("baseline", *baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	current, err := load(*currentPath)
+	current, err := load("current", *currentPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	violations, checked := Compare(baseline, current, re, *metric, *maxDrop, *lowerBetter)
 	if checked == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: no baseline benchmark matches %q with metric %q\n", *benchPat, *metric)
+		fmt.Fprintf(os.Stderr, "benchguard: no benchmark on either side matches %q with metric %q\n", *benchPat, *metric)
 		os.Exit(2)
 	}
 	if len(violations) > 0 {
@@ -156,7 +219,7 @@ func main() {
 		for _, v := range violations {
 			lines = append(lines, "  "+v.String())
 		}
-		fmt.Fprintf(os.Stderr, "benchguard: %d of %d guarded benchmarks regressed beyond %.0f%%:\n%s\n",
+		fmt.Fprintf(os.Stderr, "benchguard: %d of %d guarded benchmarks violated the %.0f%% gate:\n%s\n",
 			len(violations), checked, *maxDrop*100, strings.Join(lines, "\n"))
 		os.Exit(1)
 	}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"math"
+	"path/filepath"
 	"regexp"
 	"testing"
+
+	"streambalance/internal/dispatch"
 )
 
 func report(results ...Result) *Report { return &Report{Results: results} }
@@ -76,5 +80,163 @@ func TestCompareNoMatchReportsZeroChecked(t *testing.T) {
 	base := report(res("BenchmarkX", map[string]float64{"tuples/s": 1000}))
 	if _, checked := Compare(base, base, regexp.MustCompile(`Nope`), "tuples/s", 0.10, false); checked != 0 {
 		t.Fatalf("checked = %d, want 0", checked)
+	}
+}
+
+// TestCompareEdgeCases table-drives the degenerate-data paths: zero and NaN
+// rows on either side, and benchmarks present in only one report — each must
+// surface as a distinctly classified violation rather than a silent pass.
+func TestCompareEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		base, cur   *Report
+		wantReason  Reason
+		wantChecked int
+	}{
+		{
+			name:        "zero baseline tuples/s",
+			base:        report(res("BenchmarkZeroed", map[string]float64{"tuples/s": 0})),
+			cur:         report(res("BenchmarkZeroed", map[string]float64{"tuples/s": 1000})),
+			wantReason:  ReasonBadBaseline,
+			wantChecked: 1,
+		},
+		{
+			name:        "NaN baseline tuples/s",
+			base:        report(res("BenchmarkNaN", map[string]float64{"tuples/s": math.NaN()})),
+			cur:         report(res("BenchmarkNaN", map[string]float64{"tuples/s": 1000})),
+			wantReason:  ReasonBadBaseline,
+			wantChecked: 1,
+		},
+		{
+			name:        "zero current tuples/s",
+			base:        report(res("BenchmarkDied", map[string]float64{"tuples/s": 1000})),
+			cur:         report(res("BenchmarkDied", map[string]float64{"tuples/s": 0})),
+			wantReason:  ReasonBadCurrent,
+			wantChecked: 1,
+		},
+		{
+			name:        "NaN current tuples/s",
+			base:        report(res("BenchmarkDied", map[string]float64{"tuples/s": 1000})),
+			cur:         report(res("BenchmarkDied", map[string]float64{"tuples/s": math.NaN()})),
+			wantReason:  ReasonBadCurrent,
+			wantChecked: 1,
+		},
+		{
+			name:        "baseline-only benchmark",
+			base:        report(res("BenchmarkGone", map[string]float64{"tuples/s": 1000})),
+			cur:         report(),
+			wantReason:  ReasonMissingCurrent,
+			wantChecked: 1,
+		},
+		{
+			name:        "current-only benchmark",
+			base:        report(),
+			cur:         report(res("BenchmarkNew", map[string]float64{"tuples/s": 1000})),
+			wantReason:  ReasonMissingBaseline,
+			wantChecked: 1,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			v, checked := Compare(tc.base, tc.cur, regexp.MustCompile(`.`), "tuples/s", 0.10, false)
+			if checked != tc.wantChecked {
+				t.Fatalf("checked = %d, want %d (violations %v)", checked, tc.wantChecked, v)
+			}
+			if len(v) != 1 {
+				t.Fatalf("violations = %v, want exactly 1", v)
+			}
+			if v[0].Reason != tc.wantReason {
+				t.Fatalf("reason = %s, want %s", v[0].Reason, tc.wantReason)
+			}
+			if v[0].String() == "" {
+				t.Fatal("violation renders empty")
+			}
+		})
+	}
+}
+
+// TestCompareZeroBaselineRowDoesNotHideHealthyRows: a degenerate row must
+// not short-circuit the rest of the report.
+func TestCompareZeroBaselineRowDoesNotHideHealthyRows(t *testing.T) {
+	base := report(
+		res("BenchmarkZeroed", map[string]float64{"tuples/s": 0}),
+		res("BenchmarkFine", map[string]float64{"tuples/s": 1000}),
+	)
+	cur := report(
+		res("BenchmarkZeroed", map[string]float64{"tuples/s": 900}),
+		res("BenchmarkFine", map[string]float64{"tuples/s": 980}),
+	)
+	v, checked := Compare(base, cur, regexp.MustCompile(`.`), "tuples/s", 0.10, false)
+	if checked != 2 || len(v) != 1 || v[0].Reason != ReasonBadBaseline {
+		t.Fatalf("checked=%d violations=%v; want the zero row flagged once and the healthy row passing", checked, v)
+	}
+}
+
+// TestLoadMissingBaselineFileIsClearError pins the missing-file message: it
+// must name the role and the path rather than surfacing a bare ENOENT.
+func TestLoadMissingBaselineFileIsClearError(t *testing.T) {
+	_, err := load("baseline", filepath.Join(t.TempDir(), "BENCH_nope.json"))
+	if err == nil {
+		t.Fatal("missing baseline loaded")
+	}
+	msg := err.Error()
+	for _, want := range []string{"baseline", "BENCH_nope.json"} {
+		if !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(msg) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestLoadArchivedDispatcherRun verifies the end-to-end contract with the
+// experiment dispatcher: an archived result.json loads as a comparison side,
+// and two archived runs of the same workload compare cleanly.
+func TestLoadArchivedDispatcherRun(t *testing.T) {
+	spec := dispatch.Spec{Kind: dispatch.KindBench, Name: "guard-e2e", Bench: &dispatch.BenchSpec{
+		Benchmark: "sim-throughput", PEs: 2, Tuples: 2000,
+	}}
+	dirA := filepath.Join(t.TempDir(), "001-guard-e2e")
+	dirB := filepath.Join(t.TempDir(), "002-guard-e2e")
+	for _, dir := range []string{dirA, dirB} {
+		res := dispatch.Execute(spec)
+		if res.State != dispatch.StateCompleted {
+			t.Fatalf("run failed: %s", res.Error)
+		}
+		if err := dispatch.WriteResult(dir, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseline, err := load("baseline", filepath.Join(dirA, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	current, err := load("current", filepath.Join(dirB, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both runs executed the same workload on the same machine: an
+	// effectively-unbounded tolerance checks pairing, not performance.
+	v, checked := Compare(baseline, current, regexp.MustCompile(`SimulatorThroughput`), "tuples/s", 0.99, false)
+	if checked != 1 || len(v) != 0 {
+		t.Fatalf("archived-run comparison: checked=%d violations=%v", checked, v)
+	}
+
+	// A raw dispatcher result with no bench rows must be a clear error.
+	empty := &dispatch.Result{SchemaVersion: dispatch.ResultVersion, RunID: "003-empty", Kind: dispatch.KindSim, State: dispatch.StateFailed}
+	dirC := filepath.Join(t.TempDir(), "003-empty")
+	if err := dispatch.WriteResult(dirC, empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load("current", filepath.Join(dirC, "result.json")); err == nil {
+		t.Fatal("benchless archived run loaded as a comparison side")
+	}
+
+	// Version skew must be rejected, not misread.
+	future := dispatch.Execute(spec)
+	future.SchemaVersion = "2.0"
+	dirD := filepath.Join(t.TempDir(), "004-future")
+	if err := dispatch.WriteResult(dirD, future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load("current", filepath.Join(dirD, "result.json")); err == nil {
+		t.Fatal("future-major archived run loaded")
 	}
 }

@@ -7,7 +7,10 @@
 //
 // Every metric on a benchmark line is kept, including the custom ones the
 // figure reproductions report (blockrate, lb-norm-exec, tuples/s, ...), keyed
-// by unit.
+// by unit. The document carries schema_version (internal/schema.BenchVersion)
+// so downstream readers — cmd/benchguard, the experiment dispatcher — can
+// reject archives written by an incompatible future format instead of
+// misreading them.
 package main
 
 import (
@@ -18,28 +21,21 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"streambalance/internal/schema"
 )
 
-// Result is one benchmark line.
-type Result struct {
-	Pkg        string             `json:"pkg"`
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Report is the whole run.
-type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
-}
+// Result and Report are the shared archive document types: one benchmark
+// line, and the whole run.
+type (
+	Result = schema.BenchResult
+	Report = schema.BenchReport
+)
 
 // Parse consumes `go test -bench` output. Lines it does not recognize
 // (PASS, ok, test logs) are skipped; malformed Benchmark lines are an error.
 func Parse(r io.Reader) (*Report, error) {
-	rep := &Report{Results: []Result{}}
+	rep := &Report{SchemaVersion: schema.BenchVersion, Results: []Result{}}
 	pkg := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"streambalance/internal/schema"
 )
 
 const sampleBench = `goos: linux
@@ -24,6 +27,9 @@ func TestParseBenchOutput(t *testing.T) {
 	rep, err := Parse(strings.NewReader(sampleBench))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.SchemaVersion != schema.BenchVersion {
+		t.Fatalf("schema_version = %q, want %q", rep.SchemaVersion, schema.BenchVersion)
 	}
 	if rep.Goos != "linux" || rep.Goarch != "amd64" {
 		t.Fatalf("context not captured: goos=%q goarch=%q", rep.Goos, rep.Goarch)
@@ -83,5 +89,39 @@ func TestParseEmptyInput(t *testing.T) {
 	}
 	if len(rep.Results) != 0 {
 		t.Fatalf("results = %v, want none", rep.Results)
+	}
+}
+
+// TestEmittedDocumentRoundTripsThroughSchemaDecoder pins the contract with
+// downstream readers: what benchjson emits, schema.DecodeBenchReport accepts
+// today and rejects once the major moves.
+func TestEmittedDocumentRoundTripsThroughSchemaDecoder(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := schema.DecodeBenchReport(data)
+	if err != nil {
+		t.Fatalf("emitted document rejected by schema decoder: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back.Results), len(rep.Results))
+	}
+
+	var future Report
+	if err := json.Unmarshal(data, &future); err != nil {
+		t.Fatal(err)
+	}
+	future.SchemaVersion = "2.0"
+	data, err = json.Marshal(future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schema.DecodeBenchReport(data); err == nil {
+		t.Fatal("future-major document accepted")
 	}
 }

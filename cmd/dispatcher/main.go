@@ -1,0 +1,98 @@
+// Command dispatcher drains a queue of experiment specs — simulator
+// scenarios, benchmark workloads, chaos soaks — through a pool of local
+// worker processes, archiving every run under a results directory:
+//
+//	dispatcher -specs experiments/sweep-smoke.json -results results/sweep -workers 4
+//
+// The specs file is a JSON array (or single object) of internal/dispatch
+// specs. Each run lands in results/<run-id>/ with spec.json, the
+// schema-stable result.json, the worker's stdout/stderr logs and an
+// environment fingerprint; results/manifest.json summarizes the whole queue.
+// Workers that crash are retried up to -max-attempts; the exit code is
+// non-zero when any run fails.
+//
+// The same binary is its own worker: the dispatcher re-executes itself with
+// -worker to run one spec in an isolated process (-inprocess skips the
+// subprocess for quick local sweeps). Archived runs are compared with
+// cmd/benchguard, pairwise or against the checked-in BENCH_*.json baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streambalance/internal/dispatch"
+)
+
+func main() {
+	worker := flag.Bool("worker", false, "worker mode: execute one spec and archive its result")
+	specPath := flag.String("spec", "", "worker mode: path to the spec to execute")
+	outDir := flag.String("out", "", "worker mode: run directory to archive into")
+	specsPath := flag.String("specs", "", "queue mode: JSON file of experiment specs (required)")
+	resultsDir := flag.String("results", "results", "queue mode: archive root directory")
+	workers := flag.Int("workers", 2, "queue mode: worker pool size")
+	maxAttempts := flag.Int("max-attempts", 3, "queue mode: executions per run before a crashing worker fails it")
+	inprocess := flag.Bool("inprocess", false, "queue mode: run specs in-process instead of spawning workers")
+	flag.Parse()
+
+	if *worker {
+		if *specPath == "" || *outDir == "" {
+			fmt.Fprintln(os.Stderr, "dispatcher: -worker requires -spec and -out")
+			os.Exit(2)
+		}
+		if err := dispatch.RunWorker(*specPath, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *specsPath == "" {
+		fmt.Fprintln(os.Stderr, "dispatcher: -specs is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*specsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dispatcher: read specs: %v\n", err)
+		os.Exit(2)
+	}
+	specs, err := dispatch.DecodeSpecs(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := dispatch.Config{
+		Workers:     *workers,
+		ResultsDir:  *resultsDir,
+		MaxAttempts: *maxAttempts,
+		OnTransition: func(tr dispatch.Transition) {
+			fmt.Printf("dispatcher: %-28s %s -> %s (attempt %d)\n", tr.RunID, tr.From, tr.To, tr.Attempt)
+		},
+	}
+	if !*inprocess {
+		cfg.WorkerCommand = dispatch.SelfWorkerCommand
+	}
+	d, err := dispatch.New(cfg, specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	entries, err := d.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%-28s %-6s %-10s %-8s %s\n", "RUN", "KIND", "STATE", "ATTEMPTS", "ERROR")
+	for _, e := range entries {
+		fmt.Printf("%-28s %-6s %-10s %-8d %s\n", e.RunID, e.Kind, e.State, e.Attempts, e.Error)
+	}
+	if n := dispatch.Failed(entries); n > 0 {
+		fmt.Fprintf(os.Stderr, "dispatcher: %d of %d runs failed\n", n, len(entries))
+		os.Exit(1)
+	}
+	fmt.Printf("dispatcher: all %d runs completed; archive in %s\n", len(entries), *resultsDir)
+}

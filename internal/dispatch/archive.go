@@ -1,0 +1,184 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"streambalance/internal/schema"
+)
+
+// Archive layout: every run owns results/<run-id>/ with
+//
+//	spec.json    — the experiment spec as queued
+//	result.json  — the schema-stable Result document (absent after a crash)
+//	stdout.log   — the worker process's stdout
+//	stderr.log   — the worker process's stderr
+//
+// plus one results/manifest.json written by the dispatcher when the queue
+// drains, summarizing every run's terminal state.
+
+const (
+	specFile     = "spec.json"
+	resultFile   = "result.json"
+	stdoutFile   = "stdout.log"
+	stderrFile   = "stderr.log"
+	manifestFile = "manifest.json"
+)
+
+func readFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: read %s: %w", path, err)
+	}
+	return data, nil
+}
+
+// runIDFromDir recovers the run ID from its archive directory name.
+func runIDFromDir(dir string) string { return filepath.Base(filepath.Clean(dir)) }
+
+// WriteSpec archives the spec into the run directory, creating it.
+func WriteSpec(dir string, spec Spec) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dispatch: create run dir: %w", err)
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, specFile), append(data, '\n'), 0o644)
+}
+
+// WriteResult archives the result document atomically (write to a temp file,
+// rename), so a reader never sees a torn result.json and a crash mid-write
+// looks identical to a crash before the write — no result at all.
+func WriteResult(dir string, res *Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dispatch: create run dir: %w", err)
+	}
+	data, err := MarshalResult(res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, resultFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, resultFile))
+}
+
+// LoadResult reads a run's archived result document. A missing result.json
+// is returned as an os.ErrNotExist-wrapping error — the crash signature.
+func LoadResult(dir string) (*Result, error) {
+	data, err := os.ReadFile(filepath.Join(dir, resultFile))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: run %s has no result: %w", runIDFromDir(dir), err)
+	}
+	return DecodeResult(data)
+}
+
+// LoadBenchReport loads benchmark rows from path, accepting either a raw
+// benchjson document (BENCH_*.json) or an archived dispatcher result
+// (results/<run-id>/result.json), whose bench payload is extracted. This is
+// what lets cmd/benchguard compare any two archived runs, or a run against
+// the checked-in baseline.
+func LoadBenchReport(path string) (*schema.BenchReport, error) {
+	data, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// A dispatcher result is distinguished by its run_id/kind envelope keys.
+	var probe struct {
+		RunID string          `json:"run_id"`
+		Kind  string          `json:"kind"`
+		Bench json.RawMessage `json:"bench"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("dispatch: parse %s: %w", path, err)
+	}
+	if probe.RunID == "" && probe.Kind == "" {
+		rep, err := schema.DecodeBenchReport(data)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: %s: %w", path, err)
+		}
+		return rep, nil
+	}
+	res, err := DecodeResult(data)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %s: %w", path, err)
+	}
+	if res.Bench == nil || len(res.Bench.Results) == 0 {
+		return nil, fmt.Errorf("dispatch: archived run %s (%s, state %s) carries no benchmark rows", res.RunID, res.Kind, res.State)
+	}
+	return res.Bench, nil
+}
+
+// ListRuns returns the run IDs archived under resultsDir, sorted.
+func ListRuns(resultsDir string) ([]string, error) {
+	entries, err := os.ReadDir(resultsDir)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: list runs: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// ManifestEntry summarizes one run in the queue manifest.
+type ManifestEntry struct {
+	RunID    string   `json:"run_id"`
+	Name     string   `json:"name"`
+	Kind     Kind     `json:"kind"`
+	State    RunState `json:"state"`
+	Attempts int      `json:"attempts"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// Manifest is the queue-level summary written when the dispatcher drains.
+type Manifest struct {
+	SchemaVersion string          `json:"schema_version"`
+	Env           Env             `json:"env"`
+	Runs          []ManifestEntry `json:"runs"`
+}
+
+// WriteManifest archives the manifest under resultsDir.
+func WriteManifest(resultsDir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(resultsDir, manifestFile), append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads the queue manifest under resultsDir.
+func LoadManifest(resultsDir string) (*Manifest, error) {
+	data, err := readFile(filepath.Join(resultsDir, manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dispatch: parse manifest: %w", err)
+	}
+	if err := schema.Check("dispatch manifest", m.SchemaVersion, specMajor); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,351 @@
+package dispatch
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Transition is one state-machine edge of one run, reported to the
+// Config.OnTransition hook (tests use it to audit legality and to inject
+// worker kills).
+type Transition struct {
+	RunID string
+	From  RunState
+	To    RunState
+	// Attempt is the 1-based attempt this transition belongs to.
+	Attempt int
+	// PID is the worker process (0 for in-process execution or pre-exec
+	// states).
+	PID int
+}
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// Workers is the pool size — how many runs execute concurrently
+	// (default 2).
+	Workers int
+	// ResultsDir is the archive root; each run lands in ResultsDir/<run-id>/.
+	ResultsDir string
+	// MaxAttempts bounds executions per run: a run whose worker crashes is
+	// requeued until it has consumed MaxAttempts attempts, then fails
+	// (default 3). Experiment failures — the worker ran the spec and the
+	// experiment errored — are deterministic and never retried.
+	MaxAttempts int
+	// WorkerCommand builds the worker process for one run: it must execute
+	// the spec at specPath and archive result.json under outDir (see
+	// RunWorker). Nil runs specs in-process instead — no isolation, but no
+	// subprocess either (tests, quick local sweeps).
+	WorkerCommand func(specPath, outDir string) *exec.Cmd
+	// OnTransition, when set, observes every state edge. It is called with
+	// the dispatcher lock held: it must not call back into the Dispatcher.
+	OnTransition func(Transition)
+}
+
+// run is the dispatcher-side record of one queued experiment.
+type run struct {
+	id       string
+	spec     Spec
+	state    RunState
+	attempts int
+	pid      int
+	errMsg   string
+}
+
+// Dispatcher drains a queue of experiment specs through a pool of workers.
+type Dispatcher struct {
+	cfg  Config
+	mu   sync.Mutex
+	runs []*run
+	// queue holds indices into runs, FIFO. Crash-retried runs are pushed to
+	// the back: a crashing spec must not starve the rest of the queue.
+	queue []int
+	// execOverride replaces Execute for in-process runs — tests use it to
+	// simulate experiment failures and worker crashes (by panicking).
+	execOverride func(Spec) *Result
+}
+
+// SelfWorkerCommand builds the standard worker invocation: re-execute the
+// current binary with the -worker flag set (cmd/dispatcher's worker mode).
+func SelfWorkerCommand(specPath, outDir string) *exec.Cmd {
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	return exec.Command(self, "-worker", "-spec", specPath, "-out", outDir)
+}
+
+// New validates every spec and builds a dispatcher with all runs queued.
+func New(cfg Config, specs []Spec) (*Dispatcher, error) {
+	if cfg.ResultsDir == "" {
+		return nil, fmt.Errorf("dispatch: ResultsDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("dispatch: no specs queued")
+	}
+	d := &Dispatcher{cfg: cfg}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("dispatch: spec %d: %w", i, err)
+		}
+		d.runs = append(d.runs, &run{
+			id:    fmt.Sprintf("%03d-%s", i+1, spec.Name),
+			spec:  spec,
+			state: StateQueued,
+		})
+		d.queue = append(d.queue, i)
+	}
+	return d, nil
+}
+
+// legalNext enumerates the state machine. A booked attempt that cannot even
+// start its worker (archive or spawn failure) aborts back to queued — or to
+// failed once the retry budget is spent — without passing through executing.
+// Everything else is a bug.
+var legalNext = map[RunState]map[RunState]bool{
+	StateQueued:    {StateBooked: true},
+	StateBooked:    {StateExecuting: true, StateQueued: true, StateFailed: true},
+	StateExecuting: {StateQueued: true, StateCompleted: true, StateFailed: true},
+}
+
+// transition moves one run along an edge, panicking on an illegal edge —
+// the invariant the property tests audit. Caller holds d.mu.
+func (d *Dispatcher) transition(r *run, to RunState) {
+	if !legalNext[r.state][to] {
+		panic(fmt.Sprintf("dispatch: illegal transition %s -> %s for run %s", r.state, to, r.id))
+	}
+	from := r.state
+	r.state = to
+	if d.cfg.OnTransition != nil {
+		d.cfg.OnTransition(Transition{RunID: r.id, From: from, To: to, Attempt: r.attempts, PID: r.pid})
+	}
+}
+
+// book claims the next queued run for a worker slot. Booking is the only
+// queued→booked edge and happens under the lock, so a run can never be
+// double-booked: it leaves the queue in the same critical section that
+// transitions it.
+func (d *Dispatcher) book() (*run, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.queue) == 0 {
+		return nil, false
+	}
+	idx := d.queue[0]
+	d.queue = d.queue[1:]
+	r := d.runs[idx]
+	if r.state != StateQueued {
+		panic(fmt.Sprintf("dispatch: booking run %s in state %s", r.id, r.state))
+	}
+	r.attempts++
+	r.pid = 0
+	d.transition(r, StateBooked)
+	return r, true
+}
+
+// settle moves an executing run to its terminal state, or requeues it after
+// a crash while attempts remain.
+func (d *Dispatcher) settle(r *run, to RunState, errMsg string, idx int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r.errMsg = errMsg
+	if to == StateQueued {
+		d.transition(r, StateQueued)
+		d.queue = append(d.queue, idx)
+		return
+	}
+	d.transition(r, to)
+}
+
+// indexOf maps a run back to its queue index.
+func (d *Dispatcher) indexOf(r *run) int {
+	for i, cand := range d.runs {
+		if cand == r {
+			return i
+		}
+	}
+	panic("dispatch: unknown run")
+}
+
+// executeOne runs one booked attempt to a settled state (terminal or
+// requeued).
+func (d *Dispatcher) executeOne(r *run) {
+	dir := filepath.Join(d.cfg.ResultsDir, r.id)
+	idx := d.indexOf(r)
+	crash := func(detail string) {
+		if r.attempts < d.cfg.MaxAttempts {
+			d.settle(r, StateQueued, detail, idx)
+			return
+		}
+		d.settle(r, StateFailed, fmt.Sprintf("worker crashed on all %d attempts: %s", r.attempts, detail), idx)
+	}
+	if err := WriteSpec(dir, r.spec); err != nil {
+		// The archive is unusable; retrying would hit the same disk error.
+		d.settle(r, StateFailed, err.Error(), idx)
+		return
+	}
+	if d.cfg.WorkerCommand == nil {
+		d.executeInProcess(r, dir, crash)
+		return
+	}
+	d.executeProcess(r, dir, crash)
+}
+
+// executeInProcess runs the spec in the dispatcher process. A panic in the
+// runner counts as a crash, taking the same retry path a dead worker does.
+func (d *Dispatcher) executeInProcess(r *run, dir string, crash func(string)) {
+	d.mu.Lock()
+	d.transition(r, StateExecuting)
+	d.mu.Unlock()
+	exec := Execute
+	if d.execOverride != nil {
+		exec = d.execOverride
+	}
+	var res *Result
+	panicked := func() (p bool) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				p = true
+			}
+		}()
+		res = exec(r.spec)
+		return false
+	}()
+	if panicked || res == nil {
+		crash("runner panicked")
+		return
+	}
+	res.RunID = r.id
+	res.Attempt = r.attempts
+	if err := WriteResult(dir, res); err != nil {
+		crash(err.Error())
+		return
+	}
+	idx := d.indexOf(r)
+	d.settle(r, res.State, res.Error, idx)
+}
+
+// executeProcess runs the spec in a worker subprocess, streams its output to
+// the archive logs, and judges the outcome by the archived result.json: a
+// worker that exits without one crashed, whatever its exit code says.
+func (d *Dispatcher) executeProcess(r *run, dir string, crash func(string)) {
+	specPath := filepath.Join(dir, specFile)
+	stdout, err := os.Create(filepath.Join(dir, stdoutFile))
+	if err != nil {
+		crash(err.Error())
+		return
+	}
+	defer stdout.Close()
+	stderr, err := os.Create(filepath.Join(dir, stderrFile))
+	if err != nil {
+		crash(err.Error())
+		return
+	}
+	defer stderr.Close()
+	// A retry must not inherit the previous attempt's result document;
+	// result.json presence is the completed-handshake signal.
+	os.Remove(filepath.Join(dir, resultFile))
+
+	cmd := d.cfg.WorkerCommand(specPath, dir)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		crash(fmt.Sprintf("start worker: %v", err))
+		return
+	}
+	d.mu.Lock()
+	r.pid = cmd.Process.Pid
+	d.transition(r, StateExecuting)
+	d.mu.Unlock()
+	waitErr := cmd.Wait()
+
+	res, loadErr := LoadResult(dir)
+	if loadErr != nil {
+		detail := fmt.Sprintf("no result archived (%v)", loadErr)
+		if waitErr != nil {
+			detail = fmt.Sprintf("worker exit: %v; %s", waitErr, detail)
+		}
+		crash(detail)
+		return
+	}
+	if res.State != StateCompleted && res.State != StateFailed {
+		crash(fmt.Sprintf("worker archived non-terminal state %q", res.State))
+		return
+	}
+	idx := d.indexOf(r)
+	d.settle(r, res.State, res.Error, idx)
+}
+
+// Run drains the queue through the worker pool, writes the manifest, and
+// returns every run's terminal status. The error covers harness failures
+// only; failed experiments are reported in the returned entries (see
+// Manifest.Runs) and counted by Failed.
+func (d *Dispatcher) Run() ([]ManifestEntry, error) {
+	if err := os.MkdirAll(d.cfg.ResultsDir, 0o755); err != nil {
+		return nil, fmt.Errorf("dispatch: create results dir: %w", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < d.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r, ok := d.book()
+				if !ok {
+					return
+				}
+				d.executeOne(r)
+			}
+		}()
+	}
+	wg.Wait()
+
+	entries := d.Statuses()
+	for _, e := range entries {
+		if !e.State.Terminal() {
+			return entries, fmt.Errorf("dispatch: run %s drained in non-terminal state %s", e.RunID, e.State)
+		}
+	}
+	m := Manifest{SchemaVersion: ResultVersion, Env: Fingerprint(), Runs: entries}
+	if err := WriteManifest(d.cfg.ResultsDir, m); err != nil {
+		return entries, err
+	}
+	return entries, nil
+}
+
+// Statuses snapshots every run's current state in queue order.
+func (d *Dispatcher) Statuses() []ManifestEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries := make([]ManifestEntry, len(d.runs))
+	for i, r := range d.runs {
+		entries[i] = ManifestEntry{
+			RunID:    r.id,
+			Name:     r.spec.Name,
+			Kind:     r.spec.Kind,
+			State:    r.state,
+			Attempts: r.attempts,
+			Error:    r.errMsg,
+		}
+	}
+	return entries
+}
+
+// Failed counts runs in the failed state.
+func Failed(entries []ManifestEntry) int {
+	n := 0
+	for _, e := range entries {
+		if e.State == StateFailed {
+			n++
+		}
+	}
+	return n
+}

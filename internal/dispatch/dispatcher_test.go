@@ -1,0 +1,317 @@
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the worker process for the subprocess tests: when the
+// helper env vars are set, the binary executes one spec and exits instead of
+// running the test suite — the same protocol cmd/dispatcher's -worker mode
+// speaks, without needing a separately built binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("DISPATCH_WORKER_HELPER") == "1" {
+		if err := RunWorker(os.Getenv("DISPATCH_SPEC"), os.Getenv("DISPATCH_OUT")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// helperWorkerCommand re-executes this test binary as a worker process.
+func helperWorkerCommand(specPath, outDir string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"DISPATCH_WORKER_HELPER=1",
+		"DISPATCH_SPEC="+specPath,
+		"DISPATCH_OUT="+outDir,
+	)
+	return cmd
+}
+
+// transitionLog records every state edge, and audits the run-lifecycle
+// invariants: edges chain with no gaps, every edge is legal, booking only
+// happens from queued (no double-booking), and each run ends in exactly one
+// terminal state.
+type transitionLog struct {
+	mu    sync.Mutex
+	byRun map[string][]Transition
+}
+
+func newTransitionLog() *transitionLog {
+	return &transitionLog{byRun: map[string][]Transition{}}
+}
+
+func (l *transitionLog) record(tr Transition) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byRun[tr.RunID] = append(l.byRun[tr.RunID], tr)
+}
+
+func (l *transitionLog) audit(t *testing.T) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, trs := range l.byRun {
+		state := StateQueued
+		terminals := 0
+		bookings := 0
+		for i, tr := range trs {
+			if tr.From != state {
+				t.Errorf("run %s: edge %d is %s->%s but run was in %s (torn edge chain)", id, i, tr.From, tr.To, state)
+			}
+			if !legalNext[tr.From][tr.To] {
+				t.Errorf("run %s: illegal edge %s->%s", id, tr.From, tr.To)
+			}
+			if tr.To == StateBooked {
+				if tr.From != StateQueued {
+					t.Errorf("run %s: booked from %s — double-booking", id, tr.From)
+				}
+				bookings++
+				if tr.Attempt != bookings {
+					t.Errorf("run %s: booking %d carries attempt %d", id, bookings, tr.Attempt)
+				}
+			}
+			if tr.To.Terminal() {
+				terminals++
+			}
+			state = tr.To
+		}
+		if terminals != 1 {
+			t.Errorf("run %s: %d terminal transitions, want exactly 1 (ends in %s)", id, terminals, state)
+		}
+		if !state.Terminal() {
+			t.Errorf("run %s: drained in non-terminal state %s", id, state)
+		}
+	}
+}
+
+func (l *transitionLog) runs() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.byRun)
+}
+
+// TestDispatcherStateMachineProperty drives a randomized queue through the
+// in-process pool with an exec override that completes, fails, crashes
+// once-then-recovers, or always crashes — and audits that every enqueued run
+// terminates in exactly one of completed/failed with a legal, gap-free edge
+// history and no double-booking. Run under -race -count=2 in CI.
+func TestDispatcherStateMachineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 48
+	specs := make([]Spec, n)
+	type behavior int
+	const (
+		behaveOK behavior = iota
+		behaveFail
+		behaveCrashOnce
+		behaveCrashAlways
+	)
+	behaviors := make([]behavior, n)
+	for i := range specs {
+		behaviors[i] = behavior(rng.Intn(4))
+		specs[i] = Spec{Kind: KindSim, Name: fmt.Sprintf("run-%02d-b%d", i, behaviors[i]),
+			Sim: &SimSpec{PEs: 1, TotalTuples: 1}}
+	}
+
+	crashes := make([]atomic.Int32, n)
+	log := newTransitionLog()
+	d, err := New(Config{
+		Workers:      8,
+		ResultsDir:   t.TempDir(),
+		MaxAttempts:  3,
+		OnTransition: log.record,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.execOverride = func(s Spec) *Result {
+		var idx int
+		var b int
+		fmt.Sscanf(s.Name, "run-%02d-b%d", &idx, &b)
+		res := &Result{SchemaVersion: ResultVersion, Name: s.Name, Kind: s.Kind, State: StateCompleted}
+		switch behavior(b) {
+		case behaveFail:
+			res.State = StateFailed
+			res.Error = "experiment errored"
+		case behaveCrashOnce:
+			if crashes[idx].Add(1) == 1 {
+				panic("injected crash")
+			}
+		case behaveCrashAlways:
+			panic("injected crash")
+		}
+		return res
+	}
+
+	entries, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("%d entries, want %d", len(entries), n)
+	}
+	for i, e := range entries {
+		switch behaviors[i] {
+		case behaveOK:
+			if e.State != StateCompleted || e.Attempts != 1 {
+				t.Errorf("%s: state %s attempts %d, want completed in 1", e.RunID, e.State, e.Attempts)
+			}
+		case behaveFail:
+			if e.State != StateFailed || e.Attempts != 1 || e.Error == "" {
+				t.Errorf("%s: state %s attempts %d err %q, want failed in 1 with message", e.RunID, e.State, e.Attempts, e.Error)
+			}
+		case behaveCrashOnce:
+			if e.State != StateCompleted || e.Attempts != 2 {
+				t.Errorf("%s: state %s attempts %d, want completed on retry", e.RunID, e.State, e.Attempts)
+			}
+		case behaveCrashAlways:
+			if e.State != StateFailed || e.Attempts != 3 || !strings.Contains(e.Error, "crashed") {
+				t.Errorf("%s: state %s attempts %d err %q, want failed after 3 crashes", e.RunID, e.State, e.Attempts, e.Error)
+			}
+		}
+	}
+	if log.runs() != n {
+		t.Fatalf("transitions recorded for %d runs, want %d", log.runs(), n)
+	}
+	log.audit(t)
+}
+
+// TestDispatcherWorkerProcesses drains a small queue through real worker
+// subprocesses (this test binary re-executed) and checks the archive layout:
+// spec.json, result.json, logs, manifest.
+func TestDispatcherWorkerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	resultsDir := t.TempDir()
+	specs := []Spec{
+		{Kind: KindSim, Name: "sim-a", Sim: &SimSpec{PEs: 2, TotalTuples: 2000}},
+		{Kind: KindSim, Name: "sim-b", Sim: &SimSpec{PEs: 4, TotalTuples: 2000, Policy: "balancer"}},
+		{Kind: KindBench, Name: "bench-a", Bench: &BenchSpec{Benchmark: "sim-throughput", PEs: 2, Tuples: 2000}},
+	}
+	log := newTransitionLog()
+	d, err := New(Config{
+		Workers:       2,
+		ResultsDir:    resultsDir,
+		WorkerCommand: helperWorkerCommand,
+		OnTransition:  log.record,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Failed(entries) != 0 {
+		t.Fatalf("failed runs: %+v", entries)
+	}
+	log.audit(t)
+
+	ids, err := ListRuns(resultsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(specs) {
+		t.Fatalf("archived %d runs, want %d: %v", len(ids), len(specs), ids)
+	}
+	for _, id := range ids {
+		dir := filepath.Join(resultsDir, id)
+		for _, f := range []string{"spec.json", "result.json", "stdout.log", "stderr.log"} {
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				t.Errorf("run %s: missing %s: %v", id, f, err)
+			}
+		}
+		res, err := LoadResult(dir)
+		if err != nil {
+			t.Errorf("run %s: %v", id, err)
+			continue
+		}
+		if res.State != StateCompleted || res.RunID != id {
+			t.Errorf("run %s: %+v", id, res)
+		}
+	}
+	m, err := LoadManifest(resultsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Runs) != len(specs) || m.SchemaVersion != ResultVersion {
+		t.Fatalf("manifest: %+v", m)
+	}
+}
+
+// TestDispatcherSurvivesWorkerKill is the worker-kill half of the property:
+// SIGKILL lands on the first few executing workers mid-run; the dispatcher
+// must retry them and every run must still terminate cleanly — completed,
+// because the killer stands down after its budget.
+func TestDispatcherSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	const n = 4
+	specs := make([]Spec, n)
+	for i := range specs {
+		// Big enough that a kill a few ms after exec lands mid-run.
+		specs[i] = Spec{Kind: KindSim, Name: fmt.Sprintf("victim-%d", i),
+			Sim: &SimSpec{PEs: 8, TotalTuples: 200_000}}
+	}
+	log := newTransitionLog()
+	var kills atomic.Int32
+	const killBudget = 3
+	cfg := Config{
+		Workers:       2,
+		ResultsDir:    t.TempDir(),
+		MaxAttempts:   killBudget + 2,
+		WorkerCommand: helperWorkerCommand,
+		OnTransition: func(tr Transition) {
+			log.record(tr)
+			if tr.To == StateExecuting && tr.PID > 0 && kills.Add(1) <= killBudget {
+				pid := tr.PID
+				go func() {
+					time.Sleep(10 * time.Millisecond)
+					if p, err := os.FindProcess(pid); err == nil {
+						p.Kill()
+					}
+				}()
+			}
+		},
+	}
+	d, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.audit(t)
+	retried := 0
+	for _, e := range entries {
+		if !e.State.Terminal() {
+			t.Errorf("%s drained in %s", e.RunID, e.State)
+		}
+		if e.State != StateCompleted {
+			t.Errorf("%s: state %s (%s) — kills exceed the retry budget?", e.RunID, e.State, e.Error)
+		}
+		if e.Attempts > 1 {
+			retried++
+		}
+	}
+	// At least one SIGKILL must have landed mid-run, or the test proved
+	// nothing about crash recovery.
+	if retried == 0 {
+		t.Skip("no kill landed mid-run on this machine; nothing exercised")
+	}
+}

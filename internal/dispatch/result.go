@@ -1,0 +1,120 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"streambalance/internal/schema"
+	"streambalance/internal/soak"
+)
+
+// ResultVersion is the archived result-document schema. The document is a
+// versioned superset of the per-tool outputs that predate the dispatcher:
+// its Soak payload is exactly internal/soak's Summary and its Bench payload
+// is exactly a benchjson report (BENCH_*.json), so every existing reader
+// keeps working on the embedded documents.
+const ResultVersion = "1.0"
+
+// RunState is one station of the run lifecycle.
+type RunState string
+
+const (
+	// StateQueued: accepted into the queue, not yet claimed.
+	StateQueued RunState = "queued"
+	// StateBooked: claimed by a worker slot, process not yet started.
+	StateBooked RunState = "booked"
+	// StateExecuting: worker process running the experiment.
+	StateExecuting RunState = "executing"
+	// StateCompleted: terminal — the experiment ran and passed.
+	StateCompleted RunState = "completed"
+	// StateFailed: terminal — the experiment errored, or its worker crashed
+	// more times than the retry budget allows.
+	StateFailed RunState = "failed"
+)
+
+// Terminal reports whether the state is an endpoint of the lifecycle.
+func (s RunState) Terminal() bool { return s == StateCompleted || s == StateFailed }
+
+// Env is the environment fingerprint archived with every result, so a
+// regression surface built from many runs can segment by machine.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	Goos       string `json:"goos"`
+	Goarch     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// Fingerprint captures the current process environment.
+func Fingerprint() Env {
+	host, _ := os.Hostname()
+	return Env{
+		GoVersion:  runtime.Version(),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Hostname:   host,
+	}
+}
+
+// SimResult is the structured payload of a sim-kind run, distilled from
+// sim.Metrics (virtual-time durations are archived in nanoseconds).
+type SimResult struct {
+	Policy          string        `json:"policy"`
+	EndTime         time.Duration `json:"end_time_ns"`
+	Sent            uint64        `json:"sent"`
+	Completed       uint64        `json:"completed"`
+	MeanThroughput  float64       `json:"mean_throughput"`
+	FinalThroughput float64       `json:"final_throughput"`
+	LatencyP50      time.Duration `json:"latency_p50_ns"`
+	LatencyP99      time.Duration `json:"latency_p99_ns"`
+	LatencyMax      time.Duration `json:"latency_max_ns"`
+	MaxReleaseGap   time.Duration `json:"max_release_gap_ns"`
+	StallAlarms     uint64        `json:"stall_alarms"`
+	MergeSweeps     uint64        `json:"merge_sweeps"`
+	FinalWeights    []int         `json:"final_weights,omitempty"`
+}
+
+// Result is the schema-stable document archived as results/<run-id>/result.json.
+// Exactly one of Bench/Soak/Sim is set on a completed run, matching the spec
+// kind — though every kind also contributes rows to Bench so that any two
+// archived runs can be compared with cmd/benchguard regardless of kind.
+type Result struct {
+	SchemaVersion string `json:"schema_version"`
+	RunID         string `json:"run_id"`
+	Name          string `json:"name"`
+	Kind          Kind   `json:"kind"`
+	// State is completed or failed; the transient states never reach disk.
+	State RunState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	// Attempt is 1-based: >1 means earlier workers crashed.
+	Attempt    int       `json:"attempt"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+	// Elapsed is wall time in nanoseconds.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Env     Env           `json:"env"`
+	Spec    *Spec         `json:"spec,omitempty"`
+	// Bench holds benchjson-shaped rows; set for every completed run so
+	// benchguard can compare archives of any kind.
+	Bench *schema.BenchReport `json:"bench,omitempty"`
+	Soak  *soak.Summary       `json:"soak,omitempty"`
+	Sim   *SimResult          `json:"sim,omitempty"`
+}
+
+// DecodeResult parses an archived result document, rejecting unknown majors.
+func DecodeResult(data []byte) (*Result, error) {
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("dispatch: parse result: %w", err)
+	}
+	if err := schema.Check("dispatch result", res.SchemaVersion, specMajor); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

@@ -1,0 +1,339 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"streambalance/internal/core"
+	rt "streambalance/internal/runtime"
+	"streambalance/internal/schema"
+	"streambalance/internal/sim"
+	"streambalance/internal/soak"
+	"streambalance/internal/transport"
+)
+
+// benchPkg labels dispatcher-produced benchmark rows. Region-transport rows
+// keep the root package label so they pair with the checked-in BENCH_*.json
+// baselines under benchguard's pkg+name key.
+const benchPkg = "streambalance"
+
+// Execute runs one spec in the calling process and returns its result
+// document (state completed or failed — never an error for experiment
+// failures, which are data). Worker processes call this via RunWorker; tests
+// and the in-process pool mode call it directly.
+func Execute(spec Spec) *Result {
+	res := &Result{
+		SchemaVersion: ResultVersion,
+		Name:          spec.Name,
+		Kind:          spec.Kind,
+		Attempt:       1,
+		StartedAt:     time.Now(),
+		Env:           Fingerprint(),
+		Spec:          &spec,
+	}
+	var err error
+	if verr := spec.Validate(); verr != nil {
+		err = verr
+	} else {
+		switch spec.Kind {
+		case KindSim:
+			err = runSim(spec, res)
+		case KindBench:
+			err = runBenchKind(spec, res)
+		case KindSoak:
+			err = runSoakKind(spec, res)
+		}
+	}
+	res.FinishedAt = time.Now()
+	res.Elapsed = res.FinishedAt.Sub(res.StartedAt)
+	if err != nil {
+		res.State = StateFailed
+		res.Error = err.Error()
+	} else {
+		res.State = StateCompleted
+	}
+	return res
+}
+
+// benchRow appends one benchjson-shaped row to the result's Bench report.
+func (r *Result) benchRow(pkg, name string, iters int64, metrics map[string]float64) {
+	if r.Bench == nil {
+		r.Bench = &schema.BenchReport{
+			SchemaVersion: schema.BenchVersion,
+			Goos:          r.Env.Goos,
+			Goarch:        r.Env.Goarch,
+		}
+	}
+	r.Bench.Results = append(r.Bench.Results, schema.BenchResult{
+		Pkg: pkg, Name: name, Iterations: iters, Metrics: metrics,
+	})
+}
+
+// simConfig expands a SimSpec into a runnable sim.Config.
+func simConfig(s *SimSpec) (sim.Config, error) {
+	hosts := s.Hosts
+	if hosts <= 0 {
+		hosts = 1
+	}
+	hs := make([]sim.HostSpec, hosts)
+	for i := range hs {
+		hs[i] = sim.SlowHost(fmt.Sprintf("h%d", i))
+	}
+	pes := make([]sim.PESpec, s.PEs)
+	for i := range pes {
+		pes[i].Host = i % hosts
+		if len(s.LoadMultipliers) == s.PEs {
+			pes[i].Load = sim.ConstantLoad(s.LoadMultipliers[i])
+		}
+	}
+	cfg := sim.Config{
+		Hosts:         hs,
+		PEs:           pes,
+		BaseCost:      s.BaseCost,
+		TotalTuples:   s.TotalTuples,
+		BatchSize:     s.BatchSize,
+		RecvBatchSize: s.RecvBatch,
+		Seed:          s.Seed,
+		ServiceJitter: s.ServiceJitter,
+		StallWindow:   time.Duration(s.StallWindowMS) * time.Millisecond,
+	}
+	if cfg.BaseCost <= 0 {
+		cfg.BaseCost = 1000
+	}
+	if cfg.TotalTuples == 0 {
+		cfg.TotalTuples = 20_000
+	}
+	if s.Policy == "balancer" {
+		bal, err := core.NewBalancer(core.Config{Connections: s.PEs})
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("dispatch: build balancer: %w", err)
+		}
+		cfg.Policy = sim.NewBalancerPolicy(bal, "LB")
+	}
+	return cfg, nil
+}
+
+func runSim(spec Spec, res *Result) error {
+	cfg, err := simConfig(spec.Sim)
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return fmt.Errorf("dispatch: build sim: %w", err)
+	}
+	start := time.Now()
+	m, err := s.Run()
+	if err != nil {
+		return fmt.Errorf("dispatch: sim run: %w", err)
+	}
+	res.Sim = &SimResult{
+		Policy:          m.Policy,
+		EndTime:         m.EndTime,
+		Sent:            m.Sent,
+		Completed:       m.Completed,
+		MeanThroughput:  m.MeanThroughput,
+		FinalThroughput: m.FinalThroughput,
+		LatencyP50:      m.LatencyP50,
+		LatencyP99:      m.LatencyP99,
+		LatencyMax:      m.LatencyMax,
+		MaxReleaseGap:   m.MaxReleaseGap,
+		StallAlarms:     m.StallAlarms,
+		MergeSweeps:     m.MergeSweeps,
+		FinalWeights:    m.FinalWeights,
+	}
+	// tuples/s is virtual-time throughput (the figure metric); wall-tuples/s
+	// is how fast the engine itself chewed through the scenario.
+	metrics := map[string]float64{"tuples/s": m.MeanThroughput}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		metrics["wall-tuples/s"] = float64(m.Completed) / wall
+	}
+	res.benchRow(benchPkg+"/internal/dispatch", "BenchmarkDispatchSim/"+spec.Name, 1, metrics)
+	return nil
+}
+
+// RunRegionTransportOnce runs one pass of the region-transport workload —
+// the same splitter→workers→merger region BenchmarkRegionTransport measures,
+// parameterized by spec. bench_test.go's benchmark loops over this shim, so
+// the benchmark and the dispatcher run byte-for-byte the same workload.
+func RunRegionTransportOnce(s BenchSpec) error {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	tuples := s.Tuples
+	if tuples == 0 {
+		tuples = 30_000
+	}
+	payloadSize := s.Payload
+	if payloadSize <= 0 {
+		payloadSize = 64
+	}
+	kind := rt.TransportTCP
+	if s.Transport == "inproc" {
+		kind = rt.TransportInproc
+	}
+	bal, err := core.NewBalancer(core.Config{Connections: workers})
+	if err != nil {
+		return err
+	}
+	ops := make([]rt.Operator, workers)
+	for j := range ops {
+		ops[j] = rt.Identity()
+	}
+	payload := make([]byte, payloadSize)
+	region, err := rt.NewRegion(rt.RegionConfig{
+		Transport: kind,
+		Operators: ops,
+		Source: func(seq uint64) ([]byte, bool) {
+			if seq >= tuples {
+				return nil, false
+			}
+			return payload, true
+		},
+		Balancer:       bal,
+		SampleInterval: 50 * time.Millisecond,
+		BatchSize:      s.Batch,
+		RecvBatchSize:  s.RecvBatch,
+		RingCap:        s.RingCap,
+		Sink:           func(transport.Tuple, int) {},
+	})
+	if err != nil {
+		return err
+	}
+	r, err := region.Run()
+	if err != nil {
+		return err
+	}
+	if r.Released != tuples || !r.OrderPreserved {
+		return fmt.Errorf("dispatch: region released %d of %d tuples, order=%v", r.Released, tuples, r.OrderPreserved)
+	}
+	return nil
+}
+
+// benchName renders the row name the equivalent go-test benchmark would
+// carry, so archived runs pair with checked-in BENCH_*.json baselines.
+func benchName(s BenchSpec) string {
+	switch s.Benchmark {
+	case "region-transport":
+		transportKind := s.Transport
+		if transportKind == "" {
+			transportKind = "tcp"
+		}
+		batch := s.Batch
+		if batch <= 0 {
+			batch = 1
+		}
+		return fmt.Sprintf("BenchmarkRegionTransport/transport=%s/batch=%d", transportKind, batch)
+	case "sim-throughput":
+		return "BenchmarkSimulatorThroughput"
+	default:
+		return "Benchmark" + s.Benchmark
+	}
+}
+
+func runBenchKind(spec Spec, res *Result) error {
+	s := *spec.Bench
+	iters := s.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	var perIter uint64
+	var runOnce func() error
+	switch s.Benchmark {
+	case "region-transport":
+		perIter = s.Tuples
+		if perIter == 0 {
+			perIter = 30_000
+		}
+		runOnce = func() error { return RunRegionTransportOnce(s) }
+	case "sim-throughput":
+		pes := s.PEs
+		if pes <= 0 {
+			pes = 8
+		}
+		baseCost := s.BaseCost
+		if baseCost <= 0 {
+			baseCost = 1000
+		}
+		perIter = s.Tuples
+		if perIter == 0 {
+			perIter = 50_000
+		}
+		hosts := []sim.HostSpec{sim.SlowHost("h")}
+		runOnce = func() error {
+			eng, err := sim.New(sim.Config{
+				Hosts: hosts, PEs: make([]sim.PESpec, pes),
+				BaseCost: baseCost, TotalTuples: perIter,
+			})
+			if err != nil {
+				return err
+			}
+			m, err := eng.Run()
+			if err != nil {
+				return err
+			}
+			if m.Completed != perIter {
+				return fmt.Errorf("dispatch: sim completed %d of %d tuples", m.Completed, perIter)
+			}
+			return nil
+		}
+	default:
+		return fmt.Errorf("dispatch: unknown benchmark %q", s.Benchmark)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := runOnce(); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	metrics := map[string]float64{
+		"ns/op": float64(elapsed.Nanoseconds()) / float64(iters),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		metrics["tuples/s"] = float64(perIter*uint64(iters)) / secs
+	}
+	res.benchRow(benchPkg, benchName(s), int64(iters), metrics)
+	return nil
+}
+
+func runSoakKind(spec Spec, res *Result) error {
+	sum, err := soak.Run(spec.Soak.Config())
+	res.Soak = &sum
+	if err != nil {
+		return fmt.Errorf("dispatch: soak run: %w", err)
+	}
+	if sum.Released != sum.Tuples || !sum.OrderPreserved {
+		return fmt.Errorf("dispatch: soak released %d of %d tuples, order=%v", sum.Released, sum.Tuples, sum.OrderPreserved)
+	}
+	res.benchRow(benchPkg+"/internal/soak", "BenchmarkDispatchSoak/"+spec.Name, 1, map[string]float64{
+		"tuples/s": sum.TuplesPerSec,
+	})
+	return nil
+}
+
+// RunWorker is the worker-process entry point: read the spec at specPath,
+// execute it, and archive result.json under outDir. The process exit code
+// reflects only harness health — an experiment that ran and failed still
+// exits 0 with a state=failed result; a missing result.json is how the
+// dispatcher recognizes a crash.
+func RunWorker(specPath, outDir string) error {
+	data, err := readFile(specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := DecodeSpec(data)
+	if err != nil {
+		return err
+	}
+	res := Execute(spec)
+	res.RunID = runIDFromDir(outDir)
+	return WriteResult(outDir, res)
+}
+
+// MarshalResult renders the canonical indented result document.
+func MarshalResult(res *Result) ([]byte, error) {
+	return json.MarshalIndent(res, "", "  ")
+}

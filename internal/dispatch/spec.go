@@ -1,0 +1,229 @@
+// Package dispatch is the fleet-scale experiment dispatcher: a queue of
+// experiment specs — simulator scenarios, micro/macro benchmarks, chaos
+// soaks — fanned out to a pool of local worker processes, with every run
+// tracked through an explicit queued→booked→executing→completed/failed state
+// machine, retried when its worker crashes, and archived under
+// results/<run-id>/ with the spec, a schema-stable result document, the
+// worker's stdout/stderr and an environment fingerprint.
+//
+// One `go test -bench` invocation cannot produce the paper's §6-style
+// evidence: hours-long soaks, full parameter sweeps (batch × recv-batch ×
+// N × ring-cap × transport) and regression surfaces over time. The
+// dispatcher turns those one-off runs into an archive that cmd/benchguard
+// can compare pairwise or against the checked-in baselines.
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"streambalance/internal/schema"
+	"streambalance/internal/soak"
+)
+
+// SpecVersion is the experiment-spec schema this package reads and writes.
+const SpecVersion = "1.0"
+
+// specMajor is the major component of SpecVersion; shared by the result
+// document, which embeds specs.
+const specMajor = 1
+
+// Kind selects the experiment family a spec drives.
+type Kind string
+
+const (
+	// KindSim runs a virtual-time simulator scenario (internal/sim).
+	KindSim Kind = "sim"
+	// KindBench runs a real-runtime benchmark workload (the same region
+	// grids bench_test.go measures, spec-driven).
+	KindBench Kind = "bench"
+	// KindSoak runs a randomized chaos soak (internal/soak).
+	KindSoak Kind = "soak"
+)
+
+// Spec is one queued experiment. Exactly the parameter block matching Kind
+// must be set.
+type Spec struct {
+	SchemaVersion string `json:"schema_version,omitempty"`
+	// Kind selects sim, bench or soak.
+	Kind Kind `json:"kind"`
+	// Name labels the run; it becomes part of the run ID and the results
+	// directory name, so it is restricted to [A-Za-z0-9._-].
+	Name  string     `json:"name"`
+	Sim   *SimSpec   `json:"sim,omitempty"`
+	Bench *BenchSpec `json:"bench,omitempty"`
+	Soak  *soak.Spec `json:"soak,omitempty"`
+}
+
+// SimSpec parameterizes one simulator scenario: a cluster of identical slow
+// hosts, PEs spread round-robin across them, and a policy balancing the
+// stream.
+type SimSpec struct {
+	// PEs is the region fan-out (required).
+	PEs int `json:"pes"`
+	// Hosts is the cluster size (default 1).
+	Hosts int `json:"hosts,omitempty"`
+	// BaseCost is the tuple cost in integer multiplies (default 1000).
+	BaseCost int `json:"base_cost,omitempty"`
+	// TotalTuples bounds the stream (default 20000).
+	TotalTuples uint64 `json:"total_tuples,omitempty"`
+	// Policy is "roundrobin" (default) or "balancer" (the paper's
+	// blocking-rate minimax balancer).
+	Policy string `json:"policy,omitempty"`
+	// BatchSize and RecvBatch mirror the runtime's send/receive batching.
+	BatchSize int `json:"batch,omitempty"`
+	RecvBatch int `json:"recv_batch,omitempty"`
+	// LoadMultipliers, when set (one per PE), gives PE i a constant
+	// external-load multiplier — the paper's 10x/100x overload scenarios.
+	LoadMultipliers []float64 `json:"load_multipliers,omitempty"`
+	// StallWindowMS, when positive, counts virtual-time stall alarms.
+	StallWindowMS int `json:"stall_window_ms,omitempty"`
+	// Seed drives service jitter (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// ServiceJitter scales service-time noise in [0,1).
+	ServiceJitter float64 `json:"service_jitter,omitempty"`
+}
+
+// BenchSpec parameterizes one real-runtime benchmark workload.
+type BenchSpec struct {
+	// Benchmark selects the workload: "region-transport" (a full
+	// splitter→workers→merger region on the chosen transport, the
+	// BenchmarkRegionTransport grid) or "sim-throughput" (events/s of the
+	// discrete-event engine, the BenchmarkSimulatorThroughput workload).
+	Benchmark string `json:"benchmark"`
+	// Transport is "tcp" or "inproc" (region-transport only; default tcp).
+	Transport string `json:"transport,omitempty"`
+	// Workers is the region fan-out (default 4).
+	Workers int `json:"workers,omitempty"`
+	// Batch and RecvBatch mirror RegionConfig.BatchSize/RecvBatchSize.
+	Batch     int `json:"batch,omitempty"`
+	RecvBatch int `json:"recv_batch,omitempty"`
+	// RingCap bounds the merger ingest rings / in-proc edges.
+	RingCap int `json:"ring_cap,omitempty"`
+	// Payload is the tuple payload size in bytes (default 64).
+	Payload int `json:"payload,omitempty"`
+	// Tuples is the stream length per iteration (default 30000).
+	Tuples uint64 `json:"tuples,omitempty"`
+	// Iters repeats the workload and reports the aggregate rate (default 1).
+	Iters int `json:"iters,omitempty"`
+	// PEs and BaseCost parameterize sim-throughput (defaults 8 and 1000).
+	PEs      int `json:"pes,omitempty"`
+	BaseCost int `json:"base_cost,omitempty"`
+}
+
+// nameOK reports whether every rune is filesystem- and shell-safe.
+func nameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate rejects specs that could never execute, so bad configs fail at
+// enqueue time instead of burning a worker attempt.
+func (s Spec) Validate() error {
+	if err := schema.Check("experiment spec", s.SchemaVersion, specMajor); err != nil {
+		return err
+	}
+	if !nameOK(s.Name) {
+		return fmt.Errorf("dispatch: spec name %q must be non-empty [A-Za-z0-9._-]", s.Name)
+	}
+	set := 0
+	if s.Sim != nil {
+		set++
+	}
+	if s.Bench != nil {
+		set++
+	}
+	if s.Soak != nil {
+		set++
+	}
+	if set > 1 {
+		return fmt.Errorf("dispatch: spec %q sets %d parameter blocks, want exactly the one matching kind %q", s.Name, set, s.Kind)
+	}
+	switch s.Kind {
+	case KindSim:
+		if s.Sim == nil {
+			return fmt.Errorf("dispatch: sim spec %q has no sim block", s.Name)
+		}
+		if s.Sim.PEs <= 0 {
+			return fmt.Errorf("dispatch: sim spec %q needs pes > 0", s.Name)
+		}
+		if n := len(s.Sim.LoadMultipliers); n != 0 && n != s.Sim.PEs {
+			return fmt.Errorf("dispatch: sim spec %q has %d load multipliers for %d PEs", s.Name, n, s.Sim.PEs)
+		}
+		switch s.Sim.Policy {
+		case "", "roundrobin", "balancer":
+		default:
+			return fmt.Errorf("dispatch: sim spec %q has unknown policy %q", s.Name, s.Sim.Policy)
+		}
+	case KindBench:
+		if s.Bench == nil {
+			return fmt.Errorf("dispatch: bench spec %q has no bench block", s.Name)
+		}
+		switch s.Bench.Benchmark {
+		case "region-transport", "sim-throughput":
+		default:
+			return fmt.Errorf("dispatch: bench spec %q has unknown benchmark %q", s.Name, s.Bench.Benchmark)
+		}
+		switch s.Bench.Transport {
+		case "", "tcp", "inproc":
+		default:
+			return fmt.Errorf("dispatch: bench spec %q has unknown transport %q", s.Name, s.Bench.Transport)
+		}
+	case KindSoak:
+		if s.Soak == nil {
+			return fmt.Errorf("dispatch: soak spec %q has no soak block", s.Name)
+		}
+	default:
+		return fmt.Errorf("dispatch: spec %q has unknown kind %q", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// DecodeSpec parses and validates one spec document.
+func DecodeSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("dispatch: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// DecodeSpecs parses a queue file: either a JSON array of specs or a single
+// spec object. Every spec is validated.
+func DecodeSpecs(data []byte) ([]Spec, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		s, err := DecodeSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		return []Spec{s}, nil
+	}
+	var specs []Spec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("dispatch: parse spec queue: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("dispatch: spec queue is empty")
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("dispatch: spec %d: %w", i, err)
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,89 @@
+package dispatch
+
+import (
+	"strings"
+	"testing"
+)
+
+func validSim() Spec {
+	return Spec{Kind: KindSim, Name: "sim-ok", Sim: &SimSpec{PEs: 2, TotalTuples: 100}}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"valid", func(s *Spec) {}, ""},
+		{"versioned", func(s *Spec) { s.SchemaVersion = SpecVersion }, ""},
+		{"future major", func(s *Spec) { s.SchemaVersion = "2.0" }, "major 2"},
+		{"empty name", func(s *Spec) { s.Name = "" }, "non-empty"},
+		{"slash in name", func(s *Spec) { s.Name = "a/b" }, "[A-Za-z0-9._-]"},
+		{"space in name", func(s *Spec) { s.Name = "a b" }, "[A-Za-z0-9._-]"},
+		{"unknown kind", func(s *Spec) { s.Kind = "fuzz" }, "unknown kind"},
+		{"sim without block", func(s *Spec) { s.Sim = nil }, "no sim block"},
+		{"sim zero pes", func(s *Spec) { s.Sim.PEs = 0 }, "pes > 0"},
+		{"sim bad policy", func(s *Spec) { s.Sim.Policy = "psychic" }, "unknown policy"},
+		{"sim multiplier shape", func(s *Spec) { s.Sim.LoadMultipliers = []float64{1} }, "load multipliers"},
+		{"two blocks", func(s *Spec) { s.Bench = &BenchSpec{Benchmark: "region-transport"} }, "parameter blocks"},
+		{"bench unknown workload", func(s *Spec) {
+			s.Kind = KindBench
+			s.Sim = nil
+			s.Bench = &BenchSpec{Benchmark: "teleport"}
+		}, "unknown benchmark"},
+		{"bench unknown transport", func(s *Spec) {
+			s.Kind = KindBench
+			s.Sim = nil
+			s.Bench = &BenchSpec{Benchmark: "region-transport", Transport: "carrier-pigeon"}
+		}, "unknown transport"},
+		{"soak without block", func(s *Spec) {
+			s.Kind = KindSoak
+			s.Sim = nil
+		}, "no soak block"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSim()
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeSpecs(t *testing.T) {
+	specs, err := DecodeSpecs([]byte(`[
+		{"kind":"sim","name":"a","sim":{"pes":4}},
+		{"kind":"bench","name":"b","bench":{"benchmark":"region-transport","transport":"inproc"}},
+		{"kind":"soak","name":"c","soak":{"workers":8,"tuples":100}}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 || specs[0].Kind != KindSim || specs[1].Kind != KindBench || specs[2].Kind != KindSoak {
+		t.Fatalf("decoded %+v", specs)
+	}
+
+	single, err := DecodeSpecs([]byte(`{"kind":"sim","name":"solo","sim":{"pes":1}}`))
+	if err != nil || len(single) != 1 {
+		t.Fatalf("single object: %v %v", single, err)
+	}
+
+	if _, err := DecodeSpecs([]byte(`[]`)); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty queue accepted: %v", err)
+	}
+	if _, err := DecodeSpecs([]byte(`[{"kind":"sim","name":"x"}]`)); err == nil || !strings.Contains(err.Error(), "spec 0") {
+		t.Fatalf("invalid member accepted: %v", err)
+	}
+	if _, err := DecodeSpecs([]byte(`[{"kind":"sim","name":"x","schema_version":"3.1","sim":{"pes":1}}]`)); err == nil || !strings.Contains(err.Error(), "major 3") {
+		t.Fatalf("future-major member accepted: %v", err)
+	}
+}

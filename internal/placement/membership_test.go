@@ -1,0 +1,257 @@
+package placement
+
+import (
+	"testing"
+)
+
+// Membership edits — hosts joining, leaving, and rejoining the cluster — are
+// expressed as a new Problem with an edited host list plus a migration of the
+// old assignment: host indices shift when a host leaves, and workers stranded
+// on the departed host need a temporary home before Rebalance can spread them
+// out. These tests pin that contract: stale assignments referencing a removed
+// host are rejected loudly, migrated assignments rebalance within the move
+// budget, and a re-added host is picked up again.
+
+// removeHost deletes hosts[idx] and returns the edited host list.
+func removeHost(hosts []Host, idx int) []Host {
+	out := append([]Host(nil), hosts[:idx]...)
+	return append(out, hosts[idx+1:]...)
+}
+
+// migrateAfterRemoval rewrites an assignment for a cluster that lost
+// hosts[removed]: indices above the hole shift down, and stranded workers are
+// parked on fallback (an index in the *new* host list) for Rebalance to
+// redistribute.
+func migrateAfterRemoval(a Assignment, removed, fallback int) Assignment {
+	out := a.Clone()
+	for ri, ws := range out.Workers {
+		for wi, h := range ws {
+			switch {
+			case h == removed:
+				out.Workers[ri][wi] = fallback
+			case h > removed:
+				out.Workers[ri][wi] = h - 1
+			}
+		}
+	}
+	return out
+}
+
+// editOp is one membership change applied to the running cluster.
+type editOp struct {
+	// add, when non-nil, joins a host at the end of the list.
+	add *Host
+	// remove, when >= 0, drops that host index; its workers are parked on
+	// host 0 of the edited list.
+	remove int
+}
+
+func TestMembershipEditSequences(t *testing.T) {
+	base := Problem{
+		Hosts: []Host{
+			{Name: "h0", Slots: 8, Speed: 50},
+			{Name: "h1", Slots: 8, Speed: 50},
+		},
+		Regions: []Region{
+			{Name: "a", Workers: 6, Demand: 300},
+			{Name: "b", Workers: 6, Demand: 300},
+		},
+	}
+	fast := Host{Name: "h2-fast", Slots: 16, Speed: 100}
+	tiny := Host{Name: "h3-tiny", Slots: 1, Speed: 1}
+
+	for _, tc := range []struct {
+		name  string
+		edits []editOp
+		// wantHosts is the expected cluster size after all edits.
+		wantHosts int
+		// wantNewHostUsed asserts the last added host carries at least one
+		// worker after rebalancing.
+		wantNewHostUsed bool
+	}{
+		{
+			name:            "add fast host",
+			edits:           []editOp{{add: &fast, remove: -1}},
+			wantHosts:       3,
+			wantNewHostUsed: true,
+		},
+		{
+			name:      "remove host",
+			edits:     []editOp{{remove: 1}},
+			wantHosts: 1,
+		},
+		{
+			name:            "remove then re-add",
+			edits:           []editOp{{remove: 1}, {add: &Host{Name: "h1", Slots: 8, Speed: 50}, remove: -1}},
+			wantHosts:       2,
+			wantNewHostUsed: true,
+		},
+		{
+			name:            "add, remove the original, re-add it",
+			edits:           []editOp{{add: &fast, remove: -1}, {remove: 0}, {add: &Host{Name: "h0", Slots: 8, Speed: 50}, remove: -1}},
+			wantHosts:       3,
+			wantNewHostUsed: true,
+		},
+		{
+			name:      "add tiny host attracts no load",
+			edits:     []editOp{{add: &tiny, remove: -1}},
+			wantHosts: 3,
+			// 1 slot at speed 1 against 600 demand: rebalancing must leave
+			// it idle rather than chase it.
+			wantNewHostUsed: false,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Problem{Hosts: append([]Host(nil), base.Hosts...), Regions: base.Regions}
+			a, err := Place(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step, e := range tc.edits {
+				if e.remove >= 0 {
+					// The stale assignment still references the departed
+					// host: every consumer must reject it, not mis-bill load.
+					stale := Problem{Hosts: removeHost(p.Hosts, e.remove), Regions: p.Regions}
+					if _, err := stale.Utilizations(a); err == nil && e.remove == len(p.Hosts)-1 {
+						t.Fatalf("step %d: stale assignment accepted after removing last host", step)
+					}
+					a = migrateAfterRemoval(a, e.remove, 0)
+					p = stale
+				}
+				if e.add != nil {
+					p = Problem{Hosts: append(append([]Host(nil), p.Hosts...), *e.add), Regions: p.Regions}
+					// Adding a host never invalidates the assignment.
+					if _, err := p.Objective(a); err != nil {
+						t.Fatalf("step %d: assignment broken by host join: %v", step, err)
+					}
+				}
+				before, err := p.Objective(a)
+				if err != nil {
+					t.Fatalf("step %d: migrated assignment invalid: %v", step, err)
+				}
+				const budget = 6
+				rebalanced, moves, err := Rebalance(p, a, budget)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if moves > budget {
+					t.Fatalf("step %d: %d moves, budget %d", step, moves, budget)
+				}
+				if got := MovedWorkers(a, rebalanced); got != moves {
+					t.Fatalf("step %d: MovedWorkers = %d, reported %d", step, got, moves)
+				}
+				after, err := p.Objective(rebalanced)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if after > before+1e-12 {
+					t.Fatalf("step %d: rebalance worsened objective %.4f -> %.4f", step, before, after)
+				}
+				a = rebalanced
+			}
+			if len(p.Hosts) != tc.wantHosts {
+				t.Fatalf("cluster has %d hosts, want %d", len(p.Hosts), tc.wantHosts)
+			}
+			last := len(p.Hosts) - 1
+			onLast := 0
+			for _, ws := range a.Workers {
+				for _, h := range ws {
+					if h == last {
+						onLast++
+					}
+				}
+			}
+			if tc.wantNewHostUsed && onLast == 0 {
+				t.Fatalf("added host %s carries no workers after rebalance", p.Hosts[last].Name)
+			}
+			if !tc.wantNewHostUsed && len(tc.edits) > 0 && tc.edits[len(tc.edits)-1].add == &tiny && onLast != 0 {
+				t.Fatalf("tiny host attracted %d workers", onLast)
+			}
+		})
+	}
+}
+
+// TestMembershipStaleAssignmentRejected pins the error paths: after a host
+// leaves, the un-migrated assignment must be rejected by every consumer.
+func TestMembershipStaleAssignmentRejected(t *testing.T) {
+	p := Problem{
+		Hosts:   []Host{{Name: "h0", Slots: 4, Speed: 50}, {Name: "h1", Slots: 4, Speed: 50}},
+		Regions: []Region{{Name: "r", Workers: 4, Demand: 100}},
+	}
+	a, err := Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin at least one worker to the host about to leave so the stale
+	// assignment really does dangle.
+	a.Workers[0][0] = 1
+	shrunk := Problem{Hosts: p.Hosts[:1], Regions: p.Regions}
+	if _, err := shrunk.Utilizations(a); err == nil {
+		t.Fatal("Utilizations accepted an assignment referencing a removed host")
+	}
+	if _, err := shrunk.Objective(a); err == nil {
+		t.Fatal("Objective accepted a stale assignment")
+	}
+	if _, _, err := Rebalance(shrunk, a, 4); err == nil {
+		t.Fatal("Rebalance accepted a stale assignment")
+	}
+	// Migration repairs it.
+	migrated := migrateAfterRemoval(a, 1, 0)
+	if _, err := shrunk.Objective(migrated); err != nil {
+		t.Fatalf("migrated assignment rejected: %v", err)
+	}
+}
+
+// TestMembershipRemovalConservesWorkers: migration after a removal keeps the
+// assignment shape — every worker still placed, none duplicated or dropped —
+// and total demand billed to hosts is unchanged.
+func TestMembershipRemovalConservesWorkers(t *testing.T) {
+	p := Problem{
+		Hosts: []Host{
+			{Name: "h0", Slots: 4, Speed: 50},
+			{Name: "h1", Slots: 4, Speed: 50},
+			{Name: "h2", Slots: 4, Speed: 50},
+		},
+		Regions: []Region{
+			{Name: "a", Workers: 5, Demand: 200},
+			{Name: "b", Workers: 3, Demand: 90},
+		},
+	}
+	a, err := Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk := Problem{Hosts: removeHost(p.Hosts, 1), Regions: p.Regions}
+	migrated := migrateAfterRemoval(a, 1, 0)
+	utils, err := shrunk.Utilizations(migrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(utils) != 2 {
+		t.Fatalf("%d hosts billed, want 2", len(utils))
+	}
+	for ri, r := range p.Regions {
+		if len(migrated.Workers[ri]) != r.Workers {
+			t.Fatalf("region %s has %d workers after migration, want %d", r.Name, len(migrated.Workers[ri]), r.Workers)
+		}
+	}
+	// Worker conservation across the migration: counting placements per
+	// surviving host accounts for every worker exactly once.
+	placed := 0
+	for _, ws := range migrated.Workers {
+		for _, h := range ws {
+			if h < 0 || h >= len(shrunk.Hosts) {
+				t.Fatalf("migrated worker on host %d of %d", h, len(shrunk.Hosts))
+			}
+			placed++
+		}
+	}
+	if want := 5 + 3; placed != want {
+		t.Fatalf("%d workers placed after migration, want %d", placed, want)
+	}
+	// Migration parked h1's workers somewhere real: some surviving host is
+	// billed strictly more than before the edit would imply zero.
+	if utils[0] <= 0 && utils[1] <= 0 {
+		t.Fatal("no demand billed after migration")
+	}
+}

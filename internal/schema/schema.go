@@ -1,0 +1,87 @@
+// Package schema holds the versioning contract for every JSON document the
+// experiment tooling archives — soak summaries, benchjson reports, dispatcher
+// specs and results — plus the shared benchmark-report types those documents
+// embed.
+//
+// Versions are "MAJOR.MINOR" strings. Decoders accept any document whose
+// major matches their own (minor bumps are additive: new optional fields) and
+// reject any other major loudly, so a result archive written by a future
+// incompatible tool can never be silently misread as an empty or zeroed run.
+// An absent version is accepted as legacy v1: the BENCH_*.json and
+// SOAK_*.json files archived before versioning existed predate the field and
+// must keep parsing.
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BenchVersion is the current benchjson report schema.
+const BenchVersion = "1.0"
+
+// BenchMajor is the major component of BenchVersion.
+const BenchMajor = 1
+
+// Major extracts the major component of a "MAJOR.MINOR" version string.
+func Major(version string) (int, error) {
+	head, _, _ := strings.Cut(version, ".")
+	m, err := strconv.Atoi(head)
+	if err != nil || m < 0 {
+		return 0, fmt.Errorf("schema: malformed version %q", version)
+	}
+	return m, nil
+}
+
+// Check accepts a document version against the decoder's major. Empty means
+// legacy v1 and is accepted when the decoder speaks major 1. doc names the
+// document kind in errors ("soak summary", "bench report", ...).
+func Check(doc, version string, major int) error {
+	if version == "" {
+		if major == 1 {
+			return nil
+		}
+		return fmt.Errorf("schema: %s has no schema_version; this decoder requires major %d", doc, major)
+	}
+	got, err := Major(version)
+	if err != nil {
+		return fmt.Errorf("schema: %s: %w", doc, err)
+	}
+	if got != major {
+		return fmt.Errorf("schema: %s schema_version %s has major %d, this decoder speaks major %d", doc, version, got, major)
+	}
+	return nil
+}
+
+// BenchResult is one benchmark line of a benchjson report: every metric on
+// the line keyed by unit, including custom ones (tuples/s, blockrate, ...).
+type BenchResult struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the whole benchmark run — the document cmd/benchjson emits,
+// cmd/benchguard compares, and dispatcher results embed as their bench rows.
+type BenchReport struct {
+	SchemaVersion string        `json:"schema_version,omitempty"`
+	Goos          string        `json:"goos,omitempty"`
+	Goarch        string        `json:"goarch,omitempty"`
+	CPU           string        `json:"cpu,omitempty"`
+	Results       []BenchResult `json:"results"`
+}
+
+// DecodeBenchReport parses a benchjson document, rejecting unknown majors.
+func DecodeBenchReport(data []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("schema: parse bench report: %w", err)
+	}
+	if err := Check("bench report", rep.SchemaVersion, BenchMajor); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

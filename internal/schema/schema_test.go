@@ -1,0 +1,90 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMajor(t *testing.T) {
+	for _, tc := range []struct {
+		version string
+		want    int
+		wantErr bool
+	}{
+		{"1.0", 1, false},
+		{"1.7", 1, false},
+		{"2.0", 2, false},
+		{"10.3", 10, false},
+		{"", 0, true},
+		{"x.y", 0, true},
+		{"-1.0", 0, true},
+	} {
+		got, err := Major(tc.version)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("Major(%q) err = %v, wantErr %v", tc.version, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("Major(%q) = %d, want %d", tc.version, got, tc.want)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		version string
+		major   int
+		wantErr string
+	}{
+		{"current", "1.0", 1, ""},
+		{"newer minor is additive", "1.9", 1, ""},
+		{"legacy empty accepted at major 1", "", 1, ""},
+		{"legacy empty rejected at major 2", "", 2, "no schema_version"},
+		{"future major rejected", "2.0", 1, "major 2"},
+		{"older major rejected", "1.0", 2, "major 1"},
+		{"garbage rejected", "banana", 1, "malformed version"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Check("test doc", tc.version, tc.major)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Check(%q, %d) = %v, want nil", tc.version, tc.major, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Check(%q, %d) = %v, want error containing %q", tc.version, tc.major, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeBenchReport(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"versioned", `{"schema_version":"1.0","results":[{"pkg":"p","name":"BenchmarkX","iterations":1,"metrics":{"tuples/s":10}}]}`, ""},
+		{"legacy unversioned (checked-in BENCH files)", `{"goos":"linux","results":[]}`, ""},
+		{"future major", `{"schema_version":"2.0","results":[]}`, "major 2"},
+		{"not json", `nope`, "parse bench report"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := DecodeBenchReport([]byte(tc.doc))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("DecodeBenchReport = %v, want nil", err)
+				}
+				if rep == nil {
+					t.Fatal("nil report without error")
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("DecodeBenchReport = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

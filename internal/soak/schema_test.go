@@ -1,0 +1,74 @@
+package soak
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarySchemaRoundTrip(t *testing.T) {
+	in := Summary{SchemaVersion: SummaryVersion, Workers: 8, Tuples: 100, Released: 100, OrderPreserved: true}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema_version":"1.0"`) {
+		t.Fatalf("encoded summary carries no schema_version: %s", data)
+	}
+	out, err := DecodeSummary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestDecodeSummaryVersions(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"current", `{"schema_version":"1.0","workers":4}`, ""},
+		{"newer minor", `{"schema_version":"1.3","workers":4}`, ""},
+		{"legacy unversioned (old SOAK_*.json)", `{"workers":4,"tuples":10}`, ""},
+		{"unknown major", `{"schema_version":"2.0","workers":4}`, "major 2"},
+		{"malformed version", `{"schema_version":"abc"}`, "malformed version"},
+		{"not json", `{`, "parse summary"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSummary([]byte(tc.doc))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("DecodeSummary = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("DecodeSummary = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeSpecVersionsAndConversion(t *testing.T) {
+	if _, err := DecodeSpec([]byte(`{"schema_version":"9.0"}`)); err == nil || !strings.Contains(err.Error(), "major 9") {
+		t.Fatalf("future-major spec accepted: %v", err)
+	}
+	s, err := DecodeSpec([]byte(`{"schema_version":"1.0","workers":16,"tuples":500,"stall_window_ms":150,"fault_every_ms":300,"kinds":["kill"],"max_readmits":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Workers != 16 || cfg.Tuples != 500 {
+		t.Fatalf("spec conversion lost fields: %+v", cfg)
+	}
+	if cfg.StallWindow != 150*time.Millisecond || cfg.FaultEvery != 300*time.Millisecond {
+		t.Fatalf("millisecond fields not converted: %+v", cfg)
+	}
+	if cfg.MaxReadmits != -1 || len(cfg.Kinds) != 1 || cfg.Kinds[0] != "kill" {
+		t.Fatalf("spec conversion wrong: %+v", cfg)
+	}
+}
