@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race vet bench bench-json bench-guard figures figures-csv examples quick-bench soak soak-smoke sweep-smoke
+.PHONY: test test-race vet bench bench-json bench-guard figures figures-csv examples quick-bench soak soak-smoke sweep-smoke skew-sweep
 
 test:
 	go test ./...
@@ -40,6 +40,24 @@ sweep-smoke:
 		-current results/sweep-smoke/004-bench-inproc-b32-b/result.json \
 		-bench 'RegionTransport/transport=inproc' -metric tuples/s -max-drop 0.90
 
+# Keyed-skew sweep: the hash/PKG/d-choices × Zipf-α × fan-out matrix from
+# experiments/skew-sweep.json dispatched through real worker processes and
+# archived under results/skew-sweep/, then gated on the headline claim: at
+# α=1.5 with 16 workers, PKG must beat hash grouping by at least 1.5x
+# tuples/s. (The full-benchtime archive shows ~2x; the single-run sweep
+# gate leaves headroom for noisy shared runners.)
+skew-sweep:
+	rm -rf results/skew-sweep
+	go run ./cmd/dispatcher -specs experiments/skew-sweep.json \
+		-results results/skew-sweep -workers 2
+	@hash=$$(jq '.bench.results[0].metrics["tuples/s"]' results/skew-sweep/*-keyed-hash-a1.5-w16/result.json); \
+	pkg=$$(jq '.bench.results[0].metrics["tuples/s"]' results/skew-sweep/*-keyed-pkg-a1.5-w16/result.json); \
+	awk -v h="$$hash" -v p="$$pkg" 'BEGIN { \
+		if (h <= 0 || p <= 0) { print "degenerate tuples/s: hash=" h " pkg=" p; exit 1 } \
+		printf "alpha=1.5 workers=16: hash %.0f tuples/s, pkg %.0f tuples/s (%.2fx)\n", h, p, p/h; \
+		exit (p >= 1.5*h ? 0 : 1) }' \
+		|| { echo "skew-sweep gate failed: pkg < 1.5x hash at alpha=1.5/workers=16"; exit 1; }
+
 # One benchmark iteration per figure: a fast smoke of every reproduction.
 quick-bench:
 	go test -bench=. -benchmem -benchtime=1x -run '^$$' .
@@ -58,8 +76,10 @@ bench-json:
 	go test -bench=. -benchmem -benchtime=1x -run '^$$' ./... | go run ./cmd/benchjson
 
 # Measured runs gated against the newest checked-in baseline: fails on a
-# >10% tuples/s drop in merger ingest at 64 connections or in the in-proc
-# transport region grid (what CI enforces).
+# >10% tuples/s drop in merger ingest at 64 connections, in the in-proc
+# transport region grid, or in the keyed-routing headline row (PKG at
+# Zipf α=1.5 with 16 workers — the skew bake-off's claim) — what CI
+# enforces.
 bench-guard:
 	go test -bench 'BenchmarkMergerIngest' -benchmem -run '^$$' ./internal/runtime \
 		| go run ./cmd/benchjson > /tmp/ingest.$$$$.json \
@@ -73,7 +93,14 @@ bench-guard:
 		&& go run ./cmd/benchguard \
 			-baseline "$$(ls BENCH_*.json | tail -1)" -current /tmp/region.$$$$.json \
 			-bench 'RegionTransport/transport=inproc' -metric tuples/s -max-drop 0.10; \
-		rc=$$?; rm -f /tmp/region.$$$$.json; exit $$rc
+		rc=$$?; rm -f /tmp/region.$$$$.json; \
+		[ $$rc -eq 0 ] || exit $$rc
+	go test -bench 'BenchmarkKeyedRouting/router=pkg$$/alpha=1.5/workers=16' -benchmem -run '^$$' . \
+		| go run ./cmd/benchjson > /tmp/keyed.$$$$.json \
+		&& go run ./cmd/benchguard \
+			-baseline "$$(ls BENCH_*.json | tail -1)" -current /tmp/keyed.$$$$.json \
+			-bench 'KeyedRouting/router=pkg/alpha=1.5/workers=16' -metric tuples/s -max-drop 0.10; \
+		rc=$$?; rm -f /tmp/keyed.$$$$.json; exit $$rc
 
 figures:
 	go run ./cmd/sbench -fig all
@@ -86,3 +113,4 @@ examples:
 	go run ./examples/heterogeneous
 	go run ./examples/clusterplacement
 	go run ./examples/dataflowapp
+	go run ./examples/keyedskew

@@ -617,6 +617,49 @@ func BenchmarkRegionTransport(b *testing.B) {
 	}
 }
 
+// BenchmarkKeyedRouting is the keyed bake-off grid: hash grouping versus
+// partial key grouping versus PKG with the minimax balancer's blocking-rate
+// penalties, across Zipf skew and fan-out, with the per-key sum combiner
+// installed. Workers model per-tuple service time by sleeping, so a hash
+// router's hot-key pileup shows up as real throughput loss while PKG's
+// two-choice split spreads it. Rows run through the dispatcher's shim — the
+// same workload `kind: bench, benchmark: keyed-routing` specs execute — so
+// dispatcher archives and these rows compare under benchguard. Each row also
+// reports combiner-hits: tuples absorbed into same-key carriers per
+// iteration, the combiner's merger-ingest reduction.
+func BenchmarkKeyedRouting(b *testing.B) {
+	const n = 30_000
+	for _, router := range []string{"hash", "pkg", "pkg-balanced"} {
+		for _, alpha := range []float64{0.8, 1.1, 1.5} {
+			for _, workers := range []int{4, 16, 64} {
+				b.Run(fmt.Sprintf("router=%s/alpha=%g/workers=%d", router, alpha, workers), func(b *testing.B) {
+					spec := dispatch.BenchSpec{
+						Benchmark: "keyed-routing",
+						Transport: "inproc",
+						Router:    router,
+						SkewAlpha: alpha,
+						Workers:   workers,
+						Tuples:    n,
+						Keys:      10_000,
+						Combine:   true,
+						Seed:      1,
+					}
+					var hits uint64
+					for i := 0; i < b.N; i++ {
+						st, err := dispatch.RunKeyedRoutingOnce(spec)
+						if err != nil {
+							b.Fatal(err)
+						}
+						hits += st.CombinerHits
+					}
+					b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tuples/s")
+					b.ReportMetric(float64(hits)/float64(b.N), "combiner-hits")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkChainedRegions pushes tuples through two chained 4-worker in-proc
 // regions end to end — source, stage-1 merge, inter-stage edge, stage-2
 // splitter, final sink — measuring what region→region composition costs on

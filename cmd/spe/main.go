@@ -17,6 +17,13 @@
 // tuples and replays them if a worker dies, reconnects with backoff, and the
 // merger dedupes so every tuple is still released exactly once in order.
 //
+// Passing -keyed to run or splitter streams a deterministic Zipf-skewed
+// keyed workload (-skew, -keys, -seed shape it; equal seeds give
+// byte-identical streams) routed by -router: hash grouping, PKG two-choice,
+// or d-choices. -combine makes workers fold same-key results per batch
+// before the ordered merge; the merger's DONE line reports the absorbed
+// releases in its combined count.
+//
 // merger and worker print "ADDR host:port" on stdout once listening, so a
 // launcher (spe run, a script, or an operator) can wire the pipeline. All
 // tuple traffic flows over real TCP with the blocking-time instrumentation
@@ -49,8 +56,44 @@ import (
 	"streambalance/internal/core"
 	"streambalance/internal/metrics"
 	"streambalance/internal/runtime"
+	"streambalance/internal/schedule"
+	"streambalance/internal/sim"
 	"streambalance/internal/transport"
 )
+
+// keyedRouter builds the splitter-side routing policy for keyed streams.
+func keyedRouter(name string, n int) (schedule.KeyRouter, error) {
+	switch name {
+	case "", "pkg":
+		return schedule.NewPKGRouter(n)
+	case "hash":
+		return schedule.NewHashRouter(n)
+	case "dchoices":
+		return schedule.NewDChoicesRouter(n, schedule.DefaultDChoices, schedule.DefaultTrackerCap)
+	default:
+		return nil, fmt.Errorf("unknown -router %q (hash, pkg or dchoices)", name)
+	}
+}
+
+// keyedSource adapts a deterministic sim.KeyedStream to the splitter's keyed
+// source: same seed and shape parameters, byte-identical stream. The payload
+// carries a little-endian unit value so -combine worker sums stay auditable.
+func keyedSource(tuples uint64, payload, keys int, skew, hotShare float64, churn uint64, seed int64) runtime.KeyedSource {
+	ks := sim.NewZipfStream(keys, skew, seed)
+	ks.SetHotShare(hotShare)
+	ks.SetChurn(churn)
+	if payload < 8 {
+		payload = 8
+	}
+	buf := make([]byte, payload)
+	buf[0] = 1
+	return func(seq uint64) (uint64, []byte, bool) {
+		if seq >= tuples {
+			return 0, nil, false
+		}
+		return ks.Key(seq), buf, true
+	}
+}
 
 // serveMetrics starts the opt-in observability endpoint and returns the
 // instrumented RegionMetrics to wire into the component. addr=="" disables
@@ -131,8 +174,12 @@ func runMerger(w io.Writer, args []string) error {
 	var count uint64
 	ordered := true
 	var lastSeq uint64
+	// Strictly increasing, not strictly contiguous: when workers run per-key
+	// combiners, absorbed sequence numbers are released through the watermark
+	// without a sink call, so gaps here are legitimate (and accounted in the
+	// DONE line's combined count).
 	m, err := runtime.NewMerger(*workers, *queue, func(t transport.Tuple, conn int) {
-		if count > 0 && t.Seq != lastSeq+1 {
+		if count > 0 && t.Seq <= lastSeq {
 			ordered = false
 		}
 		lastSeq = t.Seq
@@ -164,7 +211,7 @@ func runMerger(w io.Writer, args []string) error {
 	if err := m.Wait(); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "DONE released=%d ordered=%v\n", count, ordered)
+	fmt.Fprintf(w, "DONE released=%d ordered=%v combined=%d\n", count, ordered, m.CombinedReleased())
 	return nil
 }
 
@@ -175,6 +222,8 @@ func runWorker(w io.Writer, args []string) error {
 	merger := fs.String("merger", "", "merger address to forward to")
 	delay := fs.Duration("delay", 0, "artificial per-tuple delay (emulated load)")
 	spin := fs.Int64("spin", 0, "integer multiplies per tuple (CPU load)")
+	service := fs.Duration("service", 0, "per-tuple wall-clock service time, debt-batched so it stays accurate below kernel sleep granularity")
+	combine := fs.Bool("combine", false, "fold same-key results per batch with the per-key sum combiner before forwarding")
 	recvBatch := fs.Int("recv-batch", 0, "tuples received/processed/forwarded per pass (0 = default, 1 = per-tuple)")
 	resilient := fs.Bool("resilient", false, "serve reconnecting splitters until killed (recovery mode)")
 	timeouts := timeoutFlags(fs)
@@ -190,12 +239,17 @@ func runWorker(w io.Writer, args []string) error {
 		op = runtime.NewDelayOperator(*delay)
 	case *spin > 0:
 		op = runtime.NewSpinOperator(*spin)
+	case *service > 0:
+		op = runtime.NewServiceOperator(*service)
 	default:
 		op = runtime.Identity()
 	}
 	worker, err := runtime.NewWorker(*id, op, *merger)
 	if err != nil {
 		return err
+	}
+	if *combine {
+		worker.SetCombiner(runtime.SumCombiner())
 	}
 	if *recvBatch > 0 {
 		worker.SetRecvBatch(*recvBatch)
@@ -223,6 +277,13 @@ func runSplitter(w io.Writer, args []string) error {
 	noBalance := fs.Bool("no-balance", false, "disable balancing")
 	sockbuf := fs.Int("sockbuf", 8<<10, "socket buffer bytes per connection")
 	batch := fs.Int("batch", 1, "tuples per vectored-write batch (1 = per-tuple sends)")
+	keyed := fs.Bool("keyed", false, "stream deterministic keyed tuples (Zipf skew) instead of the unkeyed constant source")
+	skew := fs.Float64("skew", 1.1, "Zipf exponent of the keyed stream (0 = uniform; needs -keyed)")
+	keys := fs.Int("keys", 10_000, "key universe size (needs -keyed)")
+	hotShare := fs.Float64("hot-share", 0, "extra probability mass on the hottest key (needs -keyed)")
+	churn := fs.Uint64("churn", 0, "rotate the key universe every this many tuples (0 = off; needs -keyed)")
+	router := fs.String("router", "pkg", "keyed routing policy: hash, pkg or dchoices (needs -keyed)")
+	seed := fs.Int64("seed", 1, "key-generator seed; equal seeds give byte-identical streams (needs -keyed)")
 	control := fs.String("control", "", "merger address for the recovery control channel (enables replay on worker failure)")
 	retain := fs.Int("retain", 0, "replay buffer capacity in tuples (0 = default; needs -control)")
 	noRedial := fs.Bool("no-redial", false, "do not reconnect to failed workers (needs -control)")
@@ -269,6 +330,15 @@ func runSplitter(w io.Writer, args []string) error {
 		},
 		Timeouts: timeouts(),
 	}
+	if *keyed {
+		scfg.Source = nil
+		scfg.KeyedSource = keyedSource(*tuples, *payload, *keys, *skew, *hotShare, *churn, *seed)
+		r, err := keyedRouter(*router, len(addrs))
+		if err != nil {
+			return err
+		}
+		scfg.Router = r
+	}
 	if *control != "" {
 		scfg.ControlAddr = *control
 		scfg.RetainCap = *retain
@@ -296,6 +366,9 @@ func runSplitter(w io.Writer, args []string) error {
 	}
 	sent, blocking := sp.ConnStats()
 	fmt.Fprintf(w, "DONE sent=%v blocking=%v\n", sent, blocking)
+	if *keyed {
+		fmt.Fprintf(w, "keyedSent=%v\n", sp.KeyedStats())
+	}
 	if balancer != nil {
 		fmt.Fprintf(w, "weights=%v\n", balancer.Weights())
 	}
@@ -318,6 +391,12 @@ func runAll(w io.Writer, args []string) error {
 	ringCap := fs.Int("ring-cap", 0, "merger per-connection ingest ring capacity (0 = default)")
 	stallWindow := fs.Duration("stall-window", 0, "merge-stall watchdog window (0 = off; needs -recover)")
 	maxReadmits := fs.Int("max-readmits", 0, "quarantines one worker may survive before permanent eviction (0 = default, negative = unlimited)")
+	keyed := fs.Bool("keyed", false, "stream deterministic keyed tuples (Zipf skew) instead of the unkeyed constant source")
+	skew := fs.Float64("skew", 1.1, "Zipf exponent of the keyed stream (0 = uniform; needs -keyed)")
+	keys := fs.Int("keys", 10_000, "key universe size (needs -keyed)")
+	router := fs.String("router", "pkg", "keyed routing policy: hash, pkg or dchoices (needs -keyed)")
+	combine := fs.Bool("combine", false, "workers fold same-key results per batch before the merge (needs -keyed)")
+	seed := fs.Int64("seed", 1, "key-generator seed; equal seeds give byte-identical streams (needs -keyed)")
 	ioTO := fs.Duration("io-timeout", 0, "deadline for dials, handshakes, probes and control writes in every component (0 = defaults)")
 	sendStall := fs.Duration("send-stall", 0, "parked-send bound in splitter and workers (0 = default)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the splitter's /metrics and /trace on this address (empty = off)")
@@ -344,6 +423,12 @@ func runAll(w io.Writer, args []string) error {
 			ringCap:     *ringCap,
 			sendStall:   *sendStall,
 			metricsAddr: *metricsAddr,
+			keyed:       *keyed,
+			skew:        *skew,
+			keys:        *keys,
+			router:      *router,
+			combine:     *combine,
+			seed:        *seed,
 		})
 	default:
 		return fmt.Errorf("run: unknown -transport %q (tcp or inproc)", *transportKind)
@@ -391,6 +476,9 @@ func runAll(w io.Writer, args []string) error {
 		if *recover {
 			wargs = append(wargs, "-resilient")
 		}
+		if *keyed && *combine {
+			wargs = append(wargs, "-combine")
+		}
 		if *ioTO != 0 {
 			wargs = append(wargs, "-io-timeout", ioTO.String())
 		}
@@ -410,6 +498,15 @@ func runAll(w io.Writer, args []string) error {
 		"-workers", strings.Join(addrs, ","),
 		"-tuples", fmt.Sprint(*tuples),
 		"-batch", fmt.Sprint(*batch),
+	}
+	if *keyed {
+		sargs = append(sargs,
+			"-keyed",
+			"-skew", fmt.Sprint(*skew),
+			"-keys", fmt.Sprint(*keys),
+			"-router", *router,
+			"-seed", fmt.Sprint(*seed),
+		)
 	}
 	if *recover {
 		sargs = append(sargs, "-control", mergerAddr)
@@ -461,6 +558,13 @@ type inprocRunConfig struct {
 	sendStall  time.Duration
 
 	metricsAddr string
+
+	keyed   bool
+	skew    float64
+	keys    int
+	router  string
+	combine bool
+	seed    int64
 }
 
 // runAllInproc runs the same region as runAll entirely inside this process on
@@ -485,13 +589,25 @@ func runAllInproc(w io.Writer, cfg inprocRunConfig) error {
 	rcfg := runtime.RegionConfig{
 		Transport:      runtime.TransportInproc,
 		Operators:      ops,
-		Source:         runtime.ConstantSource(make([]byte, 256), cfg.tuples),
 		Balancer:       balancer,
 		SampleInterval: 100 * time.Millisecond,
 		BatchSize:      cfg.batch,
 		RecvBatchSize:  cfg.recvBatch,
 		RingCap:        cfg.ringCap,
 		Timeouts:       runtime.Timeouts{SendStall: cfg.sendStall},
+	}
+	if cfg.keyed {
+		rcfg.KeyedSource = keyedSource(cfg.tuples, 256, cfg.keys, cfg.skew, 0, 0, cfg.seed)
+		r, err := keyedRouter(cfg.router, cfg.workers)
+		if err != nil {
+			return err
+		}
+		rcfg.Router = r
+		if cfg.combine {
+			rcfg.Combiner = runtime.SumCombiner()
+		}
+	} else {
+		rcfg.Source = runtime.ConstantSource(make([]byte, 256), cfg.tuples)
 	}
 	rm, msrv, err := serveMetrics(w, cfg.metricsAddr)
 	if err != nil {
@@ -510,8 +626,11 @@ func runAllInproc(w io.Writer, cfg inprocRunConfig) error {
 		return err
 	}
 	fmt.Fprintf(w, "DONE sent=%v blocking=%v\n", res.PerConnSent, res.TotalBlocking)
+	if cfg.keyed {
+		fmt.Fprintf(w, "keyedSent=%v\n", res.KeyedSent)
+	}
 	fmt.Fprintf(w, "weights=%v\n", balancer.Weights())
-	fmt.Fprintf(w, "DONE released=%d ordered=%v\n", res.Released, res.OrderPreserved)
+	fmt.Fprintf(w, "DONE released=%d ordered=%v combined=%d\n", res.Released, res.OrderPreserved, res.CombinedReleased)
 	fmt.Fprintln(w, "all processes exited cleanly")
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -121,8 +122,9 @@ type child struct {
 	cmd  *exec.Cmd
 	addr string
 
-	mu   sync.Mutex
-	rest []string
+	mu      sync.Mutex
+	rest    []string
+	drained chan struct{}
 }
 
 // startChild launches a subcommand and waits for its ADDR announcement;
@@ -150,7 +152,9 @@ func startChild(t *testing.T, args ...string) *child {
 		c.cmd.Wait()
 		t.Fatalf("child %v exited before announcing an address", args)
 	}
+	c.drained = make(chan struct{})
 	go func() {
+		defer close(c.drained)
 		for scanner.Scan() {
 			c.mu.Lock()
 			c.rest = append(c.rest, scanner.Text())
@@ -160,12 +164,15 @@ func startChild(t *testing.T, args ...string) *child {
 	return c
 }
 
-// wait joins the child and returns its post-ADDR output.
+// wait joins the child and returns its post-ADDR output. It joins the drain
+// goroutine too — cmd.Wait returning does not mean the last stdout lines
+// (like the merger's DONE report) have been consumed yet.
 func (c *child) wait(t *testing.T) string {
 	t.Helper()
 	if err := c.cmd.Wait(); err != nil {
 		t.Fatalf("child exited with %v", err)
 	}
+	<-c.drained
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return strings.Join(c.rest, "\n")
@@ -300,4 +307,98 @@ func TestMetricsEndpointOnRunningRegion(t *testing.T) {
 	if !strings.Contains(report, "released=30000 ordered=true") {
 		t.Fatalf("merger report: %q", report)
 	}
+}
+
+func TestKeyedPipelineWithCombine(t *testing.T) {
+	// A keyed Zipf stream over two worker processes, PKG-routed, with the
+	// per-key sum combiner in each worker. The merger's release stream may
+	// legitimately skip absorbed sequences, but released + combined must
+	// still cover the whole stream exactly once.
+	merger := startChild(t, "merger", "-workers", "2")
+	w0 := startChild(t, "worker", "-id", "0", "-merger", merger.addr, "-combine")
+	w1 := startChild(t, "worker", "-id", "1", "-merger", merger.addr, "-combine")
+
+	var splitterOut bytes.Buffer
+	if err := runSplitter(&splitterOut, []string{
+		"-workers", w0.addr + "," + w1.addr,
+		"-tuples", "8000",
+		"-batch", "16",
+		"-keyed",
+		"-skew", "1.5",
+		"-keys", "50",
+		"-router", "pkg",
+		"-seed", "7",
+		"-interval", "25ms",
+	}); err != nil {
+		t.Fatalf("splitter: %v", err)
+	}
+	w0.wait(t)
+	w1.wait(t)
+	report := merger.wait(t)
+	released, combined := parseMergerReport(t, report)
+	if released+combined != 8000 {
+		t.Fatalf("released %d + combined %d != 8000:\n%s", released, combined, report)
+	}
+	if combined == 0 {
+		t.Fatalf("combiner never absorbed a tuple at skew 1.5 over 50 keys:\n%s", report)
+	}
+	if !strings.Contains(report, "ordered=true") {
+		t.Fatalf("merger saw out-of-order releases:\n%s", report)
+	}
+	if !strings.Contains(splitterOut.String(), "keyedSent=") {
+		t.Fatalf("splitter did not report keyed routing stats:\n%s", splitterOut.String())
+	}
+}
+
+func TestKeyedInprocPipeline(t *testing.T) {
+	// The same keyed workload co-located on the shared-memory transport via
+	// spe run, hash-routed with combining, driven by a fixed seed.
+	var buf bytes.Buffer
+	if err := runAll(&buf, []string{
+		"-transport", "inproc",
+		"-workers", "3",
+		"-tuples", "9000",
+		"-batch", "8",
+		"-keyed",
+		"-skew", "1.5",
+		"-keys", "40",
+		"-router", "hash",
+		"-combine",
+		"-seed", "3",
+	}); err != nil {
+		t.Fatalf("spe run -keyed inproc failed: %v\n%s", err, buf.String())
+	}
+	body := buf.String()
+	released, combined := parseMergerReport(t, body)
+	if released+combined != 9000 {
+		t.Fatalf("released %d + combined %d != 9000:\n%s", released, combined, body)
+	}
+	if combined == 0 {
+		t.Fatalf("combiner never absorbed a tuple:\n%s", body)
+	}
+	if !strings.Contains(body, "ordered=true") || !strings.Contains(body, "keyedSent=") {
+		t.Fatalf("missing order or keyed routing report:\n%s", body)
+	}
+}
+
+// parseMergerReport extracts released and combined counts from a merger DONE
+// line ("DONE released=N ordered=B combined=M").
+func parseMergerReport(t *testing.T, report string) (released, combined uint64) {
+	t.Helper()
+	for _, line := range strings.Split(report, "\n") {
+		if !strings.Contains(line, "released=") {
+			continue
+		}
+		for _, field := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(field, "released="); ok {
+				fmt.Sscanf(v, "%d", &released)
+			}
+			if v, ok := strings.CutPrefix(field, "combined="); ok {
+				fmt.Sscanf(v, "%d", &combined)
+			}
+		}
+		return released, combined
+	}
+	t.Fatalf("no merger DONE line in report:\n%s", report)
+	return 0, 0
 }

@@ -27,6 +27,7 @@ var examplesTable = []struct {
 	{name: "clusterplacement", run: true, timeout: 60 * time.Second},
 	{name: "dataflowapp", run: true, timeout: 60 * time.Second},
 	{name: "heterogeneous", run: true, timeout: 60 * time.Second},
+	{name: "keyedskew", run: true, timeout: 60 * time.Second},
 	{name: "chaosregion", run: false},
 	{name: "tcppipeline", run: false},
 }

@@ -1,12 +1,14 @@
 package dispatch
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"time"
 
 	"streambalance/internal/core"
 	rt "streambalance/internal/runtime"
+	"streambalance/internal/schedule"
 	"streambalance/internal/schema"
 	"streambalance/internal/sim"
 	"streambalance/internal/soak"
@@ -212,6 +214,153 @@ func RunRegionTransportOnce(s BenchSpec) error {
 	return nil
 }
 
+// keyedRouter builds the KeyRouter (and, for the balanced variant, the
+// core.Balancer whose sampled blocking rates feed it penalties) named by a
+// keyed-routing spec.
+func keyedRouter(name string, workers int) (schedule.KeyRouter, *core.Balancer, error) {
+	switch name {
+	case "hash":
+		r, err := schedule.NewHashRouter(workers)
+		return r, nil, err
+	case "", "pkg":
+		r, err := schedule.NewPKGRouter(workers)
+		return r, nil, err
+	case "dchoices":
+		r, err := schedule.NewDChoicesRouter(workers, schedule.DefaultDChoices, schedule.DefaultTrackerCap)
+		return r, nil, err
+	case "pkg-balanced":
+		r, err := schedule.NewPKGRouter(workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		bal, err := core.NewBalancer(core.Config{Connections: workers})
+		if err != nil {
+			return nil, nil, err
+		}
+		return r, bal, nil
+	default:
+		return nil, nil, fmt.Errorf("dispatch: unknown router %q", name)
+	}
+}
+
+// KeyedRoutingStats surfaces the combiner's effect on one keyed-routing run,
+// so benchmark rows can archive a combiner-hit metric next to tuples/s.
+type KeyedRoutingStats struct {
+	// CombinerHits counts tuples the workers absorbed into same-key
+	// carriers; CombinedReleased counts the sequence numbers the merger
+	// released through absorption. Equal in crash-free runs.
+	CombinerHits     uint64
+	CombinedReleased uint64
+}
+
+// RunKeyedRoutingOnce runs one pass of the keyed-routing workload: a region
+// of sleeping-service workers fed a deterministic Zipf keyed stream
+// (internal/sim's generator), non-zero keys placed by the spec's router,
+// optionally combined per key in the workers before the ordered merge. Every
+// tuple carries the unit value 1, so the run self-verifies: the released
+// values plus the absorbed count must sum to the stream length, released
+// sequence numbers must be strictly increasing, and Released +
+// CombinedReleased must cover the stream. BenchmarkKeyedRouting loops over
+// this shim, so the benchmark grid and the dispatcher run byte-for-byte the
+// same workload.
+func RunKeyedRoutingOnce(s BenchSpec) (KeyedRoutingStats, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	tuples := s.Tuples
+	if tuples == 0 {
+		tuples = 30_000
+	}
+	keys := s.Keys
+	if keys <= 0 {
+		keys = 10_000
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	service := time.Duration(s.ServiceUS) * time.Microsecond
+	if service <= 0 {
+		service = 20 * time.Microsecond
+	}
+	payloadSize := s.Payload
+	if payloadSize < 8 {
+		payloadSize = 64
+	}
+	kind := rt.TransportTCP
+	if s.Transport == "inproc" {
+		kind = rt.TransportInproc
+	}
+	router, bal, err := keyedRouter(s.Router, workers)
+	if err != nil {
+		return KeyedRoutingStats{}, err
+	}
+	// Wall-clock service time, not spin: a hot worker's overload must cost
+	// real throughput even when the host has fewer cores than the region has
+	// workers (spinning workers would just share the cores and hide the
+	// imbalance the bake-off exists to measure).
+	ops := make([]rt.Operator, workers)
+	for j := range ops {
+		ops[j] = rt.NewServiceOperator(service)
+	}
+	ks := sim.NewZipfStream(keys, s.SkewAlpha, seed)
+	ks.SetHotShare(s.HotShare)
+	ks.SetChurn(s.Churn)
+	payload := make([]byte, payloadSize)
+	payload[0] = 1 // little-endian unit value
+	var (
+		sum      uint64
+		lastSeq  uint64
+		haveLast bool
+		ordered  = true
+	)
+	cfg := rt.RegionConfig{
+		Transport: kind,
+		Operators: ops,
+		KeyedSource: func(seq uint64) (uint64, []byte, bool) {
+			if seq >= tuples {
+				return 0, nil, false
+			}
+			return ks.Key(seq), payload, true
+		},
+		Router:         router,
+		Balancer:       bal,
+		SampleInterval: 50 * time.Millisecond,
+		BatchSize:      s.Batch,
+		RecvBatchSize:  s.RecvBatch,
+		RingCap:        s.RingCap,
+		Sink: func(t transport.Tuple, _ int) {
+			if haveLast && t.Seq <= lastSeq {
+				ordered = false
+			}
+			lastSeq, haveLast = t.Seq, true
+			if len(t.Payload) >= 8 {
+				sum += binary.LittleEndian.Uint64(t.Payload)
+			}
+		},
+	}
+	if s.Combine {
+		cfg.Combiner = rt.SumCombiner()
+	}
+	region, err := rt.NewRegion(cfg)
+	if err != nil {
+		return KeyedRoutingStats{}, err
+	}
+	r, err := region.Run()
+	if err != nil {
+		return KeyedRoutingStats{}, err
+	}
+	if r.Released+r.CombinedReleased != tuples || !r.OrderPreserved || !ordered {
+		return KeyedRoutingStats{}, fmt.Errorf("dispatch: keyed region released %d + %d combined of %d tuples, order=%v",
+			r.Released, r.CombinedReleased, tuples, r.OrderPreserved && ordered)
+	}
+	if sum != tuples {
+		return KeyedRoutingStats{}, fmt.Errorf("dispatch: keyed region sums to %d, want %d (per-key aggregation lost tuples)", sum, tuples)
+	}
+	return KeyedRoutingStats{CombinerHits: r.CombinerHits, CombinedReleased: r.CombinedReleased}, nil
+}
+
 // benchName renders the row name the equivalent go-test benchmark would
 // carry, so archived runs pair with checked-in BENCH_*.json baselines.
 func benchName(s BenchSpec) string {
@@ -228,6 +377,16 @@ func benchName(s BenchSpec) string {
 		return fmt.Sprintf("BenchmarkRegionTransport/transport=%s/batch=%d", transportKind, batch)
 	case "sim-throughput":
 		return "BenchmarkSimulatorThroughput"
+	case "keyed-routing":
+		router := s.Router
+		if router == "" {
+			router = "pkg"
+		}
+		workers := s.Workers
+		if workers <= 0 {
+			workers = 4
+		}
+		return fmt.Sprintf("BenchmarkKeyedRouting/router=%s/alpha=%g/workers=%d", router, s.SkewAlpha, workers)
 	default:
 		return "Benchmark" + s.Benchmark
 	}
@@ -241,6 +400,7 @@ func runBenchKind(spec Spec, res *Result) error {
 	}
 	var perIter uint64
 	var runOnce func() error
+	var combinerHits uint64
 	switch s.Benchmark {
 	case "region-transport":
 		perIter = s.Tuples
@@ -248,6 +408,16 @@ func runBenchKind(spec Spec, res *Result) error {
 			perIter = 30_000
 		}
 		runOnce = func() error { return RunRegionTransportOnce(s) }
+	case "keyed-routing":
+		perIter = s.Tuples
+		if perIter == 0 {
+			perIter = 30_000
+		}
+		runOnce = func() error {
+			st, err := RunKeyedRoutingOnce(s)
+			combinerHits += st.CombinerHits
+			return err
+		}
 	case "sim-throughput":
 		pes := s.PEs
 		if pes <= 0 {
@@ -294,6 +464,11 @@ func runBenchKind(spec Spec, res *Result) error {
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		metrics["tuples/s"] = float64(perIter*uint64(iters)) / secs
+	}
+	if s.Benchmark == "keyed-routing" {
+		// Average tuples absorbed into same-key carriers per iteration — the
+		// combiner's merger-ingest reduction, archived next to tuples/s.
+		metrics["combiner-hits"] = float64(combinerHits) / float64(iters)
 	}
 	res.benchRow(benchPkg, benchName(s), int64(iters), metrics)
 	return nil

@@ -110,6 +110,28 @@ type BenchSpec struct {
 	// PEs and BaseCost parameterize sim-throughput (defaults 8 and 1000).
 	PEs      int `json:"pes,omitempty"`
 	BaseCost int `json:"base_cost,omitempty"`
+
+	// Keyed-routing parameters (benchmark "keyed-routing" only): a region
+	// fed a deterministic Zipf keyed stream, with non-zero keys placed by
+	// Router — "hash" (static grouping), "pkg" (two-choice partial key
+	// grouping), "dchoices" (PKG plus d candidates for tracked heavy
+	// hitters) or "pkg-balanced" (PKG with the controller's sampled blocking
+	// rates fed back as penalties). SkewAlpha is the Zipf exponent (0 =
+	// uniform), Keys the key universe (default 10000), HotShare extra
+	// probability mass on one hot key, Churn the universe rotation interval
+	// in tuples. Combine installs the per-key sum combiner in every worker.
+	// Seed drives the key generator (default 1). ServiceUS is the per-tuple
+	// worker service time in microseconds (default 20), modeled by sleeping
+	// rather than spinning so per-worker capacity — and therefore routing
+	// imbalance — is real even when workers outnumber cores.
+	Router    string  `json:"router,omitempty"`
+	SkewAlpha float64 `json:"skew_alpha,omitempty"`
+	Keys      int     `json:"keys,omitempty"`
+	HotShare  float64 `json:"hot_share,omitempty"`
+	Churn     uint64  `json:"churn,omitempty"`
+	Combine   bool    `json:"combine,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	ServiceUS int     `json:"service_us,omitempty"`
 }
 
 // nameOK reports whether every rune is filesystem- and shell-safe.
@@ -171,7 +193,7 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("dispatch: bench spec %q has no bench block", s.Name)
 		}
 		switch s.Bench.Benchmark {
-		case "region-transport", "sim-throughput":
+		case "region-transport", "sim-throughput", "keyed-routing":
 		default:
 			return fmt.Errorf("dispatch: bench spec %q has unknown benchmark %q", s.Name, s.Bench.Benchmark)
 		}
@@ -179,6 +201,11 @@ func (s Spec) Validate() error {
 		case "", "tcp", "inproc":
 		default:
 			return fmt.Errorf("dispatch: bench spec %q has unknown transport %q", s.Name, s.Bench.Transport)
+		}
+		switch s.Bench.Router {
+		case "", "hash", "pkg", "dchoices", "pkg-balanced":
+		default:
+			return fmt.Errorf("dispatch: bench spec %q has unknown router %q", s.Name, s.Bench.Router)
 		}
 	case KindSoak:
 		if s.Soak == nil {

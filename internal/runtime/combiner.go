@@ -1,0 +1,101 @@
+package runtime
+
+import (
+	"encoding/binary"
+
+	"streambalance/internal/transport"
+)
+
+// Combiner is a per-key partial aggregation the worker applies to its
+// processed batch before forwarding to the merger: same-key results inside
+// one received batch fold into the first occurrence (the carrier, which has
+// the group's lowest sequence number), and the absorbed tuples' sequence
+// numbers ride the carrier's Absorbed field so the merger can advance its
+// watermark through them without a sink call. Under Zipf skew this shrinks
+// merger ingest exactly where the skew concentrates it — the hottest keys.
+//
+// Correctness constraints (see DESIGN, "Keyed routing"):
+//   - Only tuples with Key != 0 and Solo == false ever combine. The splitter
+//     marks every recovery replay Solo, so groups form only from first
+//     transmissions and stay disjoint across crashes.
+//   - Combine owns acc (the combine stage copies the carrier's payload out of
+//     shared transport memory before the first fold) and may mutate and
+//     return it. next must be neither mutated nor retained; copy what it
+//     needs.
+type Combiner interface {
+	Combine(key uint64, acc, next []byte) []byte
+}
+
+// CombinerFunc adapts a function to the Combiner interface.
+type CombinerFunc func(key uint64, acc, next []byte) []byte
+
+// Combine implements Combiner.
+func (f CombinerFunc) Combine(key uint64, acc, next []byte) []byte {
+	return f(key, acc, next)
+}
+
+// SumCombiner folds payloads as little-endian uint64 counters — the
+// word-count shape of streaming aggregation. Payloads shorter than 8 bytes
+// are read zero-extended; the folded payload is always at least 8 bytes with
+// the running sum (mod 2^64) in its first 8.
+func SumCombiner() Combiner {
+	return CombinerFunc(func(_ uint64, acc, next []byte) []byte {
+		sum := payloadUint(acc) + payloadUint(next)
+		if len(acc) < 8 {
+			acc = make([]byte, 8)
+		}
+		binary.LittleEndian.PutUint64(acc, sum)
+		return acc
+	})
+}
+
+// payloadUint reads a payload's leading little-endian uint64, zero-extending
+// short payloads.
+func payloadUint(p []byte) uint64 {
+	if len(p) >= 8 {
+		return binary.LittleEndian.Uint64(p)
+	}
+	var b [8]byte
+	copy(b[:], p)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// combineBatch compacts results in place, folding each combinable tuple into
+// its key's carrier (the key's first — lowest-seq — occurrence in the
+// batch). Returns the shortened slice and how many tuples were absorbed.
+// Carriers get a freshly allocated Absorbed buffer: it travels downstream by
+// reference (through the in-proc ring or the frame encoder) and so cannot
+// come from a reused scratch arena.
+func combineBatch(c Combiner, results []transport.Tuple) ([]transport.Tuple, int) {
+	out := results[:0]
+	absorbed := 0
+	for i := range results {
+		t := results[i]
+		if t.Key == 0 || t.Solo {
+			out = append(out, t)
+			continue
+		}
+		carrier := -1
+		for j := range out {
+			if out[j].Key == t.Key && !out[j].Solo {
+				carrier = j
+				break
+			}
+		}
+		if carrier < 0 {
+			out = append(out, t)
+			continue
+		}
+		car := &out[carrier]
+		if len(car.Absorbed) == 0 {
+			// First fold for this carrier: its payload may still alias shared
+			// upstream memory (the zero-copy transport moves payloads by
+			// reference), so hand the combiner an owned copy it may mutate.
+			car.Payload = append([]byte(nil), car.Payload...)
+		}
+		car.Payload = c.Combine(t.Key, car.Payload, t.Payload)
+		car.Absorbed = transport.AppendAbsorbed(car.Absorbed, t.Seq)
+		absorbed++
+	}
+	return out, absorbed
+}

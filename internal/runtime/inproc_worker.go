@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"streambalance/internal/metrics"
 	"streambalance/internal/transport"
 )
 
@@ -36,6 +37,9 @@ var (
 type inprocWorker struct {
 	id        int
 	operator  Operator
+	combiner  Combiner
+	mHits     *metrics.Counter
+	hits      atomic.Uint64
 	rx        *transport.InprocReceiver
 	tx        *transport.InprocSender
 	recvBatch int
@@ -61,6 +65,19 @@ func newInprocWorker(id int, op Operator, rx *transport.InprocReceiver, tx *tran
 		recvBatch: recvBatch,
 		done:      make(chan struct{}),
 	}
+}
+
+// setCombiner installs a per-key partial-aggregation stage between the
+// operator and the merger edge, plus an optional live hit counter. Call
+// before Start.
+func (w *inprocWorker) setCombiner(c Combiner, m *metrics.Counter) {
+	w.combiner = c
+	w.mHits = m
+}
+
+// combinerHits reports how many tuples the combiner has absorbed so far.
+func (w *inprocWorker) combinerHits() uint64 {
+	return w.hits.Load()
 }
 
 // Start launches the worker loop; it runs until the splitter edge closes (the
@@ -93,8 +110,22 @@ func (w *inprocWorker) run() error {
 		for i := range batch {
 			results = append(results, w.operator.Process(batch[i]))
 		}
-		// Ownership transfer: the input batch's references ride downstream
-		// with the results (the operator is 1:1, so the counts line up) and
+		if w.combiner != nil {
+			var n int
+			results, n = combineBatch(w.combiner, results)
+			if n > 0 {
+				w.hits.Add(uint64(n))
+				if w.mHits != nil {
+					w.mHits.Add(float64(n))
+				}
+				// Absorbed tuples drop out of results, so their share of the
+				// input references is released here: Combine copied what it
+				// needed and retains nothing.
+				ref.ReleaseN(n)
+			}
+		}
+		// Ownership transfer: the surviving results carry the remaining input
+		// references downstream (SendBatchOwned consumes one per tuple) and
 		// the merger releases them tuple by tuple in release order.
 		if err := w.tx.SendBatchOwned(results, ref); err != nil {
 			if w.closed.Load() {

@@ -163,8 +163,19 @@ type Merger struct {
 	// dedup/admission checks, the watermark writer, stats accessors).
 	next atomic.Uint64
 
+	// absorbed holds sequence numbers claimed by released combined carriers
+	// (worker-side per-key aggregation) that the watermark has not yet
+	// passed. When the watermark reaches an absorbed seq it advances
+	// silently — no sink call, the carrier's payload already delivered the
+	// aggregate. Merge loop only. A carrier popping as a duplicate never
+	// registers its absorbed seqs: its connection died before release, so
+	// every unreleased group member was replayed individually (solo) and
+	// releases through the normal path.
+	absorbed map[uint64]struct{}
+
 	deduped    atomic.Uint64
 	dupRejects atomic.Uint64
+	combined   atomic.Uint64 // seqs released via carrier absorption
 
 	wmStop chan struct{} // tells watermark writers to flush and exit
 	quarCh chan int      // watchdog nominations bound for the control channel
@@ -186,6 +197,7 @@ type Merger struct {
 	mWakes       *metrics.Counter
 	mStall       *metrics.Histogram
 	mIngestAge   []*metrics.Gauge
+	mCombined    *metrics.Counter
 }
 
 // NewMerger listens for worker connections. sink receives every tuple, in
@@ -225,6 +237,7 @@ func NewMerger(workers, queueCap int, sink func(transport.Tuple, int)) (*Merger,
 		pending:     make(map[net.Conn]struct{}),
 		inprocRx:    make(map[*transport.InprocReceiver]struct{}),
 		lastIngest:  make([]atomic.Int64, workers),
+		absorbed:    make(map[uint64]struct{}),
 		wmStop:      make(chan struct{}),
 		quarCh:      make(chan int, workers),
 		done:        make(chan struct{}),
@@ -315,6 +328,7 @@ func (m *Merger) SetMetrics(rm *RegionMetrics) {
 	m.mParks = rm.ingestParks
 	m.mWakes = rm.mergeWakes
 	m.mStall = rm.stallSeconds
+	m.mCombined = rm.combinedReleased
 }
 
 // noteDedup counts one dropped duplicate.
@@ -346,6 +360,14 @@ func (m *Merger) DupRejects() uint64 {
 // Watermark returns the lowest unreleased sequence number. Lock-free.
 func (m *Merger) Watermark() uint64 {
 	return m.next.Load()
+}
+
+// CombinedReleased returns how many sequence numbers were released through
+// carrier absorption (worker-side combining) rather than through the sink.
+// Released sink tuples plus CombinedReleased account for every sequence
+// number exactly once. Lock-free.
+func (m *Merger) CombinedReleased() uint64 {
+	return m.combined.Load()
 }
 
 // paddedCount is an atomic counter alone on its cache line: the per-stream
@@ -1186,13 +1208,41 @@ func (m *Merger) releaseRuns() bool {
 		}
 		it := m.queues[id].popMin()
 		if it.t.Seq < next {
+			// A duplicate carrier is dropped whole: its absorbed seqs are
+			// never registered, because a carrier only duplicates when its
+			// connection failed before release — and then every unreleased
+			// group member was replayed individually.
 			it.ref.Release()
 			m.noteDedup()
 		} else {
-			m.next.Store(next + 1)
+			next++
+			// A combined carrier releases its absorbed seqs with it:
+			// register them, then advance the watermark silently through any
+			// now-contiguous run. Absorbed seqs are always >= the new
+			// watermark here — the combiner picks the group's lowest seq as
+			// the carrier.
+			if len(it.t.Absorbed) > 0 {
+				for i, n := 0, it.t.AbsorbedCount(); i < n; i++ {
+					m.absorbed[it.t.AbsorbedSeq(i)] = struct{}{}
+				}
+			}
+			if len(m.absorbed) > 0 {
+				for {
+					if _, ok := m.absorbed[next]; !ok {
+						break
+					}
+					delete(m.absorbed, next)
+					next++
+					m.combined.Add(1)
+					if m.mCombined != nil {
+						m.mCombined.Inc()
+					}
+				}
+			}
+			m.next.Store(next)
 			if m.mReleased != nil {
 				m.mReleased.Inc()
-				m.mWatermark.Set(float64(next + 1))
+				m.mWatermark.Set(float64(next))
 			}
 			m.sink(it.t, id)
 			// The sink has returned: the payload is no longer needed, so

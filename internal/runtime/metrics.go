@@ -36,6 +36,7 @@ type RegionMetrics struct {
 	redialAttempts  *metrics.CounterVec
 	batchFlushes    *metrics.Counter
 	batchTuples     *metrics.Histogram
+	keyImbalance    *metrics.Gauge
 
 	// Balancer / controller.
 	weight        *metrics.GaugeVec
@@ -57,6 +58,10 @@ type RegionMetrics struct {
 	mergeWakes        *metrics.Counter
 	stallSeconds      *metrics.Histogram
 	ingestAge         *metrics.GaugeVec
+	combinedReleased  *metrics.Counter
+
+	// Worker (in-process regions; TCP worker processes export their own).
+	combinerHits *metrics.Counter
 
 	// Recovery.
 	workerDown     *metrics.CounterVec
@@ -96,6 +101,8 @@ func NewRegionMetrics(reg *metrics.Registry, tr *metrics.Trace) *RegionMetrics {
 			"Batched vectored writes the splitter flushed (BatchSize > 1 only)."),
 		batchTuples: reg.Histogram("spe_splitter_batch_tuples",
 			"Tuples per flushed batch.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		keyImbalance: reg.Gauge("spe_splitter_key_imbalance",
+			"Keyed-routing imbalance over the last sample interval: (max-mean)/mean of per-connection keyed assignments (0 = perfectly even)."),
 
 		weight: reg.GaugeVec("spe_balancer_weight_units",
 			"Current allocation weight per connection, in units summing to the balancer's R (Section 3.4).", "conn"),
@@ -134,6 +141,10 @@ func NewRegionMetrics(reg *metrics.Registry, tr *metrics.Trace) *RegionMetrics {
 			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60}),
 		ingestAge: reg.GaugeVec("spe_worker_last_ingest_age_seconds",
 			"Seconds since the merger last ingested a batch from each worker connection.", "conn"),
+		combinedReleased: reg.Counter("spe_merger_combined_released_total",
+			"Sequence numbers released via combined-carrier absorption (watermark advanced with no sink call)."),
+		combinerHits: reg.Counter("spe_worker_combiner_hits_total",
+			"Tuples absorbed into same-key carriers by worker-side combiners before the ordered merge."),
 
 		workerDown: reg.CounterVec("spe_recovery_worker_down_total",
 			"Worker connection failures observed by the splitter, per connection.", "conn"),

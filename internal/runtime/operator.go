@@ -104,3 +104,62 @@ func (op *DelayOperator) Process(t transport.Tuple) transport.Tuple {
 	}
 	return t
 }
+
+// serviceQuantum is the smallest sleep ServiceOperator issues. Kernel timer
+// granularity can inflate a short sleep by a millisecond or more, so
+// sub-quantum service times are accumulated as debt and slept in batches.
+const serviceQuantum = time.Millisecond
+
+// ServiceOperator models a fixed per-tuple service time without consuming
+// CPU, like DelayOperator, but stays accurate for service times far below
+// the kernel's sleep granularity: each tuple adds its service time to a debt
+// counter, the operator sleeps only once the debt reaches a quantum, and the
+// sleep's measured overshoot is credited against future debt. The effective
+// per-tuple cost converges on the configured duration even when individual
+// sleeps are inflated 50x. The service time can be changed concurrently;
+// debt is owned by the single worker goroutine calling Process.
+type ServiceOperator struct {
+	serviceNS atomic.Int64
+	debt      time.Duration
+}
+
+var _ Operator = (*ServiceOperator)(nil)
+
+// NewServiceOperator returns an operator costing d of wall-clock service
+// time per tuple.
+func NewServiceOperator(d time.Duration) *ServiceOperator {
+	op := &ServiceOperator{}
+	op.serviceNS.Store(int64(d))
+	return op
+}
+
+// SetService changes the per-tuple service time; safe to call during a run.
+func (op *ServiceOperator) SetService(d time.Duration) {
+	op.serviceNS.Store(int64(d))
+}
+
+// Service returns the current per-tuple service time.
+func (op *ServiceOperator) Service() time.Duration {
+	return time.Duration(op.serviceNS.Load())
+}
+
+// Process implements Operator: it charges one service time against the debt
+// counter, sleeping when a full quantum has accumulated.
+func (op *ServiceOperator) Process(t transport.Tuple) transport.Tuple {
+	d := time.Duration(op.serviceNS.Load())
+	if d <= 0 {
+		return t
+	}
+	op.debt += d
+	if op.debt >= serviceQuantum {
+		start := time.Now()
+		time.Sleep(op.debt)
+		op.debt -= time.Since(start)
+		// Cap the credit so one long preemption cannot buy an unbounded
+		// burst of free tuples afterwards.
+		if op.debt < -serviceQuantum {
+			op.debt = -serviceQuantum
+		}
+	}
+	return t
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"streambalance/internal/core"
+	"streambalance/internal/schedule"
 	"streambalance/internal/transport"
 )
 
@@ -67,8 +68,22 @@ type RegionConfig struct {
 	Transport TransportKind
 	// Workers is the fan-out N; one operator per worker is required.
 	Operators []Operator
-	// Source feeds the splitter.
+	// Source feeds the splitter. Exactly one of Source and KeyedSource is
+	// required.
 	Source Source
+	// KeyedSource feeds the splitter with keyed tuples; non-zero keys route
+	// through Router. Mutually exclusive with Source.
+	KeyedSource KeyedSource
+	// Router places non-zero keys on workers (default PKG). See
+	// SplitterConfig.Router.
+	Router schedule.KeyRouter
+	// Combiner, when set, installs per-key partial aggregation in every
+	// worker: same-key results within one processed batch fold into their
+	// lowest-seq carrier before the forward to the merger, which releases
+	// the absorbed sequence numbers by advancing its watermark through them
+	// (counted in RegionResult.CombinedReleased, never delivered to Sink).
+	// Requires KeyedSource.
+	Combiner Combiner
 	// Balancer, when set, balances dynamically; nil means round-robin.
 	Balancer *core.Balancer
 	// SampleInterval for the controller (default 1s).
@@ -134,6 +149,11 @@ type Region struct {
 	merger   *Merger
 	splitter *Splitter
 	recovery bool
+	// strictOrder demands every release be exactly the next sequence number.
+	// Combining regions relax it to strictly-monotone: absorbed sequence
+	// numbers are released silently (watermark only), so the sink legally
+	// sees gaps; gaplessness is then Released + CombinedReleased == total.
+	strictOrder bool
 
 	mu        sync.Mutex
 	released  uint64
@@ -156,6 +176,16 @@ type RegionResult struct {
 	// Deduped counts replayed duplicates the merger dropped to keep the
 	// exactly-once release guarantee.
 	Deduped uint64
+	// CombinedReleased counts sequence numbers released by absorption into a
+	// combined carrier (watermark advanced with no Sink call). Released +
+	// CombinedReleased covers the whole stream.
+	CombinedReleased uint64
+	// CombinerHits counts tuples the workers' combiners absorbed into
+	// same-key carriers.
+	CombinerHits uint64
+	// KeyedSent counts router-placed tuples per worker (nil-equivalent zeros
+	// for unkeyed regions).
+	KeyedSent []int64
 	// Elapsed is the wall-clock makespan.
 	Elapsed time.Duration
 }
@@ -194,14 +224,21 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 	if len(cfg.Operators) == 0 {
 		return nil, errors.New("runtime: region needs at least one operator")
 	}
-	if cfg.Source == nil {
+	if cfg.Source == nil && cfg.KeyedSource == nil {
 		return nil, errors.New("runtime: region needs a source")
 	}
-	r := &Region{orderGood: true, recovery: cfg.Recovery.Enabled}
+	if cfg.Combiner != nil && cfg.KeyedSource == nil {
+		return nil, errors.New("runtime: Combiner requires KeyedSource")
+	}
+	r := &Region{orderGood: true, recovery: cfg.Recovery.Enabled, strictOrder: cfg.Combiner == nil}
 
 	merger, err := NewMerger(len(cfg.Operators), cfg.MergerQueue, func(t transport.Tuple, conn int) {
 		r.mu.Lock()
-		if t.Seq != r.lastSeq {
+		if r.strictOrder {
+			if t.Seq != r.lastSeq {
+				r.orderGood = false
+			}
+		} else if t.Seq < r.lastSeq {
 			r.orderGood = false
 		}
 		r.lastSeq = t.Seq + 1
@@ -249,7 +286,15 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 				r.Close()
 				return nil, err
 			}
-			r.workers = append(r.workers, newInprocWorker(i, op, inRx, outTx, cfg.RecvBatchSize, to))
+			iw := newInprocWorker(i, op, inRx, outTx, cfg.RecvBatchSize, to)
+			if cfg.Combiner != nil {
+				if cfg.Metrics != nil {
+					iw.setCombiner(cfg.Combiner, cfg.Metrics.combinerHits)
+				} else {
+					iw.setCombiner(cfg.Combiner, nil)
+				}
+			}
+			r.workers = append(r.workers, iw)
 			senders = append(senders, inTx)
 		}
 	} else {
@@ -265,6 +310,12 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 			}
 			w.SetRecvBatch(cfg.RecvBatchSize)
 			w.SetTimeouts(cfg.Timeouts)
+			if cfg.Combiner != nil {
+				w.SetCombiner(cfg.Combiner)
+				if cfg.Metrics != nil {
+					w.setCombinerMetric(cfg.Metrics.combinerHits)
+				}
+			}
 			if r.recovery {
 				w.SetResilient(true)
 			}
@@ -288,6 +339,8 @@ func NewRegion(cfg RegionConfig) (*Region, error) {
 		WorkerAddrs:       addrs,
 		Senders:           senders,
 		Source:            cfg.Source,
+		KeyedSource:       cfg.KeyedSource,
+		Router:            cfg.Router,
 		Balancer:          cfg.Balancer,
 		SampleInterval:    cfg.SampleInterval,
 		ResetInterval:     cfg.ResetInterval,
@@ -359,6 +412,16 @@ func (r *Region) Run() (RegionResult, error) {
 	r.mu.Unlock()
 	res.PerConnSent, res.TotalBlocking = r.splitter.ConnStats()
 	res.Deduped = r.merger.Deduped()
+	res.CombinedReleased = r.merger.CombinedReleased()
+	res.KeyedSent = r.splitter.KeyedStats()
+	for _, w := range r.workers {
+		switch wk := w.(type) {
+		case *Worker:
+			res.CombinerHits += wk.CombinerHits()
+		case *inprocWorker:
+			res.CombinerHits += wk.combinerHits()
+		}
+	}
 	return res, errors.Join(errs...)
 }
 

@@ -33,6 +33,12 @@ func ConstantSource(payload []byte, n uint64) Source {
 	}
 }
 
+// KeyedSource supplies keyed tuple payloads. Key 0 means unkeyed: the tuple
+// routes through the weighted round-robin like any Source tuple and never
+// combines. Non-zero keys route through the configured KeyRouter. The same
+// retention rule as Source applies to payloads when recovery is enabled.
+type KeyedSource func(seq uint64) (key uint64, payload []byte, ok bool)
+
 // ConnEvent reports a recovery event on one splitter connection.
 type ConnEvent struct {
 	// Kind is "down" (connection failed), "replay" (its unreleased tuples
@@ -64,8 +70,22 @@ type SplitterConfig struct {
 	// inherently a remote-process concern (control channel, replay, redial),
 	// so Senders is mutually exclusive with WorkerAddrs and ControlAddr.
 	Senders []transport.BatchSender
-	// Source feeds the splitter; required.
+	// Source feeds the splitter. Exactly one of Source and KeyedSource is
+	// required.
 	Source Source
+	// KeyedSource feeds the splitter with keyed tuples; non-zero keys route
+	// through Router instead of the weighted round-robin. Mutually exclusive
+	// with Source.
+	KeyedSource KeyedSource
+	// Router places non-zero keys on connections when KeyedSource is set
+	// (default: PKG, two choices per key). When a Balancer is also
+	// configured, routers implementing schedule.LoadAware receive each
+	// controller tick's sampled blocking rates as penalties, steering the
+	// least-loaded pick away from blocked connections — the keyed analogue
+	// of the minimax balancer's weight updates. Replays after a failure
+	// bypass the router (any survivor may carry a Solo replay; ordering and
+	// exactly-once are the merger's job, and Solo tuples never combine).
+	Router schedule.KeyRouter
 	// Balancer, when set, drives dynamic weights from sampled blocking
 	// rates. Nil means fixed even round-robin.
 	Balancer *core.Balancer
@@ -149,9 +169,11 @@ type splitConn struct {
 
 // retainEntry is one sent-but-unreleased tuple in the replay buffer. conn
 // is the stable id of the connection carrying it, or -1 while a send is in
-// flight.
+// flight. key is retained so replays carry it (flagged Solo, so a replayed
+// tuple never combines with a fresh one).
 type retainEntry struct {
 	seq     uint64
+	key     uint64
 	conn    int
 	payload []byte
 }
@@ -171,7 +193,16 @@ type rejoin struct {
 type Splitter struct {
 	cfg SplitterConfig
 	wrr *schedule.WRR
-	to  Timeouts
+	// src unifies Source and KeyedSource (unkeyed sources yield key 0).
+	src KeyedSource
+	// router places non-zero keys; nil for unkeyed splitters. Its index
+	// space mirrors the live-connection positions (Remove/Add track
+	// membership edits exactly like the WRR). Guarded by mu.
+	router schedule.KeyRouter
+	// keyedSent counts router-placed tuples per stable worker id, feeding
+	// the per-tick key-imbalance gauge. Guarded by mu.
+	keyedSent []int64
+	to        Timeouts
 	// maxReadmits is the resolved quarantine circuit-breaker budget
 	// (-1 = unlimited).
 	maxReadmits int
@@ -243,8 +274,14 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	if n == 0 {
 		return nil, errors.New("runtime: splitter needs worker addresses or senders")
 	}
-	if cfg.Source == nil {
+	if cfg.Source == nil && cfg.KeyedSource == nil {
 		return nil, errors.New("runtime: splitter needs a source")
+	}
+	if cfg.Source != nil && cfg.KeyedSource != nil {
+		return nil, errors.New("runtime: Source and KeyedSource are mutually exclusive")
+	}
+	if cfg.Router != nil && cfg.KeyedSource == nil {
+		return nil, errors.New("runtime: Router requires KeyedSource")
 	}
 	if cfg.SampleInterval <= 0 {
 		cfg.SampleInterval = time.Second
@@ -268,6 +305,7 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 	sp := &Splitter{
 		cfg:         cfg,
 		wrr:         wrr,
+		keyedSent:   make([]int64, n),
 		to:          cfg.Timeouts.norm(),
 		quarCount:   make([]int, n),
 		aggSent:     make([]int64, n),
@@ -288,6 +326,25 @@ func NewSplitter(cfg SplitterConfig) (*Splitter, error) {
 		sp.maxReadmits = -1
 	default:
 		sp.maxReadmits = cfg.MaxReadmits
+	}
+	if cfg.KeyedSource != nil {
+		sp.src = cfg.KeyedSource
+		sp.router = cfg.Router
+		if sp.router == nil {
+			sp.router, err = schedule.NewPKGRouter(n)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if sp.router.N() != n {
+			return nil, fmt.Errorf("runtime: router covers %d connections, splitter has %d", sp.router.N(), n)
+		}
+	} else {
+		src := cfg.Source
+		sp.src = func(seq uint64) (uint64, []byte, bool) {
+			payload, ok := src(seq)
+			return 0, payload, ok
+		}
 	}
 	initial := core.EvenWeights(n, core.DefaultUnits)
 	if err := sp.wrr.SetWeights(initial); err != nil {
@@ -490,24 +547,24 @@ func (sp *Splitter) sendLoop() error {
 				return err
 			}
 		}
-		payload, ok := sp.cfg.Source(seq)
+		key, payload, ok := sp.src(seq)
 		if !ok {
 			break
 		}
 		var entry *retainEntry
 		if recovery {
 			var err error
-			entry, err = sp.admitRetention(seq, payload)
+			entry, err = sp.admitRetention(seq, key, payload)
 			if err != nil {
 				return err
 			}
 		}
 		for {
-			c := sp.pickLive()
+			c := sp.pickFor(key)
 			if c == nil {
 				return sp.allDeadErr()
 			}
-			err := c.sender.Send(transport.Tuple{Seq: seq, Payload: payload})
+			err := c.sender.Send(transport.Tuple{Seq: seq, Key: key, Payload: payload})
 			if err == nil {
 				if entry != nil {
 					entry.conn = c.id
@@ -558,7 +615,7 @@ func (sp *Splitter) sendLoopBatched() error {
 		touched = touched[:0]
 		srcDone := false
 		for staged := 0; staged < batch; staged++ {
-			payload, ok := sp.cfg.Source(seq)
+			key, payload, ok := sp.src(seq)
 			if !ok {
 				srcDone = true
 				break
@@ -566,17 +623,17 @@ func (sp *Splitter) sendLoopBatched() error {
 			var entry *retainEntry
 			if recovery {
 				var err error
-				entry, err = sp.admitRetention(seq, payload)
+				entry, err = sp.admitRetention(seq, key, payload)
 				if err != nil {
 					return err
 				}
 			}
 			for {
-				c := sp.pickLive()
+				c := sp.pickFor(key)
 				if c == nil {
 					return sp.allDeadErr()
 				}
-				err := c.sender.Queue(transport.Tuple{Seq: seq, Payload: payload})
+				err := c.sender.Queue(transport.Tuple{Seq: seq, Key: key, Payload: payload})
 				if err == nil {
 					// Assign the retain entry at Queue time, not flush
 					// time: if the flush fails, replay must cover the
@@ -653,6 +710,22 @@ func (sp *Splitter) pickLive() *splitConn {
 		return nil
 	}
 	return sp.conns[sp.wrr.Next()]
+}
+
+// pickFor returns the connection for one fresh tuple: non-zero keys go
+// through the key router, everything else through the weighted round-robin.
+func (sp *Splitter) pickFor(key uint64) *splitConn {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.conns) == 0 {
+		return nil
+	}
+	if key == 0 || sp.router == nil {
+		return sp.conns[sp.wrr.Next()]
+	}
+	c := sp.conns[sp.router.Route(key)]
+	sp.keyedSent[c.id]++
+	return c
 }
 
 func (sp *Splitter) applyWeights(wu weightUpdate) error {
@@ -745,7 +818,7 @@ func (sp *Splitter) findLive(id int) *splitConn {
 
 // admitRetention appends the tuple to the replay buffer, blocking while the
 // buffer is full until the merger's watermark frees space.
-func (sp *Splitter) admitRetention(seq uint64, payload []byte) (*retainEntry, error) {
+func (sp *Splitter) admitRetention(seq, key uint64, payload []byte) (*retainEntry, error) {
 	sp.pruneRetained()
 	for len(sp.retained)-sp.retHead >= sp.cfg.RetainCap {
 		select {
@@ -768,7 +841,7 @@ func (sp *Splitter) admitRetention(seq uint64, payload []byte) (*retainEntry, er
 			sp.admitRejoin(rj)
 		}
 	}
-	sp.retained = append(sp.retained, retainEntry{seq: seq, conn: -1, payload: payload})
+	sp.retained = append(sp.retained, retainEntry{seq: seq, key: key, conn: -1, payload: payload})
 	if sp.mtr != nil {
 		sp.mtr.replayDepth.Set(float64(len(sp.retained) - sp.retHead))
 	}
@@ -824,6 +897,9 @@ func (sp *Splitter) removeConn(c *splitConn, cause error) bool {
 		weights = sp.cfg.Balancer.Weights()
 	}
 	sp.wrr.Remove(pos)
+	if sp.router != nil {
+		sp.router.Remove(pos)
+	}
 	if weights != nil {
 		sp.wrr.SetWeights(weights)
 	}
@@ -883,7 +959,10 @@ func (sp *Splitter) handleConnFailure(c *splitConn, cause error) error {
 				if c2 == nil {
 					return sp.allDeadErr()
 				}
-				if err := c2.sender.Send(transport.Tuple{Seq: e.seq, Payload: e.payload}); err != nil {
+				// Replays are Solo: a re-sent tuple must never be absorbed
+				// into a combine group, or a crash between the original group
+				// and the replay could double-count it.
+				if err := c2.sender.Send(transport.Tuple{Seq: e.seq, Key: e.key, Solo: e.key != 0, Payload: e.payload}); err != nil {
 					if sp.removeConn(c2, err) {
 						deadIDs = append(deadIDs, c2.id)
 					}
@@ -1009,6 +1088,9 @@ func (sp *Splitter) admitRejoin(rj rejoin) {
 		}
 		sp.wrr.Add(share)
 	}
+	if sp.router != nil {
+		sp.router.Add()
+	}
 	sp.mu.Unlock()
 	go sp.monitor(c)
 	sp.event(ConnEvent{Kind: "rejoin", Conn: rj.id})
@@ -1066,6 +1148,7 @@ func (sp *Splitter) controller() {
 	ticker := time.NewTicker(sp.cfg.SampleInterval)
 	defer ticker.Stop()
 	samplers := make(map[transport.BatchSender]*stats.RateSampler)
+	prevKeyed := make([]int64, len(sp.keyedSent))
 	lastReset := time.Duration(0)
 	for {
 		select {
@@ -1099,6 +1182,19 @@ func (sp *Splitter) controller() {
 			if sp.mtr != nil {
 				sp.mtr.counterResets.Inc()
 				sp.mtr.traceEvent(metrics.Event{Kind: "counter-reset", Conn: -1})
+			}
+		}
+		if sp.router != nil {
+			// With a balancer configured, feed the sampled blocking rates to
+			// load-aware routers as penalties: the least-loaded candidate pick
+			// then discounts connections that spent the interval blocked — the
+			// keyed analogue of the minimax balancer shifting weight away from
+			// them. Without a balancer the router stays purely count-based.
+			if la, ok := sp.router.(schedule.LoadAware); ok && sp.cfg.Balancer != nil && sp.router.N() == len(rates) {
+				la.SetPenalties(rates)
+			}
+			if sp.mtr != nil {
+				sp.mtr.keyImbalance.Set(sp.keyImbalanceLocked(conns, prevKeyed))
 			}
 		}
 		weights := sp.wrr.Weights()
@@ -1207,6 +1303,35 @@ func (sp *Splitter) publishTransportLocked() {
 		sp.mtr.schedulePicks.Add(float64(d))
 		sp.pubPicks = sp.wrr.Picks()
 	}
+}
+
+// keyImbalanceLocked computes (max-mean)/mean of the live connections'
+// router-placed assignments since the previous controller tick (0 when
+// perfectly even or when no keyed tuples moved), and rolls prevKeyed forward.
+// Callers hold sp.mu.
+func (sp *Splitter) keyImbalanceLocked(conns []*splitConn, prevKeyed []int64) float64 {
+	var max, sum int64
+	for _, c := range conns {
+		d := sp.keyedSent[c.id] - prevKeyed[c.id]
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	copy(prevKeyed, sp.keyedSent)
+	if sum <= 0 || len(conns) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(conns))
+	return (float64(max) - mean) / mean
+}
+
+// KeyedStats returns the lifetime count of router-placed tuples per stable
+// worker id (zero everywhere for unkeyed splitters).
+func (sp *Splitter) KeyedStats() []int64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return append([]int64(nil), sp.keyedSent...)
 }
 
 // ConnStats returns per-worker lifetime tuple and blocking totals, indexed

@@ -7,8 +7,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"streambalance/internal/metrics"
 	"streambalance/internal/transport"
 )
 
@@ -25,6 +27,9 @@ import (
 type Worker struct {
 	id        int
 	operator  Operator
+	combiner  Combiner
+	mHits     *metrics.Counter
+	hits      atomic.Uint64
 	ln        net.Listener
 	merger    string // merger address to dial
 	rcvBuf    int
@@ -90,6 +95,26 @@ func (w *Worker) SetRecvBatch(n int) {
 	if n > 0 {
 		w.recvBatch = n
 	}
+}
+
+// SetCombiner installs a per-key partial-aggregation stage between the
+// operator and the forward to the merger: same-key results within one
+// processed batch fold into their lowest-seq carrier (see Combiner). Call
+// before Start.
+func (w *Worker) SetCombiner(c Combiner) {
+	w.combiner = c
+}
+
+// setCombinerMetric wires the live combiner-hit counter (in-process regions;
+// deployed worker processes export their own registries).
+func (w *Worker) setCombinerMetric(m *metrics.Counter) {
+	w.mHits = m
+}
+
+// CombinerHits reports how many tuples the combiner has absorbed into
+// same-key carriers so far.
+func (w *Worker) CombinerHits() uint64 {
+	return w.hits.Load()
 }
 
 // Addr returns the address the splitter should dial.
@@ -230,6 +255,16 @@ func (w *Worker) serve(in net.Conn) error {
 		results = results[:0]
 		for i := range batch {
 			results = append(results, w.operator.Process(batch[i]))
+		}
+		if w.combiner != nil {
+			var n int
+			results, n = combineBatch(w.combiner, results)
+			if n > 0 {
+				w.hits.Add(uint64(n))
+				if w.mHits != nil {
+					w.mHits.Add(float64(n))
+				}
+			}
 		}
 		err = sender.SendBatch(results)
 		// SendBatch completes its write before returning, so the received

@@ -1,0 +1,381 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Keyed routing policies. Where the WRR schedule realizes the balancer's
+// weight vector for stateless tuples, a KeyRouter pins each key to a
+// connection chosen from the key's candidate set, trading a little routing
+// freedom for per-key locality:
+//
+//   - HashRouter is classic hash grouping — one candidate per key, the
+//     baseline that collapses under Zipf skew because the hottest key's
+//     whole mass lands on one worker.
+//   - PKGRouter is Partial Key Grouping (Nasir et al., "Partial Key
+//     Grouping: Load-Balanced Partitioning of Distributed Streams"): every
+//     key hashes to two candidate connections and each tuple goes to the
+//     less loaded of the two, bounding imbalance while splitting each key
+//     across at most two workers.
+//   - DChoicesRouter generalizes PKG per "When Two Choices Are not Enough"
+//     (the d-choices strategy): a space-saving sketch tracks heavy hitters,
+//     and keys hot enough to overwhelm two workers spread over d candidates
+//     while the long tail keeps PKG's two.
+//
+// PKG and d-choices measure "less loaded" as assigned-tuple counts scaled by
+// an optional per-connection penalty fed from the paper's cumulative-blocking
+// signal (SetPenalties), so the same elect-to-block measurements that drive
+// the minimax balancer also steer keyed routing around genuinely slow
+// workers.
+//
+// Routers are not safe for concurrent use; the splitter owns them and applies
+// penalty updates and membership edits between picks, exactly as it does for
+// the WRR schedule.
+
+// KeyRouter picks the connection for a keyed tuple. Keys are nonzero: the
+// splitter routes unkeyed tuples (Key == 0) through the WRR schedule, never
+// through a KeyRouter.
+type KeyRouter interface {
+	// Route returns the connection index for key and records the
+	// assignment in the router's load model.
+	Route(key uint64) int
+	// N returns the number of connection slots.
+	N() int
+	// Add appends a connection slot (a readmitted worker) and returns its
+	// index.
+	Add() int
+	// Remove drops connection slot j; indices above j shift down by one,
+	// matching the caller's renumbering of its connection slice (the same
+	// contract as WRR.Remove).
+	Remove(j int) error
+}
+
+// LoadAware routers accept an external per-connection load signal. The
+// splitter's controller pushes each connection's blocking rate
+// (seconds-blocked-per-second, from the same cumulative counters the minimax
+// balancer samples) once per collection interval; a connection blocking the
+// whole interval weighs double its raw assignment count.
+type LoadAware interface {
+	SetPenalties(p []float64) error
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap invertible mixer whose output
+// bits are uniformly sensitive to every input bit, so sequential keys spread
+// uniformly over connections.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// candidate returns key's i-th candidate connection among n, by double
+// hashing: two independent mixes give the base and the (odd) stride, so a
+// key's candidate sequence visits distinct connections in a key-specific
+// order.
+func candidate(key uint64, i, n int) int {
+	h1 := mix64(key)
+	h2 := mix64(key^0x9e3779b97f4a7c15) | 1
+	return int((h1 + uint64(i)*h2) % uint64(n))
+}
+
+// HashRouter is the hash-grouping baseline: one candidate per key.
+type HashRouter struct {
+	n int
+}
+
+// NewHashRouter returns a hash-grouping router over n connections.
+func NewHashRouter(n int) (*HashRouter, error) {
+	if n <= 0 {
+		return nil, ErrNoConnections
+	}
+	return &HashRouter{n: n}, nil
+}
+
+// Route returns key's single hashed connection.
+func (r *HashRouter) Route(key uint64) int { return candidate(key, 0, r.n) }
+
+// N returns the number of connection slots.
+func (r *HashRouter) N() int { return r.n }
+
+// Add appends a connection slot.
+func (r *HashRouter) Add() int {
+	r.n++
+	return r.n - 1
+}
+
+// Remove drops one connection slot (hash routing has no per-slot state, so
+// only the modulus changes).
+func (r *HashRouter) Remove(j int) error {
+	if j < 0 || j >= r.n {
+		return fmt.Errorf("schedule: connection %d out of range [0,%d)", j, r.n)
+	}
+	if r.n == 1 {
+		return errors.New("schedule: cannot remove the last connection")
+	}
+	r.n--
+	return nil
+}
+
+// loadModel is the shared least-loaded picker for PKG and d-choices: per
+// connection, the count of tuples assigned so far, scaled by the externally
+// fed blocking penalty.
+type loadModel struct {
+	counts    []float64
+	penalties []float64
+}
+
+func newLoadModel(n int) loadModel {
+	return loadModel{counts: make([]float64, n), penalties: make([]float64, n)}
+}
+
+// pick assigns key to the least loaded of its first c candidates and returns
+// the connection index.
+func (m *loadModel) pick(key uint64, c int) int {
+	n := len(m.counts)
+	best := candidate(key, 0, n)
+	bestLoad := m.counts[best] * (1 + m.penalties[best])
+	for i := 1; i < c; i++ {
+		j := candidate(key, i, n)
+		if load := m.counts[j] * (1 + m.penalties[j]); load < bestLoad {
+			best, bestLoad = j, load
+		}
+	}
+	m.counts[best]++
+	return best
+}
+
+// setPenalties replaces the penalty vector. Negative penalties are an error.
+func (m *loadModel) setPenalties(p []float64) error {
+	if len(p) != len(m.penalties) {
+		return fmt.Errorf("schedule: got %d penalties, want %d", len(p), len(m.penalties))
+	}
+	for i, v := range p {
+		if v < 0 {
+			return fmt.Errorf("schedule: negative penalty %v for connection %d", v, i)
+		}
+	}
+	copy(m.penalties, p)
+	return nil
+}
+
+// add appends a slot seeded with the mean assignment count, so a rejoining
+// worker receives a fair share of new traffic instead of a catch-up flood.
+func (m *loadModel) add() int {
+	mean := 0.0
+	if len(m.counts) > 0 {
+		for _, c := range m.counts {
+			mean += c
+		}
+		mean /= float64(len(m.counts))
+	}
+	m.counts = append(m.counts, mean)
+	m.penalties = append(m.penalties, 0)
+	return len(m.counts) - 1
+}
+
+func (m *loadModel) remove(j int) error {
+	if j < 0 || j >= len(m.counts) {
+		return fmt.Errorf("schedule: connection %d out of range [0,%d)", j, len(m.counts))
+	}
+	if len(m.counts) == 1 {
+		return errors.New("schedule: cannot remove the last connection")
+	}
+	m.counts = append(m.counts[:j], m.counts[j+1:]...)
+	m.penalties = append(m.penalties[:j], m.penalties[j+1:]...)
+	return nil
+}
+
+// PKGRouter implements Partial Key Grouping: two candidates per key, tuple
+// to the less loaded.
+type PKGRouter struct {
+	model loadModel
+}
+
+// NewPKGRouter returns a PKG router over n connections.
+func NewPKGRouter(n int) (*PKGRouter, error) {
+	if n <= 0 {
+		return nil, ErrNoConnections
+	}
+	return &PKGRouter{model: newLoadModel(n)}, nil
+}
+
+// Route assigns key to the less loaded of its two candidate connections.
+func (r *PKGRouter) Route(key uint64) int { return r.model.pick(key, 2) }
+
+// N returns the number of connection slots.
+func (r *PKGRouter) N() int { return len(r.model.counts) }
+
+// SetPenalties replaces the per-connection blocking penalties.
+func (r *PKGRouter) SetPenalties(p []float64) error { return r.model.setPenalties(p) }
+
+// Add appends a connection slot.
+func (r *PKGRouter) Add() int { return r.model.add() }
+
+// Remove drops connection slot j.
+func (r *PKGRouter) Remove(j int) error { return r.model.remove(j) }
+
+// Default d-choices parameters: DefaultDChoices candidates for a heavy
+// hitter, a DefaultTrackerCap-entry space-saving sketch, and a hot threshold
+// of 1/(2n) of the observed stream — a key claiming more than half of one
+// connection's fair share is too big for two workers.
+const (
+	DefaultDChoices   = 4
+	DefaultTrackerCap = 256
+)
+
+// DChoicesRouter is PKG with d candidates for heavy-hitter keys: a
+// space-saving sketch estimates key frequencies, and keys whose estimated
+// share exceeds 1/(2n) of the stream spread over d candidates instead of 2.
+type DChoicesRouter struct {
+	model   loadModel
+	d       int
+	tracker spaceSaving
+}
+
+// NewDChoicesRouter returns a d-choices router over n connections. d <= 0
+// selects DefaultDChoices; trackerCap <= 0 selects DefaultTrackerCap. d is
+// clamped to n.
+func NewDChoicesRouter(n, d, trackerCap int) (*DChoicesRouter, error) {
+	if n <= 0 {
+		return nil, ErrNoConnections
+	}
+	if d <= 0 {
+		d = DefaultDChoices
+	}
+	if d > n {
+		d = n
+	}
+	if d < 2 {
+		d = 2
+	}
+	if trackerCap <= 0 {
+		trackerCap = DefaultTrackerCap
+	}
+	return &DChoicesRouter{
+		model:   newLoadModel(n),
+		d:       d,
+		tracker: newSpaceSaving(trackerCap),
+	}, nil
+}
+
+// Route updates the frequency sketch and assigns key to the least loaded of
+// its candidates — d of them when the key is hot, two otherwise.
+func (r *DChoicesRouter) Route(key uint64) int {
+	est := r.tracker.observe(key)
+	c := 2
+	// Hot when the key's estimated count exceeds 1/(2n) of everything
+	// observed: est/total > 1/(2n), compared multiplication-only.
+	if est*uint64(2*len(r.model.counts)) > r.tracker.total {
+		c = r.d
+	}
+	return r.model.pick(key, c)
+}
+
+// N returns the number of connection slots.
+func (r *DChoicesRouter) N() int { return len(r.model.counts) }
+
+// SetPenalties replaces the per-connection blocking penalties.
+func (r *DChoicesRouter) SetPenalties(p []float64) error { return r.model.setPenalties(p) }
+
+// Add appends a connection slot, re-clamping d if it exceeded the old width.
+func (r *DChoicesRouter) Add() int { return r.model.add() }
+
+// Remove drops connection slot j.
+func (r *DChoicesRouter) Remove(j int) error {
+	if err := r.model.remove(j); err != nil {
+		return err
+	}
+	if r.d > len(r.model.counts) {
+		r.d = len(r.model.counts)
+	}
+	return nil
+}
+
+// spaceSaving is the classic Metwally et al. heavy-hitter sketch: at most cap
+// tracked keys; a miss when full evicts the minimum-count key, and the
+// newcomer inherits min+1 (an overestimate, which is the safe direction for
+// hot-key detection). A min-heap keeps both hit and miss O(log cap).
+type spaceSaving struct {
+	cap     int
+	entries map[uint64]*ssEntry
+	heap    []*ssEntry
+	total   uint64
+}
+
+type ssEntry struct {
+	key   uint64
+	count uint64
+	idx   int
+}
+
+func newSpaceSaving(capacity int) spaceSaving {
+	return spaceSaving{
+		cap:     capacity,
+		entries: make(map[uint64]*ssEntry, capacity),
+	}
+}
+
+// observe counts one occurrence of key and returns its new estimate.
+func (s *spaceSaving) observe(key uint64) uint64 {
+	s.total++
+	if e, ok := s.entries[key]; ok {
+		e.count++
+		s.siftDown(e.idx)
+		return e.count
+	}
+	if len(s.heap) < s.cap {
+		e := &ssEntry{key: key, count: 1, idx: len(s.heap)}
+		s.heap = append(s.heap, e)
+		s.entries[key] = e
+		s.siftUp(e.idx)
+		return 1
+	}
+	// Evict the current minimum: the newcomer takes over its slot with
+	// count min+1.
+	e := s.heap[0]
+	delete(s.entries, e.key)
+	e.key = key
+	e.count++
+	s.entries[key] = e
+	s.siftDown(0)
+	return e.count
+}
+
+func (s *spaceSaving) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].count <= s.heap[i].count {
+			return
+		}
+		s.swap(parent, i)
+		i = parent
+	}
+}
+
+func (s *spaceSaving) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s.heap) && s.heap[l].count < s.heap[min].count {
+			min = l
+		}
+		if r < len(s.heap) && s.heap[r].count < s.heap[min].count {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.swap(min, i)
+		i = min
+	}
+}
+
+func (s *spaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].idx = i
+	s.heap[j].idx = j
+}

@@ -1,0 +1,140 @@
+package schedule
+
+import (
+	"testing"
+)
+
+// Edge cases around weight updates landing mid-frame: the splitter drains
+// the WRR in batches, and weight vectors change between (and effectively
+// inside) batch drains when the controller publishes a new allocation.
+
+// TestWRRZeroWeightMidDrain drops a connection's weight to zero partway
+// through a frame and verifies it is never picked again until its weight
+// returns, while the survivors keep the smooth interleave.
+func TestWRRZeroWeightMidDrain(t *testing.T) {
+	w, err := NewWRR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{4, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Drain half a frame, then zero connection 0 mid-drain.
+	for i := 0; i < 4; i++ {
+		w.Next()
+	}
+	if err := w.SetWeights([]int{0, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 40; i++ {
+		counts[w.Next()]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight connection picked %d times mid-drain", counts[0])
+	}
+	if counts[1] != 20 || counts[2] != 20 {
+		t.Fatalf("survivors drew %v, want even 20/20 split", counts[1:])
+	}
+	// Restoring the weight resumes service without a compensating burst:
+	// over the next full frame the restored connection gets exactly its
+	// share.
+	if err := w.SetWeights([]int{2, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	counts = make([]int, 3)
+	for i := 0; i < 40; i++ {
+		counts[w.Next()]++
+	}
+	if counts[0] != 20 {
+		t.Fatalf("restored connection drew %d of 40, want exactly its 50%% share", counts[0])
+	}
+}
+
+// TestWRRSingleWorkerDegeneracy pins the N=1 behavior: every pick lands on
+// the only slot for any weight (including zero, via the fallback cycle), and
+// the last slot cannot be removed.
+func TestWRRSingleWorkerDegeneracy(t *testing.T) {
+	w, err := NewWRR(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := w.Next(); got != 0 {
+			t.Fatalf("Next() = %d with one connection, want 0", got)
+		}
+	}
+	if err := w.SetWeights([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := w.Next(); got != 0 {
+			t.Fatalf("Next() = %d with one zero-weight connection, want 0", got)
+		}
+	}
+	if err := w.Remove(0); err == nil {
+		t.Fatal("removing the last connection accepted")
+	}
+	if w.Picks() != 20 {
+		t.Fatalf("Picks() = %d, want 20", w.Picks())
+	}
+}
+
+// TestWRRWeightSwapDuringBatchDrain swaps the entire weight vector between
+// two batch drains and verifies (a) no index outside the vector is ever
+// produced, (b) each drained batch honors the vector in force when it was
+// drained, and (c) accumulators carried across the swap do not let any
+// connection overdraw a full frame.
+func TestWRRWeightSwapDuringBatchDrain(t *testing.T) {
+	w, err := NewWRR(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeights([]int{7, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	drain := func(n int) []int {
+		counts := make([]int, 4)
+		for i := 0; i < n; i++ {
+			j := w.Next()
+			if j < 0 || j >= 4 {
+				t.Fatalf("Next() = %d, out of range", j)
+			}
+			counts[j]++
+		}
+		return counts
+	}
+	before := drain(10) // one full frame at 7/1/1/1
+	if before[0] != 7 {
+		t.Fatalf("connection 0 drew %d of 10 at weight 7, want 7", before[0])
+	}
+	// Swap to the mirrored vector mid-stream (the controller publishing a
+	// rebalance between batch drains).
+	if err := w.SetWeights([]int{1, 1, 1, 7}); err != nil {
+		t.Fatal(err)
+	}
+	after := drain(10)
+	if after[3] != 7 {
+		t.Fatalf("connection 3 drew %d of 10 at weight 7, want 7", after[3])
+	}
+	if after[0] > 2 {
+		t.Fatalf("demoted connection 0 drew %d of 10 at weight 1, want <= 2", after[0])
+	}
+	// Repeated swaps stay conservative: over any pair of frames each
+	// connection draws at most weight+1 per frame (smoothness bound).
+	for swap := 0; swap < 20; swap++ {
+		weights := []int{1, 1, 1, 7}
+		if swap%2 == 0 {
+			weights = []int{7, 1, 1, 1}
+		}
+		if err := w.SetWeights(weights); err != nil {
+			t.Fatal(err)
+		}
+		counts := drain(10)
+		for j, c := range counts {
+			if c > weights[j]+1 {
+				t.Fatalf("swap %d: connection %d drew %d, want <= weight+1 = %d", swap, j, c, weights[j]+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import "math"
+
+// KeyedStream deterministically generates keyed workloads for skew
+// experiments. The key for sequence s is a pure function of (seed, s), so
+// every component that holds the same parameters — a benchmark harness, a
+// replaying splitter, an offline checker — sees byte-identical streams with
+// no shared state and no math/rand.
+//
+// Three shapes compose:
+//   - Zipf skew: P(rank r) ∝ 1/(r+1)^alpha over the universe (alpha 0 =
+//     uniform).
+//   - Hot key: an extra probability mass pinned on rank 0, modeling a single
+//     viral entity on top of the background distribution.
+//   - Key churn: the universe rotates every churn tuples, so the hot set is
+//     replaced wholesale — the adversarial case for frequency trackers.
+//
+// Key identities are opaque: rank r of generation g maps to the scrambled ID
+// RankKey(g, r), not to the small integer r+1. Real stream keys (user IDs,
+// words, URLs) carry no rank structure, and rank-identity IDs are actively
+// misleading for routing experiments — adjacent small integers produce a
+// fixed, pathological hash/candidate layout for every hash-based partitioner,
+// so hash-vs-PKG comparisons would measure that artifact instead of the
+// policy. IDs are never 0, the transport's "unkeyed" sentinel.
+type KeyedStream struct {
+	universe uint64
+	seed     uint64
+	// keyBase seeds the rank→ID scramble; derived from seed so streams with
+	// different seeds disagree on identities as well as draws.
+	keyBase  uint64
+	hotShare float64
+	churn    uint64
+	// cdf is the cumulative Zipf mass over the universe; nil means uniform.
+	cdf []float64
+	sum float64
+}
+
+// NewZipfStream builds a generator over universe keys with exponent alpha
+// (alpha <= 0 selects uniform). seed picks the stream; equal parameters give
+// equal streams.
+func NewZipfStream(universe int, alpha float64, seed int64) *KeyedStream {
+	if universe < 1 {
+		universe = 1
+	}
+	k := &KeyedStream{
+		universe: uint64(universe),
+		seed:     uint64(seed),
+		keyBase:  splitmix64(uint64(seed) ^ 0x6a09e667f3bcc909),
+	}
+	if alpha > 0 {
+		k.cdf = make([]float64, universe)
+		sum := 0.0
+		for i := 1; i <= universe; i++ {
+			sum += 1 / math.Pow(float64(i), alpha)
+			k.cdf[i-1] = sum
+		}
+		k.sum = sum
+	}
+	return k
+}
+
+// SetHotShare pins probability mass p (clamped to [0,1]) on rank 0 before
+// the background distribution draws.
+func (k *KeyedStream) SetHotShare(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	k.hotShare = p
+}
+
+// SetChurn rotates the key universe every interval tuples: sequence s maps
+// into generation s/interval, and each generation scrambles to a disjoint
+// key-ID set. 0 disables churn.
+func (k *KeyedStream) SetChurn(interval uint64) {
+	k.churn = interval
+}
+
+// splitmix64 is the SplitMix64 finalizer; one multiply-xorshift round is
+// enough to decorrelate consecutive sequence numbers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Generation returns seq's churn generation (0 when churn is disabled).
+func (k *KeyedStream) Generation(seq uint64) uint64 {
+	if k.churn == 0 {
+		return 0
+	}
+	return seq / k.churn
+}
+
+// RankKey returns the key ID for zero-based Zipf rank within a generation —
+// the ID tuples of that rank actually carry. SplitMix64 is a bijection over
+// distinct (generation, rank) inputs, so a stream's IDs are unique and
+// generations are disjoint (up to the measure-zero remap of the one input
+// that scrambles to the reserved 0). RankKey(Generation(seq), 0) is the hot
+// key SetHotShare pins.
+func (k *KeyedStream) RankKey(gen, rank uint64) uint64 {
+	id := splitmix64(k.keyBase + gen*k.universe + rank)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Key returns the key for sequence seq.
+func (k *KeyedStream) Key(seq uint64) uint64 {
+	r := splitmix64(k.seed ^ splitmix64(seq))
+	u := float64(r>>11) / float64(uint64(1)<<53)
+	var rank uint64
+	switch {
+	case u < k.hotShare:
+		rank = 0
+	case k.cdf == nil:
+		rank = splitmix64(r) % k.universe
+	default:
+		target := (u - k.hotShare) / (1 - k.hotShare) * k.sum
+		lo, hi := 0, len(k.cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if k.cdf[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		rank = uint64(lo)
+	}
+	return k.RankKey(k.Generation(seq), rank)
+}

@@ -1,0 +1,98 @@
+package sim
+
+import "testing"
+
+func countKeys(k *KeyedStream, n uint64) map[uint64]uint64 {
+	counts := make(map[uint64]uint64)
+	for s := uint64(0); s < n; s++ {
+		counts[k.Key(s)]++
+	}
+	return counts
+}
+
+func TestKeyedStreamDeterministic(t *testing.T) {
+	a := NewZipfStream(1000, 1.1, 42)
+	b := NewZipfStream(1000, 1.1, 42)
+	for s := uint64(0); s < 10_000; s++ {
+		if a.Key(s) != b.Key(s) {
+			t.Fatalf("same seed diverged at seq %d: %d vs %d", s, a.Key(s), b.Key(s))
+		}
+	}
+	c := NewZipfStream(1000, 1.1, 43)
+	diff := 0
+	for s := uint64(0); s < 10_000; s++ {
+		if a.Key(s) != c.Key(s) {
+			diff++
+		}
+	}
+	if diff < 5000 {
+		t.Fatalf("different seeds agreed on %d of 10000 draws", 10_000-diff)
+	}
+}
+
+func TestKeyedStreamNeverZero(t *testing.T) {
+	for _, k := range []*KeyedStream{
+		NewZipfStream(1, 0, 0),
+		NewZipfStream(100, 1.5, 7),
+	} {
+		k.SetChurn(10)
+		for s := uint64(0); s < 1000; s++ {
+			if k.Key(s) == 0 {
+				t.Fatalf("key 0 (the unkeyed sentinel) generated at seq %d", s)
+			}
+		}
+	}
+}
+
+func TestKeyedStreamZipfSkew(t *testing.T) {
+	flat := countKeys(NewZipfStream(1000, 0, 1), 100_000)
+	skew := countKeys(NewZipfStream(1000, 1.5, 1), 100_000)
+	var flatTop, skewTop uint64
+	for _, c := range flat {
+		if c > flatTop {
+			flatTop = c
+		}
+	}
+	for _, c := range skew {
+		if c > skewTop {
+			skewTop = c
+		}
+	}
+	// Uniform's top key is ~100 draws; alpha=1.5 concentrates ~38% on rank 0.
+	if skewTop < 10*flatTop {
+		t.Fatalf("alpha=1.5 top key drew %d, uniform top %d — no skew", skewTop, flatTop)
+	}
+	hot := NewZipfStream(1000, 1.5, 1).RankKey(0, 0)
+	if skew[hot] != skewTop {
+		t.Fatalf("Zipf hottest key is not rank 0's ID %d (it drew %d, max %d)", hot, skew[hot], skewTop)
+	}
+}
+
+func TestKeyedStreamHotShare(t *testing.T) {
+	k := NewZipfStream(1000, 0, 5)
+	k.SetHotShare(0.8)
+	counts := countKeys(k, 50_000)
+	if share := float64(counts[k.RankKey(0, 0)]) / 50_000; share < 0.75 || share > 0.85 {
+		t.Fatalf("hot key drew %.3f of the stream, want ~0.80", share)
+	}
+}
+
+func TestKeyedStreamChurnRotatesUniverse(t *testing.T) {
+	k := NewZipfStream(100, 1.1, 9)
+	k.SetChurn(1000)
+	gen0 := countKeys(k, 1000)
+	if len(gen0) < 2 {
+		t.Fatalf("generation 0 produced only %d distinct keys", len(gen0))
+	}
+	for s := uint64(1000); s < 2000; s++ {
+		if key := k.Key(s); gen0[key] != 0 {
+			t.Fatalf("generation 1 reused generation-0 key %d at seq %d", key, s)
+		}
+	}
+	// Churn replaces identities, not the distribution: both generations draw
+	// from a same-size universe, and the hot slot moves to the new
+	// generation's rank 0.
+	if hot := k.RankKey(1, 0); hot == k.RankKey(0, 0) {
+		t.Fatalf("hot key did not rotate across generations (still %d)", hot)
+	}
+}

@@ -50,7 +50,7 @@ func (s *Sender) Queue(t Tuple) error {
 		s.coalesce = framePool.Get().(*frameBuf)
 	}
 	if len(t.Payload) >= zeroCopyThreshold {
-		b, err := AppendFrameHeader(s.coalesce.b, t.Seq, len(t.Payload))
+		b, err := AppendFrameHeader(s.coalesce.b, t)
 		if err != nil {
 			return err
 		}

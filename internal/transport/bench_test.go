@@ -123,12 +123,13 @@ func BenchmarkAppendFrame(b *testing.B) {
 }
 
 func BenchmarkAppendFrameHeader(b *testing.B) {
+	payload := make([]byte, 4096)
 	buf := make([]byte, 0, 64)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		buf, err = AppendFrameHeader(buf[:0], uint64(i), 4096)
+		buf, err = AppendFrameHeader(buf[:0], Tuple{Seq: uint64(i), Payload: payload})
 		if err != nil {
 			b.Fatal(err)
 		}

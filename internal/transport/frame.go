@@ -10,45 +10,139 @@ import (
 
 // Tuple is the unit of data flowing through a parallel region: a sequence
 // number assigned by the splitter (which the merger uses to restore order)
-// and an opaque payload.
+// and an opaque payload, optionally tagged with a grouping key.
 type Tuple struct {
-	Seq     uint64
+	Seq uint64
+
+	// Key groups tuples for keyed routing and per-key combining. Zero means
+	// unkeyed: the tuple encodes in the legacy frame format, and no key
+	// router or combiner ever touches it (keyed workload generators emit
+	// keys >= 1).
+	Key uint64
+
+	// Solo marks a keyed tuple that must not be absorbed into a combined
+	// carrier. The splitter sets it on every recovery replay, so combine
+	// groups only ever form from first transmissions — which keeps groups
+	// disjoint across crashes and is what makes combining safe under the
+	// merger's exactly-once release (see DESIGN, "Keyed routing").
+	Solo bool
+
+	// Absorbed carries the sequence numbers a worker-side combiner folded
+	// into this carrier tuple, as len/8 little-endian uint64s. The merger
+	// releases the carrier once and then advances its watermark silently
+	// through the absorbed seqs. Raw bytes rather than []uint64 so receivers
+	// can carve it from pooled blocks alongside the payload, keeping the
+	// keyed receive path allocation-free.
+	Absorbed []byte
+
 	Payload []byte
+}
+
+// AbsorbedCount returns how many sequence numbers this carrier absorbed.
+func (t Tuple) AbsorbedCount() int { return len(t.Absorbed) / 8 }
+
+// AbsorbedSeq returns the i-th absorbed sequence number.
+func (t Tuple) AbsorbedSeq(i int) uint64 {
+	return binary.LittleEndian.Uint64(t.Absorbed[i*8:])
+}
+
+// AppendAbsorbed appends one absorbed sequence number to an Absorbed buffer
+// in wire encoding (the combiner's accumulation helper).
+func AppendAbsorbed(dst []byte, seq uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, seq)
 }
 
 // MaxFrameSize bounds a single encoded tuple, protecting receivers from
 // corrupt or hostile length prefixes.
 const MaxFrameSize = 16 << 20
 
-// frameHeaderSize is the wire overhead per tuple: a 4-byte length (covering
-// the sequence number and payload) followed by the 8-byte sequence number.
+// frameHeaderSize is the wire overhead per unkeyed tuple: a 4-byte length
+// word (covering the sequence number and payload) followed by the 8-byte
+// sequence number.
 const frameHeaderSize = 4 + 8
+
+// Flag bits carried in the high bits of the 4-byte length word. A frame body
+// is bounded by MaxFrameSize (2^24 bytes), so bits 25-31 of the length word
+// are never used by the length itself; the keyed extension claims the top
+// three. Unkeyed tuples set no flag bits and stay byte-identical to the
+// pre-keyed wire format, so mixed-version peers interoperate on unkeyed
+// streams.
+const (
+	flagKeyed    = 1 << 31 // an 8-byte key follows the sequence number
+	flagCombined = 1 << 30 // u32 count + count 8-byte absorbed seqs follow the key
+	flagSolo     = 1 << 29 // do-not-combine marker (set on recovery replays)
+	flagMask     = flagKeyed | flagCombined | flagSolo
+)
+
+// maxFixedHeader is the largest fixed-size frame prefix: length word,
+// sequence number, key, absorbed count.
+const maxFixedHeader = 4 + 8 + 8 + 4
 
 // ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
 
+// frameExtra returns the keyed encoding overhead (key and absorbed fields)
+// and the flag bits for t, rejecting tuples that cannot encode: absorbed
+// seqs on an unkeyed tuple would be silently dropped, and a misaligned
+// Absorbed buffer is corrupt.
+func frameExtra(t Tuple) (extra int, flags uint32, err error) {
+	if t.Key == 0 {
+		if len(t.Absorbed) != 0 {
+			return 0, 0, errors.New("transport: absorbed seqs on unkeyed tuple")
+		}
+		return 0, 0, nil
+	}
+	extra = 8
+	flags = flagKeyed
+	if t.Solo {
+		flags |= flagSolo
+	}
+	if n := len(t.Absorbed); n != 0 {
+		if n%8 != 0 {
+			return 0, 0, fmt.Errorf("transport: absorbed buffer %d bytes, want a multiple of 8", n)
+		}
+		extra += 4 + n
+		flags |= flagCombined
+	}
+	return extra, flags, nil
+}
+
 // AppendFrame encodes the tuple onto dst and returns the extended slice. The
-// wire format is little-endian: uint32 length (seq + payload bytes), uint64
-// sequence number, payload.
+// wire format is little-endian: uint32 length word (body length in the low
+// bits, keyed-extension flags in the top three), uint64 sequence number,
+// then — when the matching flag is set — the 8-byte key, a uint32 absorbed
+// count followed by that many 8-byte absorbed sequence numbers, and finally
+// the payload.
 func AppendFrame(dst []byte, t Tuple) ([]byte, error) {
-	dst, err := AppendFrameHeader(dst, t.Seq, len(t.Payload))
+	dst, err := AppendFrameHeader(dst, t)
 	if err != nil {
 		return dst, err
 	}
 	return append(dst, t.Payload...), nil
 }
 
-// AppendFrameHeader appends only the frame header (length prefix and
-// sequence number) for a tuple whose payload travels separately — the
-// zero-copy batch encode path, where a large payload is handed to writev as
-// its own iovec instead of being copied into the frame buffer.
-func AppendFrameHeader(dst []byte, seq uint64, payloadLen int) ([]byte, error) {
-	body := 8 + payloadLen
-	if payloadLen < 0 || body > MaxFrameSize {
+// AppendFrameHeader appends everything except the payload bytes for a tuple
+// whose payload travels separately — the zero-copy batch encode path, where
+// a large payload is handed to writev as its own iovec instead of being
+// copied into the frame buffer. The length word still covers the payload.
+func AppendFrameHeader(dst []byte, t Tuple) ([]byte, error) {
+	extra, flags, err := frameExtra(t)
+	if err != nil {
+		return dst, err
+	}
+	body := 8 + extra + len(t.Payload)
+	if body > MaxFrameSize {
 		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
 	}
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
-	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body)|flags)
+	dst = binary.LittleEndian.AppendUint64(dst, t.Seq)
+	if flags&flagKeyed != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, t.Key)
+	}
+	if flags&flagCombined != 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Absorbed)/8))
+		dst = append(dst, t.Absorbed...)
+	}
 	return dst, nil
 }
 
@@ -69,7 +163,34 @@ func AppendBatch(dst []byte, ts []Tuple) ([]byte, error) {
 
 // FrameLen returns the encoded size of a tuple.
 func FrameLen(t Tuple) int {
-	return frameHeaderSize + len(t.Payload)
+	extra, _, _ := frameExtra(t)
+	return frameHeaderSize + extra + len(t.Payload)
+}
+
+// decodeLengthWord splits a frame's length word into the body length, the
+// flag bits and the fixed header size that follows the word (sequence
+// number, optional key, optional absorbed count), enforcing the flag and
+// length invariants shared by the blocking and buffered decode paths.
+func decodeLengthWord(word uint32) (body uint32, flags uint32, fixed int, err error) {
+	flags = word & flagMask
+	body = word &^ flagMask
+	if flags != 0 && flags&flagKeyed == 0 {
+		return 0, 0, 0, fmt.Errorf("transport: frame flags %#x without key flag", word>>24)
+	}
+	fixed = 8
+	if flags&flagKeyed != 0 {
+		fixed += 8
+	}
+	if flags&flagCombined != 0 {
+		fixed += 4
+	}
+	if int(body) < fixed {
+		return 0, 0, 0, fmt.Errorf("transport: frame body %d bytes, want >= %d", body, fixed)
+	}
+	if body > MaxFrameSize {
+		return 0, 0, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	}
+	return body, flags, fixed, nil
 }
 
 // Receiver decodes tuples from a stream written with AppendFrame.
@@ -93,10 +214,10 @@ type Receiver struct {
 	// receive call instead.
 	err error
 
-	// hdr is the reusable read target for frame headers. A function-local
-	// array would escape through the io.ReadFull interface call and cost a
-	// heap allocation per decoded tuple.
-	hdr [frameHeaderSize]byte
+	// hdr is the reusable read target for fixed frame-header fields. A
+	// function-local array would escape through the io.ReadFull interface
+	// call and cost a heap allocation per decoded tuple.
+	hdr [maxFixedHeader]byte
 }
 
 // NewReceiver wraps a stream in a buffered tuple decoder.
@@ -129,6 +250,37 @@ func (rc *Receiver) scratchCarve(n int) []byte {
 	return rc.scratch[off : off+n : off+n]
 }
 
+// carveFor reserves n bytes from ref's pooled blocks (the batch path) or the
+// Receive arena (unbatched).
+func (rc *Receiver) carveFor(ref *BlockRef, n int) []byte {
+	if ref != nil {
+		return ref.carve(n)
+	}
+	return rc.scratchCarve(n)
+}
+
+// decodeFixed parses the fixed header fields already read into rc.hdr —
+// sequence number, optional key, optional absorbed count — and returns the
+// tuple skeleton plus how many absorbed bytes still follow on the wire.
+func (rc *Receiver) decodeFixed(flags, body uint32, fixed int) (Tuple, int, error) {
+	t := Tuple{Seq: binary.LittleEndian.Uint64(rc.hdr[4:12])}
+	off := 12
+	if flags&flagKeyed != 0 {
+		t.Key = binary.LittleEndian.Uint64(rc.hdr[off : off+8])
+		off += 8
+		t.Solo = flags&flagSolo != 0
+	}
+	absorbed := 0
+	if flags&flagCombined != 0 {
+		count := binary.LittleEndian.Uint32(rc.hdr[off : off+4])
+		absorbed = int(count) * 8
+		if count == 0 || absorbed > int(body)-fixed {
+			return Tuple{}, 0, fmt.Errorf("transport: absorbed count %d invalid for frame body %d", count, body)
+		}
+	}
+	return t, absorbed, nil
+}
+
 // Receive reads the next tuple. It returns io.EOF at a clean end of stream
 // and io.ErrUnexpectedEOF when the stream ends mid-frame. The payload is
 // carved from an internal arena the caller owns from then on — valid
@@ -142,11 +294,11 @@ func (rc *Receiver) Receive() (Tuple, error) {
 	return rc.receive(nil)
 }
 
-// receive decodes one frame, blocking until it is complete. The payload is
-// carved from ref's pooled blocks when ref is non-nil (the batch path) and
-// from the Receive arena otherwise. Dispatching on the pointer rather than a
-// passed-in carve func keeps the hot path closure-free: a method value here
-// would cost one heap allocation per received tuple.
+// receive decodes one frame, blocking until it is complete. Payload and
+// absorbed bytes are carved from ref's pooled blocks when ref is non-nil
+// (the batch path) and from the Receive arena otherwise. Dispatching on the
+// pointer rather than a passed-in carve func keeps the hot path closure-free:
+// a method value here would cost one heap allocation per received tuple.
 func (rc *Receiver) receive(ref *BlockRef) (Tuple, error) {
 	if _, err := io.ReadFull(rc.r, rc.hdr[:4]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -154,23 +306,26 @@ func (rc *Receiver) receive(ref *BlockRef) (Tuple, error) {
 		}
 		return Tuple{}, fmt.Errorf("transport: read frame length: %w", err)
 	}
-	body := binary.LittleEndian.Uint32(rc.hdr[:4])
-	if body < 8 {
-		return Tuple{}, fmt.Errorf("transport: frame body %d bytes, want >= 8", body)
+	word := binary.LittleEndian.Uint32(rc.hdr[:4])
+	body, flags, fixed, err := decodeLengthWord(word)
+	if err != nil {
+		return Tuple{}, err
 	}
-	if body > MaxFrameSize {
-		return Tuple{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	if _, err := io.ReadFull(rc.r, rc.hdr[4:4+fixed]); err != nil {
+		return Tuple{}, fmt.Errorf("transport: read frame header: %w", err)
 	}
-	if _, err := io.ReadFull(rc.r, rc.hdr[4:12]); err != nil {
-		return Tuple{}, fmt.Errorf("transport: read sequence: %w", err)
+	t, absorbed, err := rc.decodeFixed(flags, body, fixed)
+	if err != nil {
+		return Tuple{}, err
 	}
-	t := Tuple{Seq: binary.LittleEndian.Uint64(rc.hdr[4:12])}
-	if payload := int(body) - 8; payload > 0 {
-		if ref != nil {
-			t.Payload = ref.carve(payload)
-		} else {
-			t.Payload = rc.scratchCarve(payload)
+	if absorbed > 0 {
+		t.Absorbed = rc.carveFor(ref, absorbed)
+		if _, err := io.ReadFull(rc.r, t.Absorbed); err != nil {
+			return Tuple{}, fmt.Errorf("transport: read absorbed seqs: %w", err)
 		}
+	}
+	if payload := int(body) - fixed - absorbed; payload > 0 {
+		t.Payload = rc.carveFor(ref, payload)
 		if _, err := io.ReadFull(rc.r, t.Payload); err != nil {
 			return Tuple{}, fmt.Errorf("transport: read payload: %w", err)
 		}

@@ -237,11 +237,16 @@ type InprocSender struct {
 // Capacity returns the pipe's true (rounded) ring capacity in tuples.
 func (s *InprocSender) Capacity() int { return s.p.ring.capacity() }
 
-// checkFrameable applies the TCP path's frame-size bound so an oversized
-// tuple fails identically on both transports (SendBatch atomicity included).
+// checkFrameable applies the TCP path's frame-size and encodability bounds
+// so an unencodable tuple fails identically on both transports (SendBatch
+// atomicity included).
 func checkFrameable(t Tuple) error {
-	if 8+len(t.Payload) > MaxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, 8+len(t.Payload))
+	extra, _, err := frameExtra(t)
+	if err != nil {
+		return err
+	}
+	if body := 8 + extra + len(t.Payload); body > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
 	}
 	return nil
 }

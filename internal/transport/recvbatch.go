@@ -2,7 +2,6 @@ package transport
 
 import (
 	"encoding/binary"
-	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -233,12 +232,10 @@ func (rc *Receiver) tryDecode(ref *BlockRef) (Tuple, bool, error) {
 	if err != nil {
 		return Tuple{}, false, nil
 	}
-	body := binary.LittleEndian.Uint32(hdr)
-	if body < 8 {
-		return Tuple{}, false, fmt.Errorf("transport: frame body %d bytes, want >= 8", body)
-	}
-	if body > MaxFrameSize {
-		return Tuple{}, false, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	word := binary.LittleEndian.Uint32(hdr)
+	body, flags, fixed, err := decodeLengthWord(word)
+	if err != nil {
+		return Tuple{}, false, err
 	}
 	if rc.r.Buffered() < 4+int(body) {
 		return Tuple{}, false, nil
@@ -246,9 +243,16 @@ func (rc *Receiver) tryDecode(ref *BlockRef) (Tuple, bool, error) {
 	// The whole frame is buffered: none of the reads below can block or
 	// short-read.
 	rc.r.Discard(4)
-	io.ReadFull(rc.r, rc.hdr[4:12])
-	t := Tuple{Seq: binary.LittleEndian.Uint64(rc.hdr[4:12])}
-	if payload := int(body) - 8; payload > 0 {
+	io.ReadFull(rc.r, rc.hdr[4:4+fixed])
+	t, absorbed, err := rc.decodeFixed(flags, body, fixed)
+	if err != nil {
+		return Tuple{}, false, err
+	}
+	if absorbed > 0 {
+		t.Absorbed = ref.carve(absorbed)
+		io.ReadFull(rc.r, t.Absorbed)
+	}
+	if payload := int(body) - fixed - absorbed; payload > 0 {
 		t.Payload = ref.carve(payload)
 		io.ReadFull(rc.r, t.Payload)
 	}
